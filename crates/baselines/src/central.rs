@@ -1,0 +1,93 @@
+//! Centralized reference algorithms (§1.1's "easy in a centralised
+//! setting"): sequential greedy maximal edge packing and greedy maximal
+//! matching. Used to sanity-check the distributed outputs and as the
+//! classical Bar-Yehuda–Even 2-approximation in the experiment tables.
+
+use anonet_bigmath::PackingValue;
+use anonet_core::packing::EdgePacking;
+use anonet_sim::Graph;
+
+/// Sequential maximal edge packing: for each edge in the given order, raise
+/// `y(e)` until an endpoint saturates (§1.1 verbatim).
+pub fn greedy_edge_packing<V: PackingValue>(
+    g: &Graph,
+    weights: &[u64],
+    order: impl IntoIterator<Item = usize>,
+) -> EdgePacking<V> {
+    let mut resid: Vec<V> = weights.iter().map(|&w| V::from_u64(w)).collect();
+    let mut y = vec![V::zero(); g.m()];
+    for e in order {
+        let (u, v) = g.edge(e);
+        let inc = if resid[u] <= resid[v] { resid[u].clone() } else { resid[v].clone() };
+        y[e] = y[e].add(&inc);
+        resid[u] = resid[u].sub(&inc);
+        resid[v] = resid[v].sub(&inc);
+    }
+    EdgePacking { y }
+}
+
+/// Greedy maximal edge packing in edge-id order, plus the induced
+/// 2-approximate cover.
+pub fn bar_yehuda_even<V: PackingValue>(
+    g: &Graph,
+    weights: &[u64],
+) -> (EdgePacking<V>, Vec<bool>) {
+    let packing = greedy_edge_packing::<V>(g, weights, 0..g.m());
+    let cover = packing.saturated_nodes(g, weights);
+    (packing, cover)
+}
+
+/// Sequential greedy maximal matching in edge-id order.
+pub fn greedy_maximal_matching(g: &Graph) -> Vec<bool> {
+    let mut matched = vec![false; g.n()];
+    for (_, u, v) in g.edge_iter() {
+        if !matched[u] && !matched[v] {
+            matched[u] = true;
+            matched[v] = true;
+        }
+    }
+    matched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_bigmath::BigRat;
+    use anonet_exact::{is_vertex_cover, min_weight_vertex_cover};
+    use anonet_gen::{family, WeightSpec};
+
+    #[test]
+    fn greedy_packing_is_maximal_2approx() {
+        for seed in 0..6u64 {
+            let g = family::gnp_capped(14, 0.3, 5, seed);
+            let w = WeightSpec::Uniform(20).draw_many(14, seed + 5);
+            let (p, cover) = bar_yehuda_even::<BigRat>(&g, &w);
+            assert!(p.is_feasible(&g, &w));
+            assert!(p.is_maximal(&g, &w));
+            assert!(is_vertex_cover(&g, &cover));
+            let cw: u64 = (0..14).filter(|&v| cover[v]).map(|v| w[v]).sum();
+            let opt = min_weight_vertex_cover(&g, &w).weight;
+            assert!(cw <= 2 * opt, "{cw} > 2·{opt}");
+        }
+    }
+
+    #[test]
+    fn edge_order_changes_packing_not_guarantee() {
+        let g = family::path(4); // edges 0-1, 1-2, 2-3
+        let w = vec![1u64, 2, 1, 1];
+        let fwd = greedy_edge_packing::<BigRat>(&g, &w, 0..3);
+        let rev = greedy_edge_packing::<BigRat>(&g, &w, (0..3).rev());
+        assert!(fwd.is_maximal(&g, &w));
+        assert!(rev.is_maximal(&g, &w));
+        assert_ne!(fwd.y, rev.y); // the middle edge's value depends on order
+    }
+
+    #[test]
+    fn matching_is_matching_and_maximal() {
+        let g = family::petersen();
+        let m = greedy_maximal_matching(&g);
+        assert!(is_vertex_cover(&g, &m));
+        // It is induced by a matching: |C| is even for Petersen here.
+        assert_eq!(m.iter().filter(|&&b| b).count() % 2, 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Polishchuk–Suomela "simple local 3-approximation" (Table 1 row \[30\]):
+//! deterministic, unweighted, **3-approximation** in O(Δ) rounds in the
+//! port-numbering model.
+//!
+//! The algorithm computes a maximal matching in the bipartite double cover
+//! of G greedily: each node plays a *white* and a *black* role; white(v)
+//! proposes along v's ports in increasing order until accepted, black(v)
+//! accepts the first proposal it sees (minimum port on ties). A node joins
+//! the cover iff either of its roles is matched.
+
+use anonet_sim::{run_pn, Graph, MessageSize, PnAlgorithm, SimError, Trace};
+
+/// Messages of the PS algorithm.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum PsMsg {
+    /// No content.
+    #[default]
+    Nil,
+    /// White role proposes along this edge.
+    Propose,
+    /// Black role accepts the proposal received on this port.
+    Accept,
+}
+
+impl MessageSize for PsMsg {
+    fn approx_bits(&self) -> u64 {
+        2
+    }
+}
+
+/// Node state: both roles of the bipartite double cover.
+#[derive(Clone, Debug)]
+pub struct PsNode {
+    deg: usize,
+    /// Port whose proposal white(v) is awaiting (next to try).
+    next_port: usize,
+    /// Port on which white(v) was accepted.
+    white_matched: Option<usize>,
+    /// Port whose proposal black(v) accepted.
+    black_matched: Option<usize>,
+    /// Set in the round black(v) accepts — the Accept goes out next round.
+    pending_accept: Option<usize>,
+}
+
+/// Global configuration: the degree bound Δ.
+#[derive(Clone, Debug)]
+pub struct PsConfig {
+    /// Maximum degree Δ.
+    pub delta: usize,
+}
+
+impl PsConfig {
+    /// Total rounds: one propose + one respond round per port.
+    pub fn total_rounds(&self) -> u64 {
+        2 * self.delta as u64
+    }
+}
+
+impl PnAlgorithm for PsNode {
+    type Msg = PsMsg;
+    type Input = ();
+    type Output = bool; // cover membership
+    type Config = PsConfig;
+
+    fn init(cfg: &PsConfig, degree: usize, _input: &()) -> Self {
+        assert!(degree <= cfg.delta);
+        PsNode {
+            deg: degree,
+            next_port: 0,
+            white_matched: None,
+            black_matched: None,
+            pending_accept: None,
+        }
+    }
+
+    fn send(&self, _cfg: &PsConfig, round: u64, out: &mut [PsMsg]) {
+        if round % 2 == 1 {
+            // Propose round t = (round-1)/2: white proposes on port t.
+            let t = ((round - 1) / 2) as usize;
+            if self.white_matched.is_none() && t == self.next_port && t < self.deg {
+                out[t] = PsMsg::Propose;
+            }
+        } else if let Some(p) = self.pending_accept {
+            out[p] = PsMsg::Accept;
+        }
+    }
+
+    fn receive(
+        &mut self,
+        cfg: &PsConfig,
+        round: u64,
+        incoming: &[&PsMsg],
+    ) -> Option<bool> {
+        if round % 2 == 1 {
+            // Black role: accept the minimum-port proposal if unmatched.
+            if self.black_matched.is_none() {
+                if let Some(p) =
+                    incoming.iter().position(|m| matches!(m, PsMsg::Propose))
+                {
+                    self.black_matched = Some(p);
+                    self.pending_accept = Some(p);
+                }
+            }
+        } else {
+            // White role: check for an accept on the port just proposed.
+            let t = (round / 2 - 1) as usize;
+            if self.white_matched.is_none() && t == self.next_port && t < self.deg {
+                if matches!(incoming[t], PsMsg::Accept) {
+                    self.white_matched = Some(t);
+                } else {
+                    self.next_port += 1;
+                }
+            }
+            self.pending_accept = None;
+        }
+        (round == cfg.total_rounds())
+            .then(|| self.white_matched.is_some() || self.black_matched.is_some())
+    }
+}
+
+/// Result of a PS run.
+#[derive(Clone, Debug)]
+pub struct PsRun {
+    /// Cover membership by node id.
+    pub cover: Vec<bool>,
+    /// Engine instrumentation (always 2Δ rounds).
+    pub trace: Trace,
+}
+
+/// Runs the Polishchuk–Suomela 3-approximation (unweighted).
+pub fn run_ps3(g: &Graph) -> Result<PsRun, SimError> {
+    run_ps3_with(g, g.max_degree())
+}
+
+/// Runs with an explicit global Δ.
+pub fn run_ps3_with(g: &Graph, delta: usize) -> Result<PsRun, SimError> {
+    let cfg = PsConfig { delta: delta.max(1) };
+    let res = run_pn::<PsNode>(g, &cfg, &vec![(); g.n()], cfg.total_rounds())?;
+    Ok(PsRun { cover: res.outputs, trace: res.trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_exact::{is_vertex_cover, min_weight_vertex_cover};
+    use anonet_gen::family;
+
+    fn check(g: &Graph) {
+        let run = run_ps3(g).unwrap();
+        assert!(is_vertex_cover(g, &run.cover), "must cover all edges");
+        // 3-approximation vs exact optimum (unweighted).
+        let opt = min_weight_vertex_cover(g, &vec![1; g.n()]).weight;
+        let size = run.cover.iter().filter(|&&b| b).count() as u64;
+        assert!(size <= 3 * opt, "|C| = {size} > 3·OPT = {}", 3 * opt);
+        assert_eq!(run.trace.rounds, 2 * g.max_degree().max(1) as u64);
+    }
+
+    #[test]
+    fn single_edge_matches_both() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let run = run_ps3(&g).unwrap();
+        // white(0) proposes to black(1) and vice versa: both matched.
+        assert_eq!(run.cover, vec![true, true]);
+    }
+
+    #[test]
+    fn families() {
+        check(&family::path(9));
+        check(&family::cycle(8));
+        check(&family::cycle(9));
+        check(&family::star(6));
+        check(&family::grid(4, 4));
+        check(&family::petersen());
+        check(&family::frucht());
+        check(&family::complete(6));
+    }
+
+    #[test]
+    fn random_graphs() {
+        use anonet_gen::family::gnp_capped;
+        for seed in 0..10u64 {
+            check(&gnp_capped(16, 0.3, 5, seed));
+        }
+    }
+
+    #[test]
+    fn rounds_independent_of_n() {
+        let a = run_ps3_with(&family::cycle(10), 2).unwrap().trace.rounds;
+        let b = run_ps3_with(&family::cycle(1000), 2).unwrap().trace.rounds;
+        assert_eq!(a, b);
+    }
+}

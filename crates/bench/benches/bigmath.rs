@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the bignum substrate: the §3/§4 hot paths
+//! are rational add/mul/div with Lemma 2-sized operands and the big-integer
+//! primitives under them.
+
+use anonet_bigmath::{BigRat, IBig, PackingValue, Rat128, UBig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn mk_ubig(bits: u64, seed: u64) -> UBig {
+    // Deterministic pseudo-random limbs.
+    let mut state = seed;
+    let limbs: Vec<u64> = (0..bits.div_ceil(64))
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        })
+        .collect();
+    UBig::from_limbs(limbs)
+}
+
+fn bench_ubig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ubig");
+    for bits in [256u64, 1024, 4096] {
+        let a = mk_ubig(bits, 1);
+        let b = mk_ubig(bits, 2);
+        let small = mk_ubig(bits / 2, 3);
+        group.bench_with_input(BenchmarkId::new("mul", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(&a).mul_ref(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("div_rem", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(&a).div_rem(black_box(&small)))
+        });
+        group.bench_with_input(BenchmarkId::new("gcd", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(&a).gcd(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rational");
+    // Lemma 2 regime: denominators around (Δ!)^Δ for Δ = 6.
+    let scale = UBig::factorial(6).pow(6);
+    let a = BigRat::new(IBig::from(mk_ubig(64, 5)), scale.clone());
+    let b = BigRat::new(IBig::from(mk_ubig(64, 7)), scale.mul_ref(&UBig::from_u64(7)));
+    group.bench_function("bigrat_add", |bch| bch.iter(|| black_box(&a).add(black_box(&b))));
+    group.bench_function("bigrat_mul", |bch| bch.iter(|| black_box(&a).mul(black_box(&b))));
+    group.bench_function("bigrat_cmp", |bch| bch.iter(|| black_box(&a).cmp(black_box(&b))));
+
+    let fa = Rat128::new(123_456_789, 518_400);
+    let fb = Rat128::new(987_654_321, 3_628_800);
+    group.bench_function("rat128_add", |bch| bch.iter(|| black_box(fa) + black_box(fb)));
+    group.bench_function("rat128_mul", |bch| bch.iter(|| black_box(fa) * black_box(fb)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ubig, bench_rat);
+criterion_main!(benches);

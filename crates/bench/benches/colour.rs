@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the colour machinery: Lemma 2 sequence encoding
+//! and Cole–Vishkin reduction steps at realistic χ sizes.
+
+use anonet_bigmath::{BigRat, UBig};
+use anonet_core::encode::{cv_step, CvSchedule, SeqEncoder};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    for delta in [4usize, 8, 12] {
+        let enc = SeqEncoder::phase1(delta, 1 << 16);
+        let seq: Vec<BigRat> = (0..delta)
+            .map(|i| BigRat::from_frac((i as i64 % 7) + 1, (i as u64 % (delta as u64)) + 1))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("phase1_seq", delta), &delta, |b, _| {
+            b.iter(|| enc.encode(black_box(&seq)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cole_vishkin");
+    for bits in [64u64, 1024, 16384] {
+        let a = UBig::from_u64(0xDEAD_BEEF).shl_bits(bits - 40);
+        let b = {
+            let mut x = a.clone();
+            x.add_assign_ref(&UBig::one().shl_bits(bits / 2));
+            x
+        };
+        group.bench_with_input(BenchmarkId::new("cv_step", bits), &bits, |bch, _| {
+            bch.iter(|| cv_step(black_box(&a), black_box(&b)))
+        });
+    }
+    group.bench_function("cv_schedule_w64", |b| {
+        let enc = SeqEncoder::phase1(16, u64::MAX);
+        b.iter(|| CvSchedule::for_bound(black_box(&enc.code_bound())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_cv);
+criterion_main!(benches);

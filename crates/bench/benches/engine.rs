@@ -1,0 +1,61 @@
+//! **E12** — engine throughput and parallel scalability: synchronous rounds
+//! per second on large graphs, sequential vs scoped-thread execution.
+
+use anonet_gen::family;
+use anonet_sim::{Graph, PnAlgorithm, PnEngine};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A light per-node workload: gossip the running maximum of neighbour ids.
+struct Gossip {
+    best: u64,
+}
+
+impl PnAlgorithm for Gossip {
+    type Msg = u64;
+    type Input = u64;
+    type Output = u64;
+    type Config = ();
+
+    fn init(_: &(), _degree: usize, input: &u64) -> Self {
+        Gossip { best: *input }
+    }
+    fn send(&self, _: &(), _round: u64, out: &mut [u64]) {
+        for m in out {
+            *m = self.best;
+        }
+    }
+    fn receive(&mut self, _: &(), _round: u64, incoming: &[&u64]) -> Option<u64> {
+        for &&m in incoming {
+            self.best = self.best.max(m);
+        }
+        None // driven externally
+    }
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_rounds");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        let g: Graph = family::random_regular(n, 8, 7);
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), threads),
+                &threads,
+                |bch, &t| {
+                    bch.iter(|| {
+                        let mut engine = PnEngine::<Gossip>::new(&g, &(), &inputs, t).unwrap();
+                        for _ in 0..5 {
+                            black_box(engine.step());
+                        }
+                        engine.trace().rounds
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! **Ablations** — why each ingredient of the §3 algorithm is there:
+//!
+//! * Phase I alone (no Phase II) leaves edges unsaturated exactly when the
+//!   graph is not weight-regular — quantified as the fraction of instances
+//!   (and edges) Phase II has to finish.
+//! * Fewer than Δ Phase I iterations break the Lemma 1 guarantee — measured
+//!   as leftover monochromatic unsaturated edges.
+//! * The Cole–Vishkin step count of the schedule is necessary: one step
+//!   fewer leaves > 6 colours on adversarial chains.
+//!
+//! Regenerate with: `cargo run --release -p anonet-bench --bin ablation`
+
+use anonet_bench::{f3, md_table};
+use anonet_bigmath::{BigRat, PackingValue, UBig};
+use anonet_core::encode::{cv_step, cv_step_root, CvSchedule};
+use anonet_gen::{family, WeightSpec};
+use anonet_sim::Graph;
+
+type V = BigRat;
+
+/// Central Phase I (the paper's steps (i)–(iii)), stopping after
+/// `iterations`; returns (per-edge y, per-node colour sequences).
+fn phase1(
+    g: &Graph,
+    weights: &[u64],
+    iterations: usize,
+) -> (Vec<V>, Vec<Vec<V>>) {
+    let (n, m) = (g.n(), g.m());
+    let mut y = vec![V::zero(); m];
+    let mut seq: Vec<Vec<V>> = vec![Vec::new(); n];
+    for _ in 0..iterations {
+        let r: Vec<V> = (0..n)
+            .map(|v| {
+                let mut r = V::from_u64(weights[v]);
+                for a in g.arc_range(v) {
+                    r = r.sub(&y[g.edge_of(a)]);
+                }
+                r
+            })
+            .collect();
+        let in_eyc: Vec<bool> = (0..m)
+            .map(|e| {
+                let (u, v) = g.edge(e);
+                r[u].is_positive() && r[v].is_positive() && seq[u] == seq[v]
+            })
+            .collect();
+        let degyc: Vec<usize> = (0..n)
+            .map(|v| g.arc_range(v).filter(|&a| in_eyc[g.edge_of(a)]).count())
+            .collect();
+        let x: Vec<Option<V>> = (0..n)
+            .map(|v| (degyc[v] > 0).then(|| r[v].div(&V::from_u64(degyc[v] as u64))))
+            .collect();
+        for e in 0..m {
+            if in_eyc[e] {
+                let (u, v) = g.edge(e);
+                let (xu, xv) = (x[u].as_ref().unwrap(), x[v].as_ref().unwrap());
+                y[e] = y[e].add(if xu <= xv { xu } else { xv });
+            }
+        }
+        for v in 0..n {
+            seq[v].push(x[v].clone().unwrap_or_else(V::one));
+        }
+    }
+    (y, seq)
+}
+
+fn unsaturated_stats(g: &Graph, weights: &[u64], y: &[V]) -> (usize, usize) {
+    let n = g.n();
+    let r: Vec<V> = (0..n)
+        .map(|v| {
+            let mut r = V::from_u64(weights[v]);
+            for a in g.arc_range(v) {
+                r = r.sub(&y[g.edge_of(a)]);
+            }
+            r
+        })
+        .collect();
+    let unsat = g
+        .edge_iter()
+        .filter(|&(_, u, v)| r[u].is_positive() && r[v].is_positive())
+        .count();
+    (unsat, g.m())
+}
+
+fn main() {
+    phase2_necessity();
+    iteration_count_necessity();
+    cv_steps_necessity();
+}
+
+fn phase2_necessity() {
+    let mut rows = Vec::new();
+    for (name, mk, spec) in [
+        (
+            "4-regular / unit",
+            family::random_regular(40, 4, 1),
+            WeightSpec::Unit,
+        ),
+        (
+            "4-regular / U(100)",
+            family::random_regular(40, 4, 1),
+            WeightSpec::Uniform(100),
+        ),
+        ("grid 6×5 / unit", family::grid(6, 5), WeightSpec::Unit),
+        ("grid 6×5 / U(100)", family::grid(6, 5), WeightSpec::Uniform(100)),
+        ("tree(40,4) / U(100)", family::random_tree(40, 4, 2), WeightSpec::Uniform(100)),
+    ] {
+        let w = spec.draw_many(mk.n(), 9);
+        let delta = mk.max_degree();
+        let (y, _) = phase1(&mk, &w, delta);
+        let (unsat, m) = unsaturated_stats(&mk, &w, &y);
+        rows.push(vec![
+            name.to_string(),
+            m.to_string(),
+            unsat.to_string(),
+            f3(unsat as f64 / m as f64),
+        ]);
+    }
+    md_table(
+        "Ablation A — Phase I alone: edges left unsaturated (Phase II's workload)",
+        &["instance", "edges", "unsaturated after Phase I", "fraction"],
+        &rows,
+    );
+    println!(
+        "\nOn weight-regular symmetric instances Phase I saturates everything (the case \
+         where multicolouring is impossible, §3.1); anywhere else Phase II is load-bearing."
+    );
+}
+
+fn iteration_count_necessity() {
+    // Lemma 1 needs Δ iterations: run fewer and count monochromatic
+    // unsaturated edges (which Phase II cannot orient).
+    let g = family::random_regular(40, 6, 3);
+    let w = WeightSpec::Uniform(50).draw_many(40, 4);
+    let delta = 6;
+    let mut rows = Vec::new();
+    for iters in [1usize, 2, 6] {
+        let (y, seq) = phase1(&g, &w, iters);
+        let r: Vec<V> = (0..g.n())
+            .map(|v| {
+                let mut r = V::from_u64(w[v]);
+                for a in g.arc_range(v) {
+                    r = r.sub(&y[g.edge_of(a)]);
+                }
+                r
+            })
+            .collect();
+        let bad = g
+            .edge_iter()
+            .filter(|&(_, u, v)| {
+                r[u].is_positive() && r[v].is_positive() && seq[u] == seq[v]
+            })
+            .count();
+        rows.push(vec![
+            format!("{iters} of Δ = {delta}"),
+            bad.to_string(),
+            (bad == 0).to_string(),
+        ]);
+    }
+    md_table(
+        "Ablation B — Phase I iteration count: monochromatic unsaturated edges left (0 guaranteed only at Δ)",
+        &["iterations", "E_yc edges remaining", "empty"],
+        &rows,
+    );
+    println!(
+        "\nLemma 1 guarantees emptiness only after Δ iterations (max degree of G_yc drops\n\
+         by ≥ 1 per iteration, worst case); typical weighted instances multicolour much\n\
+         faster — the schedule pays for the adversarial case, as fixed schedules must."
+    );
+}
+
+fn cv_steps_necessity() {
+    // The CV schedule is tight-ish: on a long decreasing chain of colours,
+    // T_cv steps always land ≤ 6 colours, T_cv − 1 sometimes does not.
+    let bound = UBig::from_u64(2).pow(256);
+    let sched = CvSchedule::for_bound(&bound);
+    let mut rows = Vec::new();
+    for steps in [sched.steps - 1, sched.steps] {
+        let mut colours: Vec<UBig> = (0..60u64)
+            .map(|i| UBig::from_u64(2 * i + 1).mul_ref(&UBig::from_u64(2).pow(240)))
+            .collect();
+        for _ in 0..steps {
+            let mut next = Vec::with_capacity(colours.len());
+            for i in 0..colours.len() {
+                next.push(if i + 1 < colours.len() {
+                    cv_step(&colours[i], &colours[i + 1])
+                } else {
+                    cv_step_root(&colours[i])
+                });
+            }
+            colours = next;
+        }
+        let max = colours.iter().map(|c| c.to_u64().unwrap_or(u64::MAX)).max().unwrap();
+        rows.push(vec![
+            steps.to_string(),
+            max.to_string(),
+            (max <= 5).to_string(),
+        ]);
+    }
+    md_table(
+        &format!(
+            "Ablation C — Cole–Vishkin steps on a 256-bit colour chain (schedule T_cv = {})",
+            sched.steps
+        ),
+        &["steps run", "max colour after", "within 6-colour target"],
+        &rows,
+    );
+}

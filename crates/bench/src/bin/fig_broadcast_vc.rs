@@ -1,0 +1,56 @@
+//! **E4 — §5 simulation cost**: the broadcast-model vertex cover runs in
+//! O(Δ² + Δ·log\*W) rounds but pays in *message size* — the full-history
+//! replay makes messages grow linearly with the round number, quadratic in
+//! total. This binary measures the trade against the §3 port-numbering
+//! algorithm.
+//!
+//! Regenerate with: `cargo run --release -p anonet-bench --bin fig_broadcast_vc`
+
+use anonet_bench::md_table;
+use anonet_bigmath::BigRat;
+use anonet_core::vc_bcast::run_vc_broadcast_with;
+use anonet_core::vc_pn::run_edge_packing_with;
+use anonet_gen::{family, WeightSpec};
+
+fn main() {
+    let w_bound = 16u64;
+    let mut rows = Vec::new();
+    for delta in [2usize, 3, 4, 5] {
+        let n = 24;
+        let g = family::random_regular(n, delta, 31);
+        let w = WeightSpec::Uniform(w_bound).draw_many(n, 37);
+
+        let pn = run_edge_packing_with::<BigRat>(&g, &w, delta, w_bound, 1).unwrap();
+        let bc = run_vc_broadcast_with::<BigRat>(&g, &w, delta, w_bound, 1).unwrap();
+        assert!(bc.all_saturated, "Theorem 2: all elements saturated");
+        assert!(pn.packing.is_maximal(&g, &w));
+
+        rows.push(vec![
+            delta.to_string(),
+            pn.trace.rounds.to_string(),
+            bc.trace.rounds.to_string(),
+            format!("{:.1}", bc.trace.rounds as f64 / (delta * delta) as f64),
+            pn.trace.max_message_bits.to_string(),
+            bc.trace.max_message_bits.to_string(),
+            format!("{:.0}×", bc.trace.total_bits as f64 / pn.trace.total_bits.max(1) as f64),
+        ]);
+    }
+    md_table(
+        "E4 — §3 (port numbering) vs §5 (broadcast): rounds and message-size blowup",
+        &[
+            "Δ",
+            "§3 rounds",
+            "§5 rounds",
+            "§5 rounds/Δ²",
+            "§3 max msg bits",
+            "§5 max msg bits",
+            "total-bits blowup",
+        ],
+        &rows,
+    );
+
+    println!(
+        "\nBoth produce 2-approximate covers; §5 needs no port numbering at all \
+         (the strictly weaker broadcast model), which is the point of the trade."
+    );
+}

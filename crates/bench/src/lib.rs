@@ -1,0 +1,67 @@
+//! # anonet-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! DESIGN.md §4 and EXPERIMENTS.md for the index) plus shared reporting
+//! utilities. All binaries print Markdown tables to stdout with fixed seeds,
+//! so `cargo run -p anonet-bench --bin <exp>` regenerates any experiment
+//! byte-for-byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Prints a Markdown table.
+pub fn md_table<S: Display>(title: &str, headers: &[&str], rows: &[Vec<S>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+        println!("| {} |", cells.join(" | "));
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Maximum of a slice.
+pub fn fmax(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Cover weight helper.
+pub fn cover_weight(cover: &[bool], weights: &[u64]) -> u64 {
+    cover.iter().zip(weights).filter(|(&c, _)| c).map(|(_, &w)| w).sum()
+}
+
+/// Cover size helper.
+pub fn cover_size(cover: &[bool]) -> usize {
+    cover.iter().filter(|&&c| c).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(fmax(&[1.0, 5.0, 2.0]), 5.0);
+        assert_eq!(cover_weight(&[true, false, true], &[3, 9, 4]), 7);
+        assert_eq!(cover_size(&[true, false, true]), 2);
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

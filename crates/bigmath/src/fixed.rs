@@ -1,0 +1,237 @@
+//! Fixed-width exact rationals over `i128`.
+//!
+//! [`Rat128`] implements the same [`PackingValue`](crate::value::PackingValue)
+//! interface as [`BigRat`](crate::rat::BigRat) but with `i128`
+//! numerator/denominator. It is exact while it fits and **panics on
+//! overflow** (documented contract): it is the fast path for small parameter
+//! regimes (the Lemma 2 bound `W·(Δ!)^Δ` fits in `i128` roughly up to
+//! `Δ ≤ 5`, `W ≤ 2^16`), and the test suite cross-checks it against `BigRat`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational with `i128` components, in lowest terms, `den > 0`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat128 {
+    num: i128,
+    den: i128,
+}
+
+fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat128 {
+    /// The value 0.
+    pub const ZERO: Rat128 = Rat128 { num: 0, den: 1 };
+    /// The value 1.
+    pub const ONE: Rat128 = Rat128 { num: 1, den: 1 };
+
+    /// Builds `num / den` in lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0` or on `i128` overflow during normalisation.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rat128 with zero denominator");
+        if num == 0 {
+            return Rat128::ZERO;
+        }
+        let g = gcd_i128(num, den);
+        let (mut n, mut d) = (num / g, den / g);
+        if d < 0 {
+            n = n.checked_neg().expect("Rat128 overflow (negate)");
+            d = d.checked_neg().expect("Rat128 overflow (negate)");
+        }
+        Rat128 { num: n, den: d }
+    }
+
+    /// Builds from an integer.
+    pub fn from_int(v: i128) -> Self {
+        Rat128 { num: v, den: 1 }
+    }
+
+    /// Numerator (lowest terms).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (positive, lowest terms).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    pub fn recip(&self) -> Rat128 {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat128::new(self.den, self.num)
+    }
+
+    /// Approximate `f64` value (reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    fn checked_mul(a: i128, b: i128) -> i128 {
+        a.checked_mul(b).expect("Rat128 overflow (mul); use BigRat for this parameter regime")
+    }
+}
+
+impl Default for Rat128 {
+    fn default() -> Self {
+        Rat128::ZERO
+    }
+}
+
+impl Ord for Rat128 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        Rat128::checked_mul(self.num, other.den).cmp(&Rat128::checked_mul(other.num, self.den))
+    }
+}
+
+impl PartialOrd for Rat128 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for Rat128 {
+    type Output = Rat128;
+    fn add(self, rhs: Rat128) -> Rat128 {
+        // Reduce by gcd of denominators first to delay overflow.
+        let g = gcd_i128(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = Rat128::checked_mul(self.num, lhs_scale)
+            .checked_add(Rat128::checked_mul(rhs.num, rhs_scale))
+            .expect("Rat128 overflow (add)");
+        Rat128::new(num, Rat128::checked_mul(self.den, lhs_scale))
+    }
+}
+
+impl Sub for Rat128 {
+    type Output = Rat128;
+    fn sub(self, rhs: Rat128) -> Rat128 {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat128 {
+    type Output = Rat128;
+    fn mul(self, rhs: Rat128) -> Rat128 {
+        // Cross-reduce before multiplying to delay overflow.
+        let g1 = gcd_i128(self.num, rhs.den);
+        let g2 = gcd_i128(rhs.num, self.den);
+        Rat128::new(
+            Rat128::checked_mul(self.num / g1.max(1), rhs.num / g2.max(1)),
+            Rat128::checked_mul(self.den / g2.max(1), rhs.den / g1.max(1)),
+        )
+    }
+}
+
+impl Div for Rat128 {
+    type Output = Rat128;
+    fn div(self, rhs: Rat128) -> Rat128 {
+        assert!(rhs.num != 0, "Rat128 division by zero");
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat128 {
+    type Output = Rat128;
+    fn neg(self) -> Rat128 {
+        Rat128 { num: -self.num, den: self.den }
+    }
+}
+
+impl fmt::Display for Rat128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat128({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rat128 {
+        Rat128::new(n, d)
+    }
+
+    #[test]
+    fn canonical() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(1, -2), r(-1, 2));
+        assert_eq!(r(-1, -2), r(1, 2));
+        assert_eq!(r(0, 5), Rat128::ZERO);
+        assert_eq!(r(3, 1).denom(), 1);
+    }
+
+    #[test]
+    fn field_ops() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(2, 3) / r(4, 9), r(3, 2));
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 3) > r(2, 1));
+    }
+
+    #[test]
+    fn add_delays_overflow_via_gcd() {
+        // Same denominator: no cross-multiplication blow-up.
+        let big_den = 1i128 << 100;
+        let a = r(1, big_den);
+        let b = r(1, big_den);
+        assert_eq!(a + b, r(2, big_den));
+    }
+
+    #[test]
+    fn overflow_panics() {
+        let huge = r(i128::MAX / 2, 1);
+        let res = std::panic::catch_unwind(|| huge * huge);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(-3, 6).to_string(), "-1/2");
+        assert_eq!(r(8, 4).to_string(), "2");
+    }
+}

@@ -1,0 +1,294 @@
+//! Arbitrary-precision signed integers (sign + magnitude over [`UBig`]).
+
+use crate::ubig::UBig;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of an [`IBig`]. Zero is canonically [`Sign::Plus`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sign {
+    /// Non-negative.
+    Plus,
+    /// Strictly negative.
+    Minus,
+}
+
+impl Sign {
+    /// The opposite sign.
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Canonical form: zero always carries [`Sign::Plus`], so derived equality and
+/// hashing coincide with numerical equality.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IBig {
+    sign: Sign,
+    mag: UBig,
+}
+
+impl IBig {
+    /// The value 0.
+    pub fn zero() -> Self {
+        IBig { sign: Sign::Plus, mag: UBig::zero() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        IBig { sign: Sign::Plus, mag: UBig::one() }
+    }
+
+    /// Builds from a sign and magnitude (normalising zero).
+    pub fn from_sign_mag(sign: Sign, mag: UBig) -> Self {
+        if mag.is_zero() {
+            IBig::zero()
+        } else {
+            IBig { sign, mag }
+        }
+    }
+
+    /// Builds a non-negative value from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        IBig { sign: Sign::Plus, mag: UBig::from_u64(v) }
+    }
+
+    /// Builds from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        if v < 0 {
+            IBig::from_sign_mag(Sign::Minus, UBig::from_u128(v.unsigned_abs() as u128))
+        } else {
+            IBig::from_u64(v as u64)
+        }
+    }
+
+    /// Builds from an `i128`.
+    pub fn from_i128(v: i128) -> Self {
+        let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
+        IBig::from_sign_mag(sign, UBig::from_u128(v.unsigned_abs()))
+    }
+
+    /// Converts to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let mag = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Plus => i128::try_from(mag).ok(),
+            Sign::Minus => {
+                if mag <= i128::MAX as u128 + 1 {
+                    Some((mag as i128).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The sign (zero is `Plus`).
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &UBig {
+        &self.mag
+    }
+
+    /// Consumes self, returning the magnitude.
+    pub fn into_magnitude(self) -> UBig {
+        self.mag
+    }
+
+    /// Returns `true` iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus && !self.mag.is_zero()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> IBig {
+        IBig::from_sign_mag(Sign::Plus, self.mag.clone())
+    }
+
+    /// Truncating division with remainder: `self = q * d + r`, `|r| < |d|`,
+    /// `r` has the sign of `self` (C semantics).
+    pub fn div_rem(&self, d: &IBig) -> (IBig, IBig) {
+        let (q, r) = self.mag.div_rem(&d.mag);
+        let q_sign = if self.sign == d.sign { Sign::Plus } else { Sign::Minus };
+        (
+            IBig::from_sign_mag(q_sign, q),
+            IBig::from_sign_mag(self.sign, r),
+        )
+    }
+
+    /// Greatest common divisor of magnitudes (non-negative).
+    pub fn gcd(&self, other: &IBig) -> UBig {
+        self.mag.gcd(&other.mag)
+    }
+}
+
+impl From<UBig> for IBig {
+    fn from(mag: UBig) -> Self {
+        IBig::from_sign_mag(Sign::Plus, mag)
+    }
+}
+
+impl Ord for IBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => self.mag.cmp(&other.mag),
+            (Sign::Minus, Sign::Minus) => other.mag.cmp(&self.mag),
+        }
+    }
+}
+
+impl PartialOrd for IBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<&IBig> for &IBig {
+    type Output = IBig;
+    fn add(self, rhs: &IBig) -> IBig {
+        if self.sign == rhs.sign {
+            IBig::from_sign_mag(self.sign, &self.mag + &rhs.mag)
+        } else {
+            match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => IBig::zero(),
+                Ordering::Greater => IBig::from_sign_mag(self.sign, &self.mag - &rhs.mag),
+                Ordering::Less => IBig::from_sign_mag(rhs.sign, &rhs.mag - &self.mag),
+            }
+        }
+    }
+}
+
+impl Sub<&IBig> for &IBig {
+    type Output = IBig;
+    fn sub(self, rhs: &IBig) -> IBig {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&IBig> for &IBig {
+    type Output = IBig;
+    fn mul(self, rhs: &IBig) -> IBig {
+        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        IBig::from_sign_mag(sign, self.mag.mul_ref(&rhs.mag))
+    }
+}
+
+impl Neg for &IBig {
+    type Output = IBig;
+    fn neg(self) -> IBig {
+        IBig::from_sign_mag(self.sign.flip(), self.mag.clone())
+    }
+}
+
+impl fmt::Display for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl fmt::Debug for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IBig({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ib(v: i128) -> IBig {
+        IBig::from_i128(v)
+    }
+
+    #[test]
+    fn zero_sign_canonical() {
+        let z = &ib(5) + &ib(-5);
+        assert_eq!(z, IBig::zero());
+        assert_eq!(z.sign(), Sign::Plus);
+        assert!(!z.is_positive());
+        assert!(!z.is_negative());
+        assert_eq!(IBig::from_sign_mag(Sign::Minus, UBig::zero()), IBig::zero());
+    }
+
+    #[test]
+    fn add_sub_matches_i128() {
+        let cases: &[(i128, i128)] = &[
+            (0, 0), (1, -1), (-5, 3), (100, -250), (i64::MAX as i128, i64::MAX as i128),
+            (-(1i128 << 100), 1i128 << 99),
+        ];
+        for &(a, b) in cases {
+            assert_eq!((&ib(a) + &ib(b)).to_i128(), Some(a + b), "{a}+{b}");
+            assert_eq!((&ib(a) - &ib(b)).to_i128(), Some(a - b), "{a}-{b}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_i128() {
+        let cases: &[(i128, i128)] = &[(0, -5), (-3, -7), (12, -12), (1 << 62, -(1 << 60))];
+        for &(a, b) in cases {
+            assert_eq!((&ib(a) * &ib(b)).to_i128(), Some(a * b), "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn div_rem_truncating() {
+        let cases: &[(i128, i128)] = &[(7, 2), (-7, 2), (7, -2), (-7, -2), (0, 5), (6, 3)];
+        for &(a, b) in cases {
+            let (q, r) = ib(a).div_rem(&ib(b));
+            assert_eq!(q.to_i128(), Some(a / b), "{a}/{b}");
+            assert_eq!(r.to_i128(), Some(a % b), "{a}%{b}");
+        }
+    }
+
+    #[test]
+    fn ordering_with_signs() {
+        assert!(ib(-10) < ib(-1));
+        assert!(ib(-1) < ib(0));
+        assert!(ib(0) < ib(1));
+        assert!(ib(-100) < ib(1));
+        assert!(ib(5) > ib(-500));
+    }
+
+    #[test]
+    fn i128_extremes_roundtrip() {
+        for v in [i128::MAX, i128::MIN, 0, -1, 1] {
+            assert_eq!(IBig::from_i128(v).to_i128(), Some(v));
+        }
+        // One past i128::MAX does not fit.
+        let big = &ib(i128::MAX) + &ib(1);
+        assert_eq!(big.to_i128(), None);
+        // i128::MIN fits exactly (magnitude 2^127).
+        let min = &ib(i128::MIN) - &ib(1);
+        assert_eq!(min.to_i128(), None);
+    }
+
+    #[test]
+    fn display_negative() {
+        assert_eq!(ib(-42).to_string(), "-42");
+        assert_eq!(ib(0).to_string(), "0");
+    }
+}

@@ -1,0 +1,35 @@
+//! # anonet-bigmath
+//!
+//! Self-contained arbitrary-precision arithmetic for the `anonet` project —
+//! the Rust reproduction of Åstrand & Suomela, *"Fast Distributed
+//! Approximation Algorithms for Vertex Cover and Set Cover in Anonymous
+//! Networks"* (SPAA 2010).
+//!
+//! The paper's algorithms manipulate exact rationals whose denominators grow
+//! like `(Δ!)^Δ` (Lemma 2) and `(k!)^((D+1)²)` (§4.4); node colours are
+//! injective integer encodings of those rationals with up to
+//! `Δ·log₂(W·(Δ!)^Δ)` bits. This crate provides:
+//!
+//! * [`UBig`] — unsigned big integers (schoolbook mul, Knuth-D div, binary gcd),
+//! * [`IBig`] — signed big integers,
+//! * [`BigRat`] — exact rationals in lowest terms,
+//! * [`Rat128`] — fixed-width `i128` rationals (fast path, panics on overflow),
+//! * [`PackingValue`] — the numeric trait the algorithms are generic over.
+//!
+//! No external bignum dependency is used; everything is implemented here and
+//! property-tested against `u128`/`i128` reference semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixed;
+pub mod ibig;
+pub mod rat;
+pub mod ubig;
+pub mod value;
+
+pub use fixed::Rat128;
+pub use ibig::{IBig, Sign};
+pub use rat::BigRat;
+pub use ubig::UBig;
+pub use value::PackingValue;

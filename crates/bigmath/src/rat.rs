@@ -1,0 +1,305 @@
+//! Exact arbitrary-precision rationals.
+//!
+//! [`BigRat`] is the workhorse numeric type of the packing algorithms: the
+//! paper's Phase I offers `x(v) = r_y(v) / deg_yc(v)` and the set-cover
+//! `x_i(s) = r_y(s) / |U_yi(s)|` are rationals whose denominators grow to
+//! `(Δ!)^Δ` resp. `(k!)^((D+1)^2)` (Lemma 2 and §4.4), so exactness — not
+//! floating point — is required for the colour-equality semantics to hold.
+
+use crate::ibig::IBig;
+use crate::ubig::UBig;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den` in lowest terms with `den > 0`.
+///
+/// Canonical form (gcd(|num|, den) = 1, zero is `0/1`) makes derived equality
+/// and hashing numerical.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigRat {
+    num: IBig,
+    den: UBig,
+}
+
+impl BigRat {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigRat { num: IBig::zero(), den: UBig::one() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigRat { num: IBig::one(), den: UBig::one() }
+    }
+
+    /// Builds `num / den` in lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    pub fn new(num: IBig, den: UBig) -> Self {
+        assert!(!den.is_zero(), "BigRat with zero denominator");
+        if num.is_zero() {
+            return BigRat::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        if g.is_one() {
+            BigRat { num, den }
+        } else {
+            BigRat {
+                num: IBig::from_sign_mag(num.sign(), num.magnitude().div_exact(&g)),
+                den: den.div_exact(&g),
+            }
+        }
+    }
+
+    /// Builds from an integer.
+    pub fn from_int(v: IBig) -> Self {
+        BigRat { num: v, den: UBig::one() }
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        BigRat::from_int(IBig::from_u64(v))
+    }
+
+    /// Builds from an `i64` numerator and `u64` denominator.
+    pub fn from_frac(num: i64, den: u64) -> Self {
+        BigRat::new(IBig::from_i64(num), UBig::from_u64(den))
+    }
+
+    /// Numerator (signed, lowest terms).
+    pub fn numer(&self) -> &IBig {
+        &self.num
+    }
+
+    /// Denominator (positive, lowest terms).
+    pub fn denom(&self) -> &UBig {
+        &self.den
+    }
+
+    /// Returns `true` iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    pub fn recip(&self) -> BigRat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        BigRat {
+            num: IBig::from_sign_mag(self.num.sign(), self.den.clone()),
+            den: self.num.magnitude().clone(),
+        }
+    }
+
+    /// `self * scale`, asserting the result is a non-negative integer, and
+    /// returning it as a [`UBig`].
+    ///
+    /// This is the Lemma 2 encoding step: a packing value `q` with
+    /// `q * (Δ!)^Δ ∈ ℕ` is mapped to the natural number `q * scale`.
+    ///
+    /// # Panics
+    /// Panics if the product is not a non-negative integer.
+    pub fn scale_to_uint(&self, scale: &UBig) -> UBig {
+        assert!(!self.is_negative(), "scale_to_uint on negative value");
+        let scaled = self.num.magnitude().mul_ref(scale);
+        scaled.div_exact(&self.den)
+    }
+
+    /// Approximate `f64` value (for reporting only; never used in algorithm
+    /// decisions).
+    pub fn to_f64(&self) -> f64 {
+        // Shift numerator and denominator independently into u64 range and
+        // recombine the exponents, so hugely imbalanced fractions stay finite.
+        let shift_n = self.num.magnitude().bits().saturating_sub(64);
+        let shift_d = self.den.bits().saturating_sub(64);
+        let n = self.num.magnitude().shr_bits(shift_n).to_u128().unwrap_or(u128::MAX) as f64;
+        let d = self.den.shr_bits(shift_d).to_u128().unwrap_or(u128::MAX) as f64;
+        let exp = (shift_n as i64 - shift_d as i64).clamp(i32::MIN as i64, i32::MAX as i64);
+        let v = n / d * 2f64.powi(exp as i32);
+        if self.num.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+impl Default for BigRat {
+    fn default() -> Self {
+        BigRat::zero()
+    }
+}
+
+impl Ord for BigRat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        let lhs = &self.num * &IBig::from(other.den.clone());
+        let rhs = &other.num * &IBig::from(self.den.clone());
+        lhs.cmp(&rhs)
+    }
+}
+
+impl PartialOrd for BigRat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<&BigRat> for &BigRat {
+    type Output = BigRat;
+    fn add(self, rhs: &BigRat) -> BigRat {
+        let num = &(&self.num * &IBig::from(rhs.den.clone()))
+            + &(&rhs.num * &IBig::from(self.den.clone()));
+        BigRat::new(num, self.den.mul_ref(&rhs.den))
+    }
+}
+
+impl Sub<&BigRat> for &BigRat {
+    type Output = BigRat;
+    fn sub(self, rhs: &BigRat) -> BigRat {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&BigRat> for &BigRat {
+    type Output = BigRat;
+    fn mul(self, rhs: &BigRat) -> BigRat {
+        BigRat::new(&self.num * &rhs.num, self.den.mul_ref(&rhs.den))
+    }
+}
+
+impl Div<&BigRat> for &BigRat {
+    type Output = BigRat;
+    fn div(self, rhs: &BigRat) -> BigRat {
+        assert!(!rhs.is_zero(), "BigRat division by zero");
+        self * &rhs.recip()
+    }
+}
+
+impl Neg for &BigRat {
+    type Output = BigRat;
+    fn neg(self) -> BigRat {
+        BigRat { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl fmt::Display for BigRat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for BigRat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigRat({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: u64) -> BigRat {
+        BigRat::from_frac(n, d)
+    }
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-6, 9), r(-2, 3));
+        assert_eq!(r(0, 7), BigRat::zero());
+        assert_eq!(r(0, 7).denom(), &UBig::one());
+        assert_eq!(r(5, 1), BigRat::from_u64(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = BigRat::new(IBig::one(), UBig::zero());
+    }
+
+    #[test]
+    fn field_ops() {
+        assert_eq!(&r(1, 2) + &r(1, 3), r(5, 6));
+        assert_eq!(&r(1, 2) - &r(1, 3), r(1, 6));
+        assert_eq!(&r(2, 3) * &r(3, 4), r(1, 2));
+        assert_eq!(&r(2, 3) / &r(4, 9), r(3, 2));
+        assert_eq!(&r(-1, 2) + &r(1, 2), BigRat::zero());
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+        assert_eq!(r(-3, 7).recip(), r(-7, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(-1, 2) < r(0, 1));
+        assert!(r(7, 3) > r(2, 1));
+        assert_eq!(r(4, 6).cmp(&r(2, 3)), Ordering::Equal);
+        // min over a collection, as used by the offer-accept step.
+        let offers = [r(5, 3), r(1, 2), r(7, 8)];
+        assert_eq!(offers.iter().min().unwrap(), &r(1, 2));
+    }
+
+    #[test]
+    fn scale_to_uint_lemma2() {
+        // q = 5/6 with scale 4! = 24: q*scale = 20.
+        let q = r(5, 6);
+        assert_eq!(q.scale_to_uint(&UBig::from_u64(24)).to_u64(), Some(20));
+        // Integer values scale trivially.
+        assert_eq!(r(3, 1).scale_to_uint(&UBig::from_u64(10)).to_u64(), Some(30));
+        // Non-divisible scale panics.
+        let bad = std::panic::catch_unwind(|| r(1, 7).scale_to_uint(&UBig::from_u64(3)));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn to_f64_reasonable() {
+        assert!((r(1, 2).to_f64() - 0.5).abs() < 1e-12);
+        assert!((r(-7, 4).to_f64() + 1.75).abs() < 1e-12);
+        assert_eq!(BigRat::zero().to_f64(), 0.0);
+        // Huge values still produce a sane approximation.
+        let big = BigRat::from_int(IBig::from(UBig::from_u64(3).pow(100)));
+        let expect = 3f64.powi(100);
+        assert!((big.to_f64() / expect - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hash_eq_consistent() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(r(2, 4));
+        assert!(set.contains(&r(1, 2)));
+        assert!(!set.contains(&r(1, 3)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(r(-4, 2).to_string(), "-2");
+        assert_eq!(BigRat::zero().to_string(), "0");
+    }
+}

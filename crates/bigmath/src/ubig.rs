@@ -1,0 +1,704 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! `UBig` stores magnitude as little-endian `u64` limbs with no trailing zero
+//! limbs (canonical form), so structural equality and hashing coincide with
+//! numerical equality. The representation of zero is an empty limb vector.
+//!
+//! The implementation is self-contained (no external bignum crate): schoolbook
+//! multiplication, Knuth algorithm-D division, binary GCD. Sizes in this
+//! project stay in the hundreds-to-thousands-of-bits range (colour encodings
+//! bounded by `(W (Δ!)^Δ)^Δ`, see the paper's Lemma 2), where schoolbook
+//! algorithms are the right choice.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Shl, Shr, Sub, SubAssign};
+
+/// Number of bits per limb.
+const LIMB_BITS: u32 = 64;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct UBig {
+    /// Little-endian limbs; no trailing zeros (canonical).
+    limbs: Vec<u64>,
+}
+
+impl UBig {
+    /// The value 0.
+    pub const fn zero() -> Self {
+        UBig { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        UBig { limbs: vec![1] }
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            UBig { limbs: vec![v] }
+        }
+    }
+
+    /// Builds from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut limbs = vec![lo, hi];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        UBig { limbs }
+    }
+
+    /// Builds from little-endian limbs (normalises trailing zeros).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        UBig { limbs }
+    }
+
+    /// Borrow the canonical little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Returns `true` iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` iff the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64) * LIMB_BITS as u64 - top.leading_zeros() as u64
+            }
+        }
+    }
+
+    /// Value of bit `i` (little-endian bit order).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % LIMB_BITS as u64)) & 1 == 1
+    }
+
+    /// Number of trailing zero bits; `None` for the value 0.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i as u64 * LIMB_BITS as u64 + l.trailing_zeros() as u64);
+            }
+        }
+        None
+    }
+
+    /// Checked subtraction: `self - rhs`, or `None` if it would underflow.
+    pub fn checked_sub(&self, rhs: &UBig) -> Option<UBig> {
+        if self < rhs {
+            return None;
+        }
+        let mut out = self.limbs.clone();
+        let mut borrow = 0u64;
+        for (i, limb) in out.iter_mut().enumerate() {
+            let r = *rhs.limbs.get(i).unwrap_or(&0);
+            let (d1, b1) = limb.overflowing_sub(r);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(UBig::from_limbs(out))
+    }
+
+    /// In-place addition.
+    pub fn add_assign_ref(&mut self, rhs: &UBig) {
+        if rhs.limbs.len() > self.limbs.len() {
+            self.limbs.resize(rhs.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let r = *rhs.limbs.get(i).unwrap_or(&0);
+            let (s1, c1) = limb.overflowing_add(r);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *limb = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Multiplication by a single limb, in place.
+    pub fn mul_assign_u64(&mut self, m: u64) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry = 0u128;
+        for limb in self.limbs.iter_mut() {
+            let prod = *limb as u128 * m as u128 + carry;
+            *limb = prod as u64;
+            carry = prod >> 64;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u64);
+        }
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul_ref(&self, rhs: &UBig) -> UBig {
+        if self.is_zero() || rhs.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// Division with remainder by a single limb.
+    pub fn div_rem_u64(&self, d: u64) -> (UBig, u64) {
+        assert!(d != 0, "division by zero");
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (UBig::from_limbs(q), rem as u64)
+    }
+
+    /// Division with remainder (Knuth algorithm D).
+    ///
+    /// Returns `(quotient, remainder)` with `self = q * d + r`, `r < d`.
+    ///
+    /// # Panics
+    /// Panics if `d` is zero.
+    pub fn div_rem(&self, d: &UBig) -> (UBig, UBig) {
+        assert!(!d.is_zero(), "division by zero");
+        match self.cmp(d) {
+            Ordering::Less => return (UBig::zero(), self.clone()),
+            Ordering::Equal => return (UBig::one(), UBig::zero()),
+            Ordering::Greater => {}
+        }
+        if d.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(d.limbs[0]);
+            return (q, UBig::from_u64(r));
+        }
+
+        // Normalise so the divisor's top limb has its high bit set.
+        let shift = d.limbs.last().unwrap().leading_zeros();
+        let dn = d.shl_bits(shift as u64);
+        let mut un = self.shl_bits(shift as u64).limbs;
+        let n = dn.limbs.len();
+        let m = un.len() - n;
+        un.push(0); // u has m + n + 1 limbs
+
+        let dtop = dn.limbs[n - 1];
+        let dsub = dn.limbs[n - 2];
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate q̂ from the top two dividend limbs. The remainder
+            // invariant guarantees un[j+n] <= dtop; when they are equal the
+            // raw estimate would be >= 2^64, so clamp to 2^64 - 1 (Knuth
+            // TAOCP step D3).
+            let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let (mut qhat, mut rhat) = if un[j + n] >= dtop {
+                let q = u64::MAX as u128;
+                (q, top - q * dtop as u128)
+            } else {
+                (top / dtop as u128, top % dtop as u128)
+            };
+            // Correct the estimate; once rhat >= 2^64 the test is vacuous.
+            while rhat >> 64 == 0
+                && qhat * dsub as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += dtop as u128;
+            }
+
+            // Multiply-and-subtract: u[j..j+n+1] -= q̂ * dn.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * dn.limbs[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (un[j + i] as i128) - (p as u64 as i128) + borrow;
+                un[j + i] = sub as u64;
+                borrow = sub >> 64;
+            }
+            let sub = (un[j + n] as i128) - (carry as i128) + borrow;
+            un[j + n] = sub as u64;
+            borrow = sub >> 64;
+
+            if borrow < 0 {
+                // q̂ was one too large: add the divisor back.
+                qhat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let (s1, c1) = un[j + i].overflowing_add(dn.limbs[i]);
+                    let (s2, c2) = s1.overflowing_add(carry);
+                    un[j + i] = s2;
+                    carry = (c1 as u64) + (c2 as u64);
+                }
+                un[j + n] = un[j + n].wrapping_add(carry);
+            }
+            q[j] = qhat as u64;
+        }
+
+        let rem = UBig::from_limbs(un[..n].to_vec()).shr_bits(shift as u64);
+        (UBig::from_limbs(q), rem)
+    }
+
+    /// Left shift by `s` bits.
+    pub fn shl_bits(&self, s: u64) -> UBig {
+        if self.is_zero() || s == 0 {
+            return self.clone();
+        }
+        let limb_shift = (s / LIMB_BITS as u64) as usize;
+        let bit_shift = (s % LIMB_BITS as u64) as u32;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// Right shift by `s` bits.
+    pub fn shr_bits(&self, s: u64) -> UBig {
+        let limb_shift = (s / LIMB_BITS as u64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return UBig::zero();
+        }
+        let bit_shift = (s % LIMB_BITS as u64) as u32;
+        let mut out = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            let mut carry = 0u64;
+            for l in out.iter_mut().rev() {
+                let new = (*l >> bit_shift) | carry;
+                carry = *l << (LIMB_BITS - bit_shift);
+                *l = new;
+            }
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &UBig) -> UBig {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let za = self.trailing_zeros().unwrap();
+        let zb = other.trailing_zeros().unwrap();
+        let common = za.min(zb);
+        let mut a = self.shr_bits(za);
+        let mut b = other.shr_bits(zb);
+        // Invariant: a, b odd.
+        loop {
+            match a.cmp(&b) {
+                Ordering::Equal => break,
+                Ordering::Less => std::mem::swap(&mut a, &mut b),
+                Ordering::Greater => {}
+            }
+            a = a.checked_sub(&b).expect("a > b");
+            let z = a.trailing_zeros().expect("a-b of distinct odds is nonzero even");
+            a = a.shr_bits(z);
+        }
+        a.shl_bits(common)
+    }
+
+    /// Exact division: `self / d`, panicking if `d` does not divide `self`.
+    pub fn div_exact(&self, d: &UBig) -> UBig {
+        let (q, r) = self.div_rem(d);
+        assert!(r.is_zero(), "div_exact: non-zero remainder");
+        q
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, mut exp: u64) -> UBig {
+        let mut base = self.clone();
+        let mut acc = UBig::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_ref(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul_ref(&base);
+            }
+        }
+        acc
+    }
+
+    /// `n!` as a `UBig`.
+    pub fn factorial(n: u64) -> UBig {
+        let mut acc = UBig::one();
+        for i in 2..=n {
+            acc.mul_assign_u64(i);
+        }
+        acc
+    }
+
+    /// Parses a decimal string (ASCII digits only).
+    pub fn from_decimal(s: &str) -> Option<UBig> {
+        if s.is_empty() {
+            return None;
+        }
+        let mut acc = UBig::zero();
+        for ch in s.bytes() {
+            if !ch.is_ascii_digit() {
+                return None;
+            }
+            acc.mul_assign_u64(10);
+            acc.add_assign_ref(&UBig::from_u64((ch - b'0') as u64));
+        }
+        Some(acc)
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<&UBig> for &UBig {
+    type Output = UBig;
+    fn add(self, rhs: &UBig) -> UBig {
+        let mut out = self.clone();
+        out.add_assign_ref(rhs);
+        out
+    }
+}
+
+impl AddAssign<&UBig> for UBig {
+    fn add_assign(&mut self, rhs: &UBig) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl Sub<&UBig> for &UBig {
+    type Output = UBig;
+    fn sub(self, rhs: &UBig) -> UBig {
+        self.checked_sub(rhs).expect("UBig subtraction underflow")
+    }
+}
+
+impl SubAssign<&UBig> for UBig {
+    fn sub_assign(&mut self, rhs: &UBig) {
+        *self = self.checked_sub(rhs).expect("UBig subtraction underflow");
+    }
+}
+
+impl Mul<&UBig> for &UBig {
+    type Output = UBig;
+    fn mul(self, rhs: &UBig) -> UBig {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Shl<u64> for &UBig {
+    type Output = UBig;
+    fn shl(self, s: u64) -> UBig {
+        self.shl_bits(s)
+    }
+}
+
+impl Shr<u64> for &UBig {
+    type Output = UBig;
+    fn shr(self, s: u64) -> UBig {
+        self.shr_bits(s)
+    }
+}
+
+impl fmt::Display for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Extract base-10^19 digits, then print most-significant first.
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        write!(f, "{}", chunks.pop().unwrap())?;
+        for c in chunks.iter().rev() {
+            write!(f, "{c:019}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UBig({self})")
+    }
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        UBig::from_u64(v)
+    }
+}
+
+impl From<u128> for UBig {
+    fn from(v: u128) -> Self {
+        UBig::from_u128(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ub(v: u128) -> UBig {
+        UBig::from_u128(v)
+    }
+
+    #[test]
+    fn zero_is_canonical() {
+        assert!(UBig::zero().is_zero());
+        assert_eq!(UBig::from_u64(0), UBig::zero());
+        assert_eq!(UBig::from_limbs(vec![0, 0, 0]), UBig::zero());
+        assert_eq!(UBig::zero().bits(), 0);
+    }
+
+    #[test]
+    fn small_roundtrip() {
+        for v in [0u64, 1, 2, 63, 64, u64::MAX] {
+            assert_eq!(UBig::from_u64(v).to_u64(), Some(v));
+        }
+        let big = u128::MAX;
+        assert_eq!(UBig::from_u128(big).to_u128(), Some(big));
+        assert_eq!(UBig::from_u128(big).to_u64(), None);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = ub(u128::MAX);
+        let one = ub(1);
+        let sum = &a + &one;
+        assert_eq!(sum.limbs(), &[0, 0, 1]);
+        assert_eq!(sum.bits(), 129);
+    }
+
+    #[test]
+    fn sub_basic_and_underflow() {
+        assert_eq!((&ub(100) - &ub(58)).to_u128(), Some(42));
+        assert_eq!(ub(3).checked_sub(&ub(5)), None);
+        assert_eq!(ub(5).checked_sub(&ub(5)), Some(UBig::zero()));
+        let a = &ub(u128::MAX) + &ub(1);
+        assert_eq!((&a - &ub(1)).to_u128(), Some(u128::MAX));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases = [(0u128, 0u128), (1, 1), (u64::MAX as u128, u64::MAX as u128), (123456789, 987654321)];
+        for (a, b) in cases {
+            assert_eq!(ub(a).mul_ref(&ub(b)).to_u128(), a.checked_mul(b));
+        }
+    }
+
+    #[test]
+    fn mul_big() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let a = ub(u128::MAX);
+        let sq = a.mul_ref(&a);
+        let expect = (&UBig::one().shl_bits(256) + &UBig::one())
+            .checked_sub(&UBig::one().shl_bits(129))
+            .unwrap();
+        assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = ub(1000).div_rem(&ub(7));
+        assert_eq!(q.to_u128(), Some(142));
+        assert_eq!(r.to_u128(), Some(6));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = UBig::from_decimal("123456789012345678901234567890123456789012345678901234567890").unwrap();
+        let d = UBig::from_decimal("987654321098765432109876543210").unwrap();
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(&q.mul_ref(&d) + &r, a);
+        assert!(r < d);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = ub(1).div_rem(&UBig::zero());
+    }
+
+    #[test]
+    fn knuth_addback_case() {
+        // Crafted to exercise the q̂-correction / add-back path: divisor with
+        // small second limb and dividend forcing overestimate.
+        let d = UBig::from_limbs(vec![0, 1, 0x8000_0000_0000_0000]);
+        let a = UBig::from_limbs(vec![u64::MAX, u64::MAX, u64::MAX, u64::MAX, u64::MAX]);
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(&q.mul_ref(&d) + &r, a);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = ub(0b1011);
+        assert_eq!(a.shl_bits(127).shr_bits(127), a);
+        assert_eq!(a.shl_bits(64).limbs(), &[0, 0b1011]);
+        assert_eq!(ub(1).shl_bits(200).bits(), 201);
+        assert_eq!(a.shr_bits(4), UBig::zero());
+        assert_eq!(a.shr_bits(3).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn bit_access() {
+        let a = ub(0b1010);
+        assert!(!a.bit(0));
+        assert!(a.bit(1));
+        assert!(!a.bit(2));
+        assert!(a.bit(3));
+        assert!(!a.bit(1000));
+        assert_eq!(a.trailing_zeros(), Some(1));
+        assert_eq!(UBig::zero().trailing_zeros(), None);
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(ub(12).gcd(&ub(18)).to_u64(), Some(6));
+        assert_eq!(ub(0).gcd(&ub(5)).to_u64(), Some(5));
+        assert_eq!(ub(5).gcd(&ub(0)).to_u64(), Some(5));
+        assert_eq!(ub(17).gcd(&ub(13)).to_u64(), Some(1));
+        let a = UBig::factorial(30);
+        let b = UBig::factorial(25);
+        assert_eq!(a.gcd(&b), b); // 25! divides 30!
+    }
+
+    #[test]
+    fn pow_and_factorial() {
+        assert_eq!(ub(2).pow(10).to_u64(), Some(1024));
+        assert_eq!(ub(3).pow(0).to_u64(), Some(1));
+        assert_eq!(UBig::zero().pow(0).to_u64(), Some(1));
+        assert_eq!(UBig::factorial(0).to_u64(), Some(1));
+        assert_eq!(UBig::factorial(5).to_u64(), Some(120));
+        assert_eq!(UBig::factorial(20).to_u64(), Some(2_432_902_008_176_640_000));
+        // 8!^8 needed by Lemma 2 encodings at Δ=8.
+        let f8 = UBig::factorial(8);
+        assert_eq!(f8.pow(8), f8.mul_ref(&f8).pow(4));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211456"] {
+            let v = UBig::from_decimal(s).unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!(UBig::from_decimal(""), None);
+        assert_eq!(UBig::from_decimal("12a"), None);
+        let f = UBig::factorial(40);
+        assert_eq!(UBig::from_decimal(&f.to_string()), Some(f));
+    }
+
+    #[test]
+    fn ordering_total() {
+        let mut vals = vec![ub(0), ub(1), ub(u64::MAX as u128), ub(u64::MAX as u128 + 1), ub(u128::MAX)];
+        let sorted = vals.clone();
+        vals.reverse();
+        vals.sort();
+        assert_eq!(vals, sorted);
+    }
+
+    #[test]
+    fn div_exact_panics_on_inexact() {
+        assert_eq!(ub(100).div_exact(&ub(4)).to_u64(), Some(25));
+        let r = std::panic::catch_unwind(|| ub(100).div_exact(&ub(7)));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! The numeric abstraction used by the packing algorithms.
+//!
+//! All algorithms in `anonet-core` are generic over [`PackingValue`], so the
+//! same code runs with exact arbitrary precision ([`BigRat`]) or with the
+//! fixed-width fast path ([`Rat128`], panics on overflow). Exactness is part
+//! of the contract: `Ord`/`Eq` must be *numerical* equality, because the
+//! algorithms derive graph colourings from value equality (paper §3.2, §4.4).
+
+use crate::fixed::Rat128;
+use crate::rat::BigRat;
+use crate::ubig::UBig;
+use std::fmt::{Debug, Display};
+use std::hash::Hash;
+
+/// An exact, totally ordered field value used for packing weights, offers and
+/// residuals.
+pub trait PackingValue:
+    Clone + Ord + Eq + Hash + Debug + Display + Default + Send + Sync + 'static
+{
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self {
+        Self::from_u64(1)
+    }
+    /// Embeds a natural number.
+    fn from_u64(v: u64) -> Self;
+    /// `self + rhs`.
+    fn add(&self, rhs: &Self) -> Self;
+    /// `self - rhs`.
+    fn sub(&self, rhs: &Self) -> Self;
+    /// `self * rhs`.
+    fn mul(&self, rhs: &Self) -> Self;
+    /// `self / rhs` (exact; `rhs` non-zero).
+    fn div(&self, rhs: &Self) -> Self;
+    /// `true` iff the value is 0.
+    fn is_zero(&self) -> bool;
+    /// `true` iff the value is strictly positive.
+    fn is_positive(&self) -> bool;
+    /// Encodes `self * scale` as a non-negative integer (the Lemma 2 colour
+    /// encoding). Panics if the product is not a non-negative integer.
+    fn scale_to_uint(&self, scale: &UBig) -> UBig;
+    /// Non-panicking [`scale_to_uint`](PackingValue::scale_to_uint): `None`
+    /// if the value is negative or `scale` does not clear the denominator.
+    /// Needed by the self-stabilization wrapper, where corrupted states can
+    /// carry out-of-contract values.
+    fn checked_scale_to_uint(&self, scale: &UBig) -> Option<UBig>;
+    /// Approximate `f64` (reporting only; never used in algorithm decisions).
+    fn to_f64(&self) -> f64;
+    /// Approximate wire size in bits when sent in a message (instrumentation).
+    fn wire_bits(&self) -> u64;
+}
+
+impl PackingValue for BigRat {
+    fn zero() -> Self {
+        BigRat::zero()
+    }
+    fn from_u64(v: u64) -> Self {
+        BigRat::from_u64(v)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        self + rhs
+    }
+    fn sub(&self, rhs: &Self) -> Self {
+        self - rhs
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        self * rhs
+    }
+    fn div(&self, rhs: &Self) -> Self {
+        self / rhs
+    }
+    fn is_zero(&self) -> bool {
+        BigRat::is_zero(self)
+    }
+    fn is_positive(&self) -> bool {
+        BigRat::is_positive(self)
+    }
+    fn scale_to_uint(&self, scale: &UBig) -> UBig {
+        BigRat::scale_to_uint(self, scale)
+    }
+    fn checked_scale_to_uint(&self, scale: &UBig) -> Option<UBig> {
+        if self.is_negative() {
+            return None;
+        }
+        let (q, r) = self.numer().magnitude().mul_ref(scale).div_rem(self.denom());
+        r.is_zero().then_some(q)
+    }
+    fn to_f64(&self) -> f64 {
+        BigRat::to_f64(self)
+    }
+    fn wire_bits(&self) -> u64 {
+        // Sign bit plus numerator and denominator magnitudes.
+        1 + self.numer().magnitude().bits() + self.denom().bits()
+    }
+}
+
+impl PackingValue for Rat128 {
+    fn zero() -> Self {
+        Rat128::ZERO
+    }
+    fn from_u64(v: u64) -> Self {
+        Rat128::from_int(v as i128)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        *self + *rhs
+    }
+    fn sub(&self, rhs: &Self) -> Self {
+        *self - *rhs
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        *self * *rhs
+    }
+    fn div(&self, rhs: &Self) -> Self {
+        *self / *rhs
+    }
+    fn is_zero(&self) -> bool {
+        Rat128::is_zero(self)
+    }
+    fn is_positive(&self) -> bool {
+        Rat128::is_positive(self)
+    }
+    fn scale_to_uint(&self, scale: &UBig) -> UBig {
+        assert!(self.numer() >= 0, "scale_to_uint on negative value");
+        let num = UBig::from_u128(self.numer() as u128);
+        let den = UBig::from_u128(self.denom() as u128);
+        num.mul_ref(scale).div_exact(&den)
+    }
+    fn checked_scale_to_uint(&self, scale: &UBig) -> Option<UBig> {
+        if self.numer() < 0 {
+            return None;
+        }
+        let num = UBig::from_u128(self.numer() as u128);
+        let den = UBig::from_u128(self.denom() as u128);
+        let (q, r) = num.mul_ref(scale).div_rem(&den);
+        r.is_zero().then_some(q)
+    }
+    fn to_f64(&self) -> f64 {
+        Rat128::to_f64(self)
+    }
+    fn wire_bits(&self) -> u64 {
+        let bits = |v: i128| 128 - v.unsigned_abs().leading_zeros() as u64;
+        1 + bits(self.numer()) + bits(self.denom())
+    }
+}
+
+/// Convenience: sums an iterator of values.
+pub fn sum<'a, V: PackingValue>(vals: impl IntoIterator<Item = &'a V>) -> V {
+    let mut acc = V::zero();
+    for v in vals {
+        acc = acc.add(v);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<V: PackingValue>() {
+        let two = V::from_u64(2);
+        let three = V::from_u64(3);
+        let half = V::one().div(&two);
+        let third = V::one().div(&three);
+        assert!(third < half);
+        assert_eq!(half.add(&third), V::from_u64(5).div(&V::from_u64(6)));
+        assert_eq!(half.mul(&two), V::one());
+        assert_eq!(half.sub(&half), V::zero());
+        assert!(V::zero().is_zero());
+        assert!(!V::zero().is_positive());
+        assert!(half.is_positive());
+        assert_eq!(half.scale_to_uint(&UBig::from_u64(10)).to_u64(), Some(5));
+        assert!((half.to_f64() - 0.5).abs() < 1e-12);
+        assert_eq!(V::default(), V::zero());
+    }
+
+    #[test]
+    fn bigrat_implements_contract() {
+        exercise::<BigRat>();
+    }
+
+    #[test]
+    fn rat128_implements_contract() {
+        exercise::<Rat128>();
+    }
+
+    #[test]
+    fn sum_helper() {
+        let vals = vec![BigRat::from_frac(1, 2), BigRat::from_frac(1, 3), BigRat::from_frac(1, 6)];
+        assert_eq!(sum::<BigRat>(&vals), BigRat::one());
+        assert_eq!(sum::<BigRat>(&[]), BigRat::zero());
+    }
+
+    #[test]
+    fn cross_check_bigrat_rat128() {
+        // The same arithmetic through both implementations agrees.
+        let ops: Vec<(i64, u64)> = vec![(1, 3), (5, 7), (-2, 9), (11, 4)];
+        let mut big = BigRat::zero();
+        let mut fix = Rat128::ZERO;
+        for (n, d) in ops {
+            big = big.add(&BigRat::from_frac(n, d));
+            fix = fix.add(&Rat128::new(n as i128, d as i128));
+            big = big.mul(&BigRat::from_frac(2, 3));
+            fix = fix.mul(&Rat128::new(2, 3));
+        }
+        assert_eq!(big.numer().to_i128(), Some(fix.numer()));
+        assert_eq!(big.denom().to_u128(), Some(fix.denom() as u128));
+    }
+}

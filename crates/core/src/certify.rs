@@ -1,0 +1,189 @@
+//! Machine-checkable approximation certificates (Bar-Yehuda–Even, §1.1/§1.2).
+//!
+//! An edge/fractional packing `y` is LP-dual-feasible, so `Σ y ≤ OPT`; the
+//! saturated set C(y) satisfies `w(C) ≤ 2·Σy` (resp. `≤ f·Σy`). A
+//! [`Certificate`] bundles both sides: it *proves* the approximation ratio of
+//! a concrete run without knowing OPT — the experiments report
+//! `certified_ratio = w(C)/Σy` next to the true ratio where an exact solver
+//! is available.
+
+use crate::packing::{EdgePacking, FractionalPacking};
+use anonet_bigmath::PackingValue;
+use anonet_sim::{Graph, SetCoverInstance};
+
+/// A verified approximation certificate for one run.
+#[derive(Clone, Debug)]
+pub struct Certificate<V> {
+    /// Total weight of the produced cover.
+    pub cover_weight: u64,
+    /// The dual objective Σy — a lower bound on OPT.
+    pub dual_value: V,
+    /// The guaranteed factor (2 for vertex cover, f for set cover).
+    pub factor: u64,
+}
+
+impl<V: PackingValue> Certificate<V> {
+    /// `w(C) / Σy` as f64 — an upper bound on the true approximation ratio
+    /// (reporting only).
+    pub fn certified_ratio(&self) -> f64 {
+        if self.dual_value.is_zero() {
+            if self.cover_weight == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.cover_weight as f64 / self.dual_value.to_f64()
+        }
+    }
+}
+
+/// Errors found while verifying a vertex-cover run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertifyError {
+    /// The packing violates a constraint `y[v] ≤ w_v` or `y(e) ≥ 0`.
+    Infeasible,
+    /// Some edge has no saturated endpoint.
+    NotMaximal,
+    /// The claimed cover differs from the saturated set.
+    CoverMismatch,
+    /// Some edge is not covered.
+    NotACover,
+    /// `w(C) > factor · Σy`.
+    RatioViolated,
+}
+
+impl std::fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CertifyError::Infeasible => "packing infeasible",
+            CertifyError::NotMaximal => "packing not maximal",
+            CertifyError::CoverMismatch => "cover differs from saturated set",
+            CertifyError::NotACover => "output is not a cover",
+            CertifyError::RatioViolated => "factor·dual < cover weight",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+/// Verifies every §3 guarantee of a vertex-cover run and issues the
+/// 2-approximation certificate.
+pub fn certify_vertex_cover<V: PackingValue>(
+    g: &Graph,
+    weights: &[u64],
+    packing: &EdgePacking<V>,
+    cover: &[bool],
+) -> Result<Certificate<V>, CertifyError> {
+    if !packing.is_feasible(g, weights) {
+        return Err(CertifyError::Infeasible);
+    }
+    if !packing.is_maximal(g, weights) {
+        return Err(CertifyError::NotMaximal);
+    }
+    if packing.saturated_nodes(g, weights) != cover {
+        return Err(CertifyError::CoverMismatch);
+    }
+    if !g.edge_iter().all(|(_, u, v)| cover[u] || cover[v]) {
+        return Err(CertifyError::NotACover);
+    }
+    let cover_weight: u64 = (0..g.n()).filter(|&v| cover[v]).map(|v| weights[v]).sum();
+    let dual = packing.dual_value();
+    if V::from_u64(cover_weight) > dual.mul(&V::from_u64(2)) {
+        return Err(CertifyError::RatioViolated);
+    }
+    Ok(Certificate { cover_weight, dual_value: dual, factor: 2 })
+}
+
+/// Verifies every §4 guarantee of a set-cover run and issues the
+/// f-approximation certificate.
+pub fn certify_set_cover<V: PackingValue>(
+    inst: &SetCoverInstance,
+    packing: &FractionalPacking<V>,
+    cover: &[bool],
+) -> Result<Certificate<V>, CertifyError> {
+    if !packing.is_feasible(inst) {
+        return Err(CertifyError::Infeasible);
+    }
+    if !packing.is_maximal(inst) {
+        return Err(CertifyError::NotMaximal);
+    }
+    if packing.saturated_subsets(inst) != cover {
+        return Err(CertifyError::CoverMismatch);
+    }
+    if !inst.is_cover(cover) {
+        return Err(CertifyError::NotACover);
+    }
+    let f = inst.f().max(1) as u64;
+    let cover_weight = inst.cover_weight(cover);
+    let dual = packing.dual_value();
+    if V::from_u64(cover_weight) > dual.mul(&V::from_u64(f)) {
+        return Err(CertifyError::RatioViolated);
+    }
+    Ok(Certificate { cover_weight, dual_value: dual, factor: f })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_bigmath::BigRat;
+
+    #[test]
+    fn valid_vc_certificate() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let w = [1u64, 5];
+        let packing = EdgePacking { y: vec![BigRat::one()] };
+        let cover = vec![true, false];
+        let cert = certify_vertex_cover(&g, &w, &packing, &cover).unwrap();
+        assert_eq!(cert.cover_weight, 1);
+        assert_eq!(cert.dual_value, BigRat::one());
+        assert_eq!(cert.factor, 2);
+        assert!((cert.certified_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_maximal() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let w = [1u64, 5];
+        let packing = EdgePacking { y: vec![BigRat::zero()] };
+        assert_eq!(
+            certify_vertex_cover(&g, &w, &packing, &[false, false]).unwrap_err(),
+            CertifyError::NotMaximal
+        );
+    }
+
+    #[test]
+    fn rejects_infeasible() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let w = [1u64, 5];
+        let packing = EdgePacking { y: vec![BigRat::from_u64(2)] };
+        assert_eq!(
+            certify_vertex_cover(&g, &w, &packing, &[true, false]).unwrap_err(),
+            CertifyError::Infeasible
+        );
+    }
+
+    #[test]
+    fn rejects_cover_mismatch() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let w = [1u64, 5];
+        let packing = EdgePacking { y: vec![BigRat::one()] };
+        assert_eq!(
+            certify_vertex_cover(&g, &w, &packing, &[true, true]).unwrap_err(),
+            CertifyError::CoverMismatch
+        );
+    }
+
+    #[test]
+    fn valid_sc_certificate() {
+        let inst =
+            SetCoverInstance::new(2, &[vec![0, 1], vec![1]], vec![2, 5]).unwrap();
+        let packing = FractionalPacking { y: vec![BigRat::one(), BigRat::one()] };
+        // s0 load = 2 = w0: saturated; covers both elements.
+        let cover = vec![true, false];
+        let cert = certify_set_cover(&inst, &packing, &cover).unwrap();
+        assert_eq!(cert.cover_weight, 2);
+        assert_eq!(cert.factor, 2); // f = 2 (element 1 in two subsets)
+    }
+}

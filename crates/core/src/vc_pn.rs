@@ -1,0 +1,592 @@
+//! §3: maximal edge packing — and hence 2-approximate minimum-weight vertex
+//! cover — in **O(Δ + log\*W)** rounds in the port-numbering model.
+//!
+//! The node program follows the paper exactly, organised as a fixed round
+//! schedule computable from the global parameters (Δ, W) alone (anonymous
+//! nodes cannot detect global termination, so *every* phase has a
+//! pre-agreed length):
+//!
+//! | rounds                | phase                                         |
+//! |-----------------------|-----------------------------------------------|
+//! | `2Δ`                  | Phase I: Δ iterations of steps (i)–(iii), each = 1 status round + 1 offer round |
+//! | `1`                   | final residual-status exchange                |
+//! | `1`                   | forest assignment (ports → F₁…F_Δ)            |
+//! | `T_cv = O(log*χ)`     | Cole–Vishkin on each forest in parallel       |
+//! | `6`                   | 3 × (shift-down + eliminate) : 6 → 3 colours  |
+//! | `6Δ`                  | star saturation for each (forest, colour)     |
+//!
+//! Phase I maintains, per port, the *lexicographic comparison so far* between
+//! the two endpoints' colour sequences (the sequences grow by one rational
+//! per iteration; once a position differs the comparison is fixed forever),
+//! so full sequences never travel on the wire. Phase II encodes the local
+//! sequence into the Lemma 2 integer and 3-colours each forest.
+
+use crate::encode::{cv_step, cv_step_root, CvSchedule, SeqEncoder};
+use crate::packing::EdgePacking;
+use anonet_bigmath::{PackingValue, UBig};
+use anonet_sim::{run_pn_threads, Graph, MessageSize, PnAlgorithm, RunResult, SimError, Trace};
+use std::cmp::Ordering;
+
+/// Global configuration: the paper's Δ and W, plus quantities every node
+/// derives from them (the Lemma 2 encoder and the Cole–Vishkin schedule).
+#[derive(Clone, Debug)]
+pub struct VcConfig {
+    /// Maximum degree bound Δ (≥ actual max degree).
+    pub delta: usize,
+    /// Maximum weight bound W (≥ every node weight, ≥ 1).
+    pub max_weight: u64,
+    /// The Phase I sequence encoder (scale `(Δ!)^Δ`, base `W(Δ!)^Δ + 1`).
+    pub encoder: SeqEncoder,
+    /// Rounds of Cole–Vishkin needed to reach 6 colours from χ.
+    pub cv_steps: u32,
+}
+
+impl VcConfig {
+    /// Builds the configuration for bounds Δ and W.
+    pub fn new(delta: usize, max_weight: u64) -> VcConfig {
+        assert!(max_weight >= 1, "W must be at least 1");
+        let encoder = SeqEncoder::phase1(delta, max_weight);
+        let cv_steps = CvSchedule::for_bound(&encoder.code_bound()).steps;
+        VcConfig { delta, max_weight, encoder, cv_steps }
+    }
+
+    /// End of Phase I (after Δ two-round iterations).
+    fn phase1_end(&self) -> u64 {
+        2 * self.delta as u64
+    }
+    /// The final status-exchange round.
+    fn status2_round(&self) -> u64 {
+        self.phase1_end() + 1
+    }
+    /// The forest-assignment round.
+    fn forest_round(&self) -> u64 {
+        self.phase1_end() + 2
+    }
+    /// Last Cole–Vishkin round.
+    fn cv_end(&self) -> u64 {
+        self.forest_round() + self.cv_steps as u64
+    }
+    /// First of the six shift-down/eliminate rounds.
+    fn shift_start(&self) -> u64 {
+        self.cv_end() + 1
+    }
+    /// First star round.
+    fn stars_start(&self) -> u64 {
+        self.shift_start() + 6
+    }
+    /// Total schedule length: `8Δ + T_cv + 8` rounds — the Theorem 1 bound
+    /// O(Δ + log*W) with explicit constants.
+    pub fn total_rounds(&self) -> u64 {
+        self.stars_start() - 1 + 6 * self.delta as u64
+    }
+
+    /// Which phase a (1-based) round belongs to.
+    fn phase(&self, round: u64) -> Phase {
+        if round <= self.phase1_end() {
+            let it = (round - 1) / 2;
+            if round % 2 == 1 {
+                Phase::P1Status { iter: it }
+            } else {
+                Phase::P1Offer { iter: it }
+            }
+        } else if round == self.status2_round() {
+            Phase::Status2
+        } else if round == self.forest_round() {
+            Phase::Forest
+        } else if round <= self.cv_end() {
+            Phase::Cv
+        } else if round < self.stars_start() {
+            let rel = (round - self.shift_start()) as usize; // 0..6
+            let colour = 5 - (rel / 2) as u64; // eliminate 5, then 4, then 3
+            if rel % 2 == 0 {
+                Phase::ShiftDown
+            } else {
+                Phase::Eliminate { colour }
+            }
+        } else {
+            let rel = round - self.stars_start(); // 0 .. 6Δ
+            let pair = (rel / 2) as usize;
+            let star = StarId { forest: pair / 3, colour: (pair % 3) as u64 };
+            if rel % 2 == 0 {
+                Phase::StarResid(star)
+            } else {
+                Phase::StarGrant(star)
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct StarId {
+    forest: usize,
+    colour: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    P1Status { iter: u64 },
+    P1Offer { iter: u64 },
+    Status2,
+    Forest,
+    Cv,
+    ShiftDown,
+    Eliminate { colour: u64 },
+    StarResid(StarId),
+    StarGrant(StarId),
+}
+
+/// Wire messages of the edge-packing algorithm.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum VcMsg<V> {
+    /// No content (also what halted nodes emit).
+    #[default]
+    Nil,
+    /// "My residual is positive" (Phase I status and the final status round).
+    Status(bool),
+    /// Phase I offer `x(v)`; `None` when the sender is not in `V_yc`.
+    Offer(Option<V>),
+    /// "This edge is my r-th outgoing edge" (forest index), or `None`.
+    Forest(Option<u16>),
+    /// Per-forest Cole–Vishkin colours (`None` for forests the sender is not in).
+    Colours(Vec<Option<UBig>>),
+    /// Star phase: a leaf's residual, sent to its parent.
+    Resid(V),
+    /// Star phase: the root's granted increment for this edge.
+    Grant(V),
+}
+
+impl<V: PackingValue> MessageSize for VcMsg<V> {
+    fn approx_bits(&self) -> u64 {
+        match self {
+            VcMsg::Nil => 0,
+            VcMsg::Status(_) => 1,
+            VcMsg::Offer(x) => 1 + x.as_ref().map_or(0, |v| v.wire_bits()),
+            VcMsg::Forest(f) => 1 + if f.is_some() { 16 } else { 0 },
+            VcMsg::Colours(cs) => {
+                cs.iter().map(|c| 1 + c.as_ref().map_or(0, |u| u.bits().max(1))).sum()
+            }
+            VcMsg::Resid(v) | VcMsg::Grant(v) => v.wire_bits(),
+        }
+    }
+}
+
+/// Per-node state of the §3 algorithm.
+#[derive(Clone, Debug)]
+pub struct EdgePackingNode<V> {
+    deg: usize,
+    /// Residual weight `r_y(v)`.
+    r: V,
+    /// `y(e)` per port (the node's copy of each incident edge's value).
+    y: Vec<V>,
+    /// Own colour sequence (grows to length Δ during Phase I).
+    seq: Vec<V>,
+    /// Per-port lexicographic comparison own-sequence vs neighbour-sequence,
+    /// fixed at the first differing position.
+    ord: Vec<Ordering>,
+    /// Per-port neighbour active status from the latest status round.
+    nb_active: Vec<bool>,
+    /// Own offer `x(v)` for the current Phase I iteration (None ⇔ v ∉ V_yc).
+    my_x: Option<V>,
+    /// Per-port: edge currently in `E_yc`.
+    in_eyc: Vec<bool>,
+    /// Per-port: edge in the unsaturated set A (Phase II).
+    in_a: Vec<bool>,
+    /// Per-port: forest index if this is one of my outgoing edges.
+    forest_of_port: Vec<Option<u16>>,
+    /// Per-forest: my outgoing (parent) port.
+    parent_port: Vec<Option<usize>>,
+    /// Per-forest: ports with incoming forest edges (my children).
+    children: Vec<Vec<usize>>,
+    /// Per-forest: my current Cole–Vishkin colour (None ⇔ not in the forest).
+    colours: Vec<Option<UBig>>,
+    /// Per-port: grant to emit in the next star round (root role).
+    pending_grants: Vec<Option<V>>,
+    /// Port on which I await a grant (leaf role).
+    await_grant: Option<usize>,
+}
+
+impl<V: PackingValue> EdgePackingNode<V> {
+    fn active(&self) -> bool {
+        self.r.is_positive()
+    }
+
+    fn my_colour_small(&self, i: usize) -> u64 {
+        // Clamped total decoding: in fault-free runs colours are ≤ 5 at every
+        // call site; corrupted states are clamped into the palette.
+        self.colours[i].as_ref().and_then(UBig::to_u64).unwrap_or(0).min(5)
+    }
+
+    fn set_colour_small(&mut self, i: usize, c: u64) {
+        self.colours[i] = Some(UBig::from_u64(c));
+    }
+}
+
+/// Final per-node output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VcOutput<V> {
+    /// Cover membership: `true` iff the node is saturated.
+    pub in_cover: bool,
+    /// Final `y(e)` per port.
+    pub y: Vec<V>,
+}
+
+impl<V: PackingValue> PnAlgorithm for EdgePackingNode<V> {
+    type Msg = VcMsg<V>;
+    type Input = u64;
+    type Output = VcOutput<V>;
+    type Config = VcConfig;
+
+    fn init(cfg: &VcConfig, degree: usize, input: &u64) -> Self {
+        assert!(degree <= cfg.delta, "degree {degree} exceeds Δ = {}", cfg.delta);
+        assert!(
+            *input >= 1 && *input <= cfg.max_weight,
+            "weight {input} outside 1..=W = {}",
+            cfg.max_weight
+        );
+        EdgePackingNode {
+            deg: degree,
+            r: V::from_u64(*input),
+            y: vec![V::zero(); degree],
+            seq: Vec::with_capacity(cfg.delta),
+            ord: vec![Ordering::Equal; degree],
+            nb_active: vec![true; degree],
+            my_x: None,
+            in_eyc: vec![false; degree],
+            in_a: vec![false; degree],
+            forest_of_port: vec![None; degree],
+            parent_port: vec![None; cfg.delta],
+            children: vec![Vec::new(); cfg.delta],
+            colours: vec![None; cfg.delta],
+            pending_grants: vec![None; degree],
+            await_grant: None,
+        }
+    }
+
+    fn send(&self, cfg: &VcConfig, round: u64, out: &mut [VcMsg<V>]) {
+        match cfg.phase(round) {
+            Phase::P1Status { .. } | Phase::Status2 => {
+                for m in out.iter_mut() {
+                    *m = VcMsg::Status(self.active());
+                }
+            }
+            Phase::P1Offer { .. } => {
+                for m in out.iter_mut() {
+                    *m = VcMsg::Offer(self.my_x.clone());
+                }
+            }
+            Phase::Forest => {
+                for (p, m) in out.iter_mut().enumerate() {
+                    *m = VcMsg::Forest(self.forest_of_port[p]);
+                }
+            }
+            Phase::Cv | Phase::ShiftDown | Phase::Eliminate { .. } => {
+                for m in out.iter_mut() {
+                    *m = VcMsg::Colours(self.colours.clone());
+                }
+            }
+            Phase::StarResid(star) => {
+                // Leaf role: if I am a colour-j child in forest i and still
+                // unsaturated, send my residual to my parent.
+                if let Some(p) = self.parent_port[star.forest] {
+                    if self.colours[star.forest].as_ref().and_then(UBig::to_u64)
+                        == Some(star.colour)
+                        && self.active()
+                    {
+                        out[p] = VcMsg::Resid(self.r.clone());
+                    }
+                }
+            }
+            Phase::StarGrant(_) => {
+                for (p, m) in out.iter_mut().enumerate() {
+                    if let Some(g) = &self.pending_grants[p] {
+                        *m = VcMsg::Grant(g.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn receive(
+        &mut self,
+        cfg: &VcConfig,
+        round: u64,
+        incoming: &[&VcMsg<V>],
+    ) -> Option<VcOutput<V>> {
+        match cfg.phase(round) {
+            Phase::P1Status { .. } => {
+                for (p, m) in incoming.iter().enumerate() {
+                    // Total decoding (self-stabilization contract): anything
+                    // other than Status(true) counts as inactive.
+                    self.nb_active[p] = matches!(m, VcMsg::Status(true));
+                }
+                let me_active = self.active();
+                let mut degyc = 0usize;
+                for p in 0..self.deg {
+                    self.in_eyc[p] =
+                        me_active && self.nb_active[p] && self.ord[p] == Ordering::Equal;
+                    degyc += usize::from(self.in_eyc[p]);
+                }
+                self.my_x =
+                    (degyc > 0).then(|| self.r.div(&V::from_u64(degyc as u64)));
+            }
+            Phase::P1Offer { .. } => {
+                let one = V::one();
+                let own_append = self.my_x.clone().unwrap_or_else(|| one.clone());
+                for (p, m) in incoming.iter().enumerate() {
+                    let xu = match m {
+                        VcMsg::Offer(x) => x.clone(),
+                        _ => None, // corrupted neighbour: treat as not in V_yc
+                    };
+                    if self.in_eyc[p] {
+                        if let (Some(mine), Some(theirs)) = (self.my_x.as_ref(), xu.as_ref()) {
+                            let inc = mine.min(theirs).clone();
+                            self.y[p] = self.y[p].add(&inc);
+                            self.r = self.r.sub(&inc);
+                        }
+                    }
+                    let their_append = xu.unwrap_or_else(|| one.clone());
+                    if self.ord[p] == Ordering::Equal {
+                        self.ord[p] = own_append.cmp(&their_append);
+                    }
+                }
+                self.seq.push(own_append);
+                self.my_x = None;
+            }
+            Phase::Status2 => {
+                let me_active = self.active();
+                let mut rank = 0u16;
+                for (p, m) in incoming.iter().enumerate() {
+                    let a = matches!(m, VcMsg::Status(true));
+                    self.nb_active[p] = a;
+                    // Phase I postcondition (Lemma 1): an unsaturated edge is
+                    // multicoloured — so ord != Equal whenever both ends are
+                    // active. Under fault injection the invariant can break
+                    // transiently; requiring it here (rather than asserting)
+                    // keeps the program total.
+                    self.in_a[p] = me_active && a && self.ord[p] != Ordering::Equal;
+                    if self.in_a[p] && self.ord[p] == Ordering::Less {
+                        // My colour is lower: the edge is oriented away from
+                        // me; it becomes my rank-th outgoing edge → forest.
+                        self.forest_of_port[p] = Some(rank);
+                        self.parent_port[rank as usize] = Some(p);
+                        rank += 1;
+                    }
+                }
+            }
+            Phase::Forest => {
+                for (p, m) in incoming.iter().enumerate() {
+                    if let VcMsg::Forest(Some(i)) = m {
+                        if (*i as usize) < cfg.delta {
+                            self.children[*i as usize].push(p);
+                        }
+                    }
+                }
+                // Initialise Cole–Vishkin colours: the Lemma 2 code of my
+                // Phase I sequence, in every forest I participate in. A
+                // corrupted sequence falls back to a fixed valid code.
+                let code = cfg
+                    .encoder
+                    .try_encode(&self.seq)
+                    .unwrap_or_else(|| cfg.encoder.fallback_code::<V>());
+                for i in 0..cfg.delta {
+                    if self.parent_port[i].is_some() || !self.children[i].is_empty() {
+                        self.colours[i] = Some(code.clone());
+                    }
+                }
+            }
+            Phase::Cv => {
+                for i in 0..cfg.delta {
+                    if self.colours[i].is_none() {
+                        continue;
+                    }
+                    let own = self.colours[i].as_ref().unwrap();
+                    let parent = self.parent_port[i].and_then(|p| match incoming[p] {
+                        VcMsg::Colours(cs) => cs.get(i).cloned().flatten(),
+                        _ => None,
+                    });
+                    let new = match parent {
+                        // A corrupted parent may echo our own colour; the
+                        // root rule is a safe total fallback.
+                        Some(pc) if pc != *own => cv_step(own, &pc),
+                        _ if self.parent_port[i].is_none() => cv_step_root(own),
+                        _ => cv_step_root(own),
+                    };
+                    self.colours[i] = Some(new);
+                }
+            }
+            Phase::ShiftDown => {
+                for i in 0..cfg.delta {
+                    if self.colours[i].is_none() {
+                        continue;
+                    }
+                    match self.parent_port[i] {
+                        Some(p) => {
+                            let pc = match incoming[p] {
+                                VcMsg::Colours(cs) => cs.get(i).cloned().flatten(),
+                                _ => None,
+                            };
+                            // Clamp to the 6-colour palette (totality).
+                            let c = pc.and_then(|u| u.to_u64()).unwrap_or(0).min(5);
+                            self.set_colour_small(i, c);
+                        }
+                        None => {
+                            // Root: pick the smallest colour in {0,1,2}
+                            // different from my current one (children adopt my
+                            // current one).
+                            let cur = self.my_colour_small(i);
+                            let new = (0..3).find(|&c| c != cur).unwrap();
+                            self.set_colour_small(i, new);
+                        }
+                    }
+                }
+            }
+            Phase::Eliminate { colour } => {
+                for i in 0..cfg.delta {
+                    if self.colours[i].is_none() || self.my_colour_small(i) != colour {
+                        continue;
+                    }
+                    let mut forbidden = [false; 6];
+                    let mut forbid = |m: &VcMsg<V>| {
+                        if let VcMsg::Colours(cs) = m {
+                            if let Some(Some(c)) = cs.get(i) {
+                                if let Some(c) = c.to_u64() {
+                                    forbidden[(c.min(5)) as usize] = true;
+                                }
+                            }
+                        }
+                    };
+                    if let Some(p) = self.parent_port[i] {
+                        forbid(incoming[p]);
+                    }
+                    for &p in &self.children[i] {
+                        forbid(incoming[p]);
+                    }
+                    // In a fault-free run, the shift-down guarantees parent +
+                    // monochromatic children forbid ≤ 2 colours; under faults
+                    // fall back to 0 (totality).
+                    let new = (0u64..3).find(|&c| !forbidden[c as usize]).unwrap_or(0);
+                    self.set_colour_small(i, new);
+                }
+            }
+            Phase::StarResid(star) => {
+                // Leaf: remember where I expect a grant.
+                self.await_grant = self.parent_port[star.forest].filter(|_| {
+                    self.colours[star.forest].as_ref().and_then(UBig::to_u64)
+                        == Some(star.colour)
+                        && self.active()
+                });
+                // Root: gather residuals and compute grants now (send() is
+                // immutable, so the decision is made here).
+                let mut leaves: Vec<(usize, V)> = Vec::new();
+                for (p, m) in incoming.iter().enumerate() {
+                    if let VcMsg::Resid(ru) = m {
+                        leaves.push((p, (*ru).clone()));
+                    }
+                }
+                if leaves.is_empty() {
+                    return None;
+                }
+                if !self.active() {
+                    // I am saturated: all these edges are already saturated.
+                    for (p, _) in leaves {
+                        self.pending_grants[p] = Some(V::zero());
+                    }
+                    return None;
+                }
+                // Corrupted leaves may report non-positive residuals; drop
+                // them (fault-free leaves always send positive values).
+                leaves.retain(|(_, r)| r.is_positive());
+                if leaves.is_empty() {
+                    return None;
+                }
+                let total = anonet_bigmath::value::sum(leaves.iter().map(|(_, r)| r));
+                if total < self.r {
+                    // α < 1: saturate every leaf.
+                    for (p, ru) in leaves {
+                        self.y[p] = self.y[p].add(&ru);
+                        self.pending_grants[p] = Some(ru);
+                    }
+                    self.r = self.r.sub(&total);
+                } else {
+                    // α ≥ 1: scale grants by r_v / Σ r_u, saturating me.
+                    for (p, ru) in leaves {
+                        let g = ru.mul(&self.r).div(&total);
+                        self.y[p] = self.y[p].add(&g);
+                        self.pending_grants[p] = Some(g);
+                    }
+                    self.r = V::zero();
+                }
+            }
+            Phase::StarGrant(_) => {
+                if let Some(p) = self.await_grant.take() {
+                    // A corrupted root may fail to grant; skip (totality).
+                    if let VcMsg::Grant(g) = incoming[p] {
+                        self.y[p] = self.y[p].add(g);
+                        self.r = self.r.sub(g);
+                    }
+                }
+                for g in self.pending_grants.iter_mut() {
+                    *g = None;
+                }
+            }
+        }
+
+        (round == cfg.total_rounds()).then(|| VcOutput {
+            in_cover: self.r.is_zero(),
+            y: self.y.clone(),
+        })
+    }
+}
+
+/// Result of a full §3 run: the packing, the cover, and instrumentation.
+#[derive(Clone, Debug)]
+pub struct VcRun<V> {
+    /// The maximal edge packing found.
+    pub packing: EdgePacking<V>,
+    /// 2-approximate vertex cover (the saturated nodes), by node id.
+    pub cover: Vec<bool>,
+    /// Engine instrumentation (rounds = the full fixed schedule).
+    pub trace: Trace,
+}
+
+/// Runs the §3 algorithm with explicit global bounds (Δ, W).
+///
+/// # Panics
+/// Panics if some degree exceeds Δ or some weight lies outside 1..=W, or if
+/// the two endpoint copies of an edge value disagree (cannot happen — checked
+/// as an internal consistency assertion).
+pub fn run_edge_packing_with<V: PackingValue>(
+    g: &Graph,
+    weights: &[u64],
+    delta: usize,
+    max_weight: u64,
+    threads: usize,
+) -> Result<VcRun<V>, SimError> {
+    let cfg = VcConfig::new(delta, max_weight);
+    let res: RunResult<VcOutput<V>> =
+        run_pn_threads::<EdgePackingNode<V>>(g, &cfg, weights, cfg.total_rounds(), threads)?;
+    let mut y = vec![V::zero(); g.m()];
+    for (v, out) in res.outputs.iter().enumerate() {
+        for (p, val) in out.y.iter().enumerate() {
+            let e = g.edge_of(g.arc(v, p));
+            if v < g.head(g.arc(v, p)) {
+                y[e] = val.clone();
+            } else {
+                assert_eq!(&y[e], val, "endpoint copies of y(e) disagree (edge {e})");
+            }
+        }
+    }
+    let packing = EdgePacking { y };
+    let cover = res.outputs.iter().map(|o| o.in_cover).collect();
+    Ok(VcRun { packing, cover, trace: res.trace })
+}
+
+/// Runs the §3 algorithm deriving Δ and W from the instance.
+pub fn run_edge_packing<V: PackingValue>(
+    g: &Graph,
+    weights: &[u64],
+) -> Result<VcRun<V>, SimError> {
+    let delta = g.max_degree();
+    let w = weights.iter().copied().max().unwrap_or(1).max(1);
+    run_edge_packing_with(g, weights, delta, w, 1)
+}

@@ -1,0 +1,45 @@
+//! Maximum independent set in cycles — the reference quantity of the
+//! Lemma 4 / Fig. 4 experiment (E7).
+
+/// Maximum independent set size of the n-cycle: ⌊n/2⌋.
+pub fn max_independent_set_cycle(n: usize) -> usize {
+    n / 2
+}
+
+/// Greedy independent set on a numbered directed cycle with the given id
+/// assignment (`ids[v]` unique): every node that is a local minimum among
+/// {self, successor} joins — a simple stand-in "fast distributed" IS
+/// algorithm used to contrast with the reduction-extracted sets.
+pub fn greedy_cycle_is(ids: &[u64]) -> Vec<usize> {
+    let n = ids.len();
+    (0..n).filter(|&v| ids[v] < ids[(v + 1) % n] && ids[v] < ids[(v + n - 1) % n]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_gen::reduction::is_cycle_independent_set;
+
+    #[test]
+    fn mis_formula() {
+        assert_eq!(max_independent_set_cycle(3), 1);
+        assert_eq!(max_independent_set_cycle(4), 2);
+        assert_eq!(max_independent_set_cycle(9), 4);
+        assert_eq!(max_independent_set_cycle(10), 5);
+    }
+
+    #[test]
+    fn greedy_is_independent() {
+        let ids: Vec<u64> = vec![5, 2, 8, 1, 9, 3, 7, 4, 6, 0];
+        let is = greedy_cycle_is(&ids);
+        assert!(is_cycle_independent_set(ids.len(), &is));
+        assert!(!is.is_empty());
+    }
+
+    #[test]
+    fn greedy_on_sorted_ids_picks_minimum() {
+        let ids: Vec<u64> = (0..8).collect();
+        let is = greedy_cycle_is(&ids);
+        assert_eq!(is, vec![0]);
+    }
+}

@@ -1,0 +1,18 @@
+//! # anonet-exact
+//!
+//! Exact and classical reference solvers used by the experiment harness to
+//! report *true* approximation ratios (the distributed algorithms only
+//! certify bounds): branch-and-bound minimum-weight vertex cover and set
+//! cover, cycle independent-set references for the Lemma 4 pipeline, and
+//! brute-force graph automorphisms for the §7 symmetry claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycle_mis;
+pub mod iso;
+pub mod sc;
+pub mod vc;
+
+pub use sc::{greedy_set_cover, min_weight_set_cover, ExactSetCover};
+pub use vc::{is_vertex_cover, min_weight_vertex_cover, ExactCover};

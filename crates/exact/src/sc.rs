@@ -1,0 +1,199 @@
+//! Exact minimum-weight set cover by branch and bound, plus the greedy
+//! ln(n)-approximation as a classical comparison point.
+
+use anonet_sim::SetCoverInstance;
+
+/// Result of an exact set-cover solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExactSetCover {
+    /// Minimum total weight.
+    pub weight: u64,
+    /// One optimal cover (membership by subset index).
+    pub cover: Vec<bool>,
+}
+
+struct Solver<'a> {
+    inst: &'a SetCoverInstance,
+    best: u64,
+    best_cover: Vec<bool>,
+}
+
+impl<'a> Solver<'a> {
+    /// Lower bound: for each uncovered element, its cheapest subset charged
+    /// fractionally (weight / subset size) — a crude but admissible bound.
+    fn bound(&self, covered: &[bool], chosen: &[bool]) -> u64 {
+        let mut acc = 0f64;
+        for u in 0..self.inst.n_elements() {
+            if covered[u] {
+                continue;
+            }
+            let cheapest = self
+                .inst
+                .containing(u)
+                .map(|s| self.inst.weights[s] as f64 / self.inst.graph.degree(s) as f64)
+                .fold(f64::INFINITY, f64::min);
+            acc += cheapest;
+        }
+        let _ = chosen;
+        acc.floor() as u64
+    }
+
+    fn solve(&mut self, covered: &mut [bool], chosen: &mut Vec<bool>, acc: u64) {
+        if acc >= self.best {
+            return;
+        }
+        // First uncovered element.
+        let Some(u) = (0..self.inst.n_elements()).find(|&u| !covered[u]) else {
+            self.best = acc;
+            self.best_cover = chosen.clone();
+            return;
+        };
+        if acc + self.bound(covered, chosen) >= self.best {
+            return;
+        }
+        // Branch over the ≤ f subsets containing u.
+        let candidates: Vec<usize> = self.inst.containing(u).collect();
+        for s in candidates {
+            if chosen[s] {
+                continue; // would have covered u already
+            }
+            chosen[s] = true;
+            let newly: Vec<usize> =
+                self.inst.members(s).filter(|&e| !covered[e]).collect();
+            for &e in &newly {
+                covered[e] = true;
+            }
+            self.solve(covered, chosen, acc + self.inst.weights[s]);
+            for &e in &newly {
+                covered[e] = false;
+            }
+            chosen[s] = false;
+        }
+    }
+}
+
+/// Computes a minimum-weight set cover exactly (experiment-scale instances).
+pub fn min_weight_set_cover(inst: &SetCoverInstance) -> ExactSetCover {
+    let trivial: u64 = inst.weights.iter().sum::<u64>() + 1;
+    let mut solver =
+        Solver { inst, best: trivial, best_cover: vec![true; inst.n_subsets] };
+    let mut covered = vec![false; inst.n_elements()];
+    let mut chosen = vec![false; inst.n_subsets];
+    solver.solve(&mut covered, &mut chosen, 0);
+    ExactSetCover { weight: solver.best, cover: solver.best_cover }
+}
+
+/// The classical greedy set cover: repeatedly take the subset minimising
+/// weight per newly covered element (H_k-approximation).
+pub fn greedy_set_cover(inst: &SetCoverInstance) -> Vec<bool> {
+    let mut covered = vec![false; inst.n_elements()];
+    let mut cover = vec![false; inst.n_subsets];
+    while covered.iter().any(|&c| !c) {
+        let mut best: Option<(f64, usize)> = None;
+        for s in 0..inst.n_subsets {
+            if cover[s] {
+                continue;
+            }
+            let fresh = inst.members(s).filter(|&u| !covered[u]).count();
+            if fresh == 0 {
+                continue;
+            }
+            let ratio = inst.weights[s] as f64 / fresh as f64;
+            if best.is_none() || ratio < best.unwrap().0 {
+                best = Some((ratio, s));
+            }
+        }
+        let (_, s) = best.expect("uncovered element must have an unused subset");
+        cover[s] = true;
+        for u in inst.members(s) {
+            covered[u] = true;
+        }
+    }
+    cover
+}
+
+/// Brute force over all subset collections — reference for cross-checking
+/// (|S| ≤ 20).
+pub fn min_weight_set_cover_brute(inst: &SetCoverInstance) -> u64 {
+    let n = inst.n_subsets;
+    assert!(n <= 20, "brute force limited to |S| <= 20");
+    let mut best = u64::MAX;
+    for mask in 0u32..(1 << n) {
+        let cover: Vec<bool> = (0..n).map(|s| mask >> s & 1 == 1).collect();
+        if inst.is_cover(&cover) {
+            best = best.min(inst.cover_weight(&cover));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> SetCoverInstance {
+        SetCoverInstance::new(
+            4,
+            &[vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]],
+            vec![3, 3, 3, 3],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cycle_cover_needs_two() {
+        let r = min_weight_set_cover(&inst());
+        assert_eq!(r.weight, 6);
+        assert!(inst().is_cover(&r.cover));
+    }
+
+    #[test]
+    fn weights_matter() {
+        let i = SetCoverInstance::new(
+            3,
+            &[vec![0, 1, 2], vec![0], vec![1], vec![2]],
+            vec![10, 2, 2, 2],
+        )
+        .unwrap();
+        let r = min_weight_set_cover(&i);
+        assert_eq!(r.weight, 6); // three singletons beat the big subset
+        let i2 = SetCoverInstance::new(
+            3,
+            &[vec![0, 1, 2], vec![0], vec![1], vec![2]],
+            vec![5, 2, 2, 2],
+        )
+        .unwrap();
+        assert_eq!(min_weight_set_cover(&i2).weight, 5);
+    }
+
+    #[test]
+    fn greedy_is_a_cover() {
+        let i = inst();
+        let c = greedy_set_cover(&i);
+        assert!(i.is_cover(&c));
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        use anonet_gen::{setcover, WeightSpec};
+        for seed in 0..8u64 {
+            let i = setcover::random_bounded(8, 6, 2, 4, WeightSpec::Uniform(9), seed);
+            let bb = min_weight_set_cover(&i);
+            assert_eq!(bb.weight, min_weight_set_cover_brute(&i), "seed {seed}");
+            assert!(i.is_cover(&bb.cover));
+            assert_eq!(i.cover_weight(&bb.cover), bb.weight);
+        }
+    }
+
+    #[test]
+    fn kpp_optimum_is_one() {
+        let i = anonet_gen::setcover::symmetric_kpp(4, 1);
+        assert_eq!(min_weight_set_cover(&i).weight, 1);
+    }
+
+    #[test]
+    fn cycle_reduction_optimum() {
+        let i = anonet_gen::reduction::cycle_cover_instance(12, 3);
+        assert_eq!(min_weight_set_cover(&i).weight, 4); // n/p
+    }
+}

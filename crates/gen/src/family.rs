@@ -1,0 +1,401 @@
+//! Graph families used across the experiments.
+//!
+//! Deterministic constructions (paths, cycles, grids, tori, hypercubes,
+//! complete and complete-bipartite graphs, Petersen, Frucht) plus seeded
+//! random families (bounded-degree G(n,p), random d-regular via the
+//! configuration model, random bounded-degree trees). Every generator
+//! documents its degree bound Δ, which the paper's algorithms take as a
+//! global parameter.
+
+use crate::rng::Rng;
+use anonet_sim::Graph;
+
+/// Path on `n` nodes (Δ = 2).
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (1..n).map(|v| (v - 1, v)).collect();
+    Graph::from_edges(n, &edges).expect("path is simple")
+}
+
+/// Cycle on `n ≥ 3` nodes (Δ = 2).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    Graph::from_edges(n, &edges).expect("cycle is simple")
+}
+
+/// Star with `leaves` leaves: node 0 is the hub (Δ = leaves).
+pub fn star(leaves: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (1..=leaves).map(|v| (0, v)).collect();
+    Graph::from_edges(leaves + 1, &edges).expect("star is simple")
+}
+
+/// Complete graph K_n (Δ = n-1).
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("complete graph is simple")
+}
+
+/// Complete bipartite K_{a,b}; the `a`-side is nodes `0..a` (Δ = max(a,b)).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a {
+        for v in 0..b {
+            edges.push((u, a + v));
+        }
+    }
+    Graph::from_edges(a + b, &edges).expect("K_{a,b} is simple")
+}
+
+/// w×h grid (Δ = 4); node (x, y) has id `y*w + x`.
+pub fn grid(w: usize, h: usize) -> Graph {
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                edges.push((v, v + 1));
+            }
+            if y + 1 < h {
+                edges.push((v, v + w));
+            }
+        }
+    }
+    Graph::from_edges(w * h, &edges).expect("grid is simple")
+}
+
+/// w×h torus with wraparound (4-regular for w, h ≥ 3).
+pub fn torus(w: usize, h: usize) -> Graph {
+    assert!(w >= 3 && h >= 3, "torus needs w, h >= 3 to stay simple");
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            edges.push((v, y * w + (x + 1) % w));
+            edges.push((v, ((y + 1) % h) * w + x));
+        }
+    }
+    Graph::from_edges(w * h, &edges).expect("torus is simple")
+}
+
+/// d-dimensional hypercube on 2^d nodes (d-regular).
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut edges = Vec::new();
+    for v in 0..n {
+        for b in 0..d {
+            let u = v ^ (1 << b);
+            if v < u {
+                edges.push((v, u));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("hypercube is simple")
+}
+
+/// The Petersen graph (3-regular, 10 nodes): outer 5-cycle 0..5, inner
+/// pentagram 5..10, spokes i—i+5.
+pub fn petersen() -> Graph {
+    let mut edges = Vec::new();
+    for i in 0..5 {
+        edges.push((i, (i + 1) % 5)); // outer cycle
+        edges.push((5 + i, 5 + (i + 2) % 5)); // pentagram
+        edges.push((i, 5 + i)); // spokes
+    }
+    Graph::from_edges(10, &edges).expect("Petersen is simple")
+}
+
+/// The Frucht graph (3-regular, 12 nodes, **trivial automorphism group**) —
+/// the paper's §7 example: a broadcast-model algorithm must still output the
+/// perfectly symmetric edge packing y ≡ 1/3 on it, because the graph is
+/// covered by the 3-regular tree.
+///
+/// Built from its LCF notation `[-5,-2,-4,2,5,-2,2,5,-2,-5,4,2]`.
+pub fn frucht() -> Graph {
+    const LCF: [i64; 12] = [-5, -2, -4, 2, 5, -2, 2, 5, -2, -5, 4, 2];
+    let n = 12i64;
+    let mut edges: Vec<(usize, usize)> = (0..12).map(|v| (v, (v + 1) % 12)).collect();
+    let mut seen = std::collections::HashSet::new();
+    for (i, &l) in LCF.iter().enumerate() {
+        let u = i as i64;
+        let v = (u + l).rem_euclid(n);
+        let key = (u.min(v) as usize, u.max(v) as usize);
+        if seen.insert(key) {
+            edges.push(key);
+        }
+    }
+    Graph::from_edges(12, &edges).expect("Frucht graph is simple")
+}
+
+/// Circulant graph: node i adjacent to i ± o for each offset o (deterministic
+/// regular expander-ish family).
+pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
+    let mut edges = std::collections::HashSet::new();
+    for v in 0..n {
+        for &o in offsets {
+            assert!(o >= 1 && o < n, "offset {o} out of range");
+            let u = (v + o) % n;
+            if u != v {
+                edges.insert((v.min(u), v.max(u)));
+            }
+        }
+    }
+    let edges: Vec<_> = {
+        let mut e: Vec<_> = edges.into_iter().collect();
+        e.sort_unstable();
+        e
+    };
+    Graph::from_edges(n, &edges).expect("circulant is simple")
+}
+
+/// Random d-regular graph via the configuration model with restarts
+/// (`n*d` even, `d < n`). Falls back is not needed in practice: the success
+/// probability per attempt is constant for d ≪ √n and we allow many attempts.
+///
+/// # Panics
+/// Panics if `n*d` is odd, `d >= n`, or no simple pairing is found after
+/// 1000 attempts (practically unreachable for sensible parameters).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(d < n, "d-regular graph needs d < n");
+    assert!((n * d) % 2 == 0, "n*d must be even");
+    if d == 0 {
+        return Graph::from_edges(n, &[]).unwrap();
+    }
+    let mut rng = Rng::new(seed);
+    'attempt: for _ in 0..1000 {
+        // Configuration model with local rejection: repeatedly draw a random
+        // stub pair and accept it if it forms a fresh simple edge; restart
+        // the whole attempt only when the leftover stubs are incompatible.
+        let mut stubs: Vec<usize> = (0..n * d).map(|i| i / d).collect();
+        rng.shuffle(&mut stubs);
+        let mut seen = std::collections::HashSet::new();
+        let mut edges = Vec::with_capacity(n * d / 2);
+        while !stubs.is_empty() {
+            let mut placed = false;
+            for _ in 0..100 {
+                let i = rng.index(stubs.len());
+                let j = rng.index(stubs.len());
+                if i == j {
+                    continue;
+                }
+                let (u, v) = (stubs[i], stubs[j]);
+                if u == v || seen.contains(&(u.min(v), u.max(v))) {
+                    continue;
+                }
+                seen.insert((u.min(v), u.max(v)));
+                edges.push((u, v));
+                // Remove the larger index first so the smaller stays valid.
+                stubs.swap_remove(i.max(j));
+                stubs.swap_remove(i.min(j));
+                placed = true;
+                break;
+            }
+            if !placed {
+                continue 'attempt; // dead end: restart
+            }
+        }
+        return Graph::from_edges(n, &edges).expect("checked simple");
+    }
+    panic!("random_regular({n}, {d}): no simple configuration in 1000 attempts");
+}
+
+/// Erdős–Rényi G(n, p) with a hard degree cap Δ (edges that would exceed the
+/// cap at either endpoint are skipped, in a seeded random edge order).
+pub fn gnp_capped(n: usize, p: f64, cap: usize, seed: u64) -> Graph {
+    let mut rng = Rng::new(seed);
+    let mut candidates = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.chance(p) {
+                candidates.push((u, v));
+            }
+        }
+    }
+    rng.shuffle(&mut candidates);
+    let mut deg = vec![0usize; n];
+    let mut edges = Vec::new();
+    for (u, v) in candidates {
+        if deg[u] < cap && deg[v] < cap {
+            deg[u] += 1;
+            deg[v] += 1;
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("subset of simple candidate edges")
+}
+
+/// Random tree on `n` nodes with maximum degree ≤ `cap ≥ 2` (random
+/// attachment to a node with remaining capacity).
+pub fn random_tree(n: usize, cap: usize, seed: u64) -> Graph {
+    assert!(cap >= 2, "tree degree cap must be >= 2");
+    let mut rng = Rng::new(seed);
+    let mut deg = vec![0usize; n];
+    let mut eligible: Vec<usize> = vec![0]; // nodes with deg < cap already in tree
+    let mut edges = Vec::new();
+    for v in 1..n {
+        let idx = rng.index(eligible.len());
+        let u = eligible[idx];
+        edges.push((u, v));
+        deg[u] += 1;
+        deg[v] += 1;
+        if deg[u] >= cap {
+            eligible.swap_remove(idx);
+        }
+        if deg[v] < cap {
+            eligible.push(v);
+        }
+    }
+    Graph::from_edges(n, &edges).expect("tree is simple")
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` pendant
+/// leaves (Δ = legs + 2).
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let mut edges = Vec::new();
+    let mut next = spine;
+    for v in 0..spine {
+        if v + 1 < spine {
+            edges.push((v, v + 1));
+        }
+        for _ in 0..legs {
+            edges.push((v, next));
+            next += 1;
+        }
+    }
+    Graph::from_edges(next, &edges).expect("caterpillar is simple")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_cycle_star() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(path(5).max_degree(), 2);
+        assert_eq!(path(1).m(), 0);
+        assert_eq!(cycle(6).m(), 6);
+        assert!(cycle(6).adjacency().iter().all(|l| l.len() == 2));
+        assert_eq!(star(7).max_degree(), 7);
+        assert_eq!(star(7).m(), 7);
+    }
+
+    #[test]
+    fn complete_graphs() {
+        let k5 = complete(5);
+        assert_eq!(k5.m(), 10);
+        assert_eq!(k5.max_degree(), 4);
+        let k23 = complete_bipartite(2, 3);
+        assert_eq!(k23.m(), 6);
+        assert_eq!(k23.degree(0), 3);
+        assert_eq!(k23.degree(2), 2);
+    }
+
+    #[test]
+    fn grid_torus() {
+        let g = grid(4, 3);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 4 * 2); // horizontal + vertical
+        assert_eq!(g.max_degree(), 4);
+        let t = torus(4, 3);
+        assert_eq!(t.m(), 2 * 12);
+        assert!((0..12).all(|v| t.degree(v) == 4));
+    }
+
+    #[test]
+    fn hypercube_regular() {
+        let h = hypercube(4);
+        assert_eq!(h.n(), 16);
+        assert_eq!(h.m(), 32);
+        assert!((0..16).all(|v| h.degree(v) == 4));
+    }
+
+    #[test]
+    fn petersen_structure() {
+        let p = petersen();
+        assert_eq!(p.n(), 10);
+        assert_eq!(p.m(), 15);
+        assert!((0..10).all(|v| p.degree(v) == 3));
+        // Petersen has girth 5: no triangles through node 0.
+        for (_, u) in p.neighbors(0) {
+            for (_, w) in p.neighbors(u) {
+                assert!(w == 0 || !p.has_edge(0, w) || w == u);
+            }
+        }
+    }
+
+    #[test]
+    fn frucht_structure() {
+        let f = frucht();
+        assert_eq!(f.n(), 12);
+        assert_eq!(f.m(), 18);
+        assert!((0..12).all(|v| f.degree(v) == 3));
+    }
+
+    #[test]
+    fn circulant_regular() {
+        let c = circulant(10, &[1, 3]);
+        assert!((0..10).all(|v| c.degree(v) == 4));
+        assert_eq!(c.m(), 20);
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_seeded() {
+        for d in [2, 3, 4, 6] {
+            let g = random_regular(24, d, 42);
+            assert!((0..24).all(|v| g.degree(v) == d), "d={d}");
+        }
+        let a = random_regular(30, 3, 1);
+        let b = random_regular(30, 3, 1);
+        assert_eq!(a.adjacency(), b.adjacency());
+        let c = random_regular(30, 3, 2);
+        assert_ne!(a.adjacency(), c.adjacency());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn random_regular_odd_total_panics() {
+        let _ = random_regular(5, 3, 0);
+    }
+
+    #[test]
+    fn gnp_respects_cap() {
+        let g = gnp_capped(60, 0.3, 5, 7);
+        assert!(g.max_degree() <= 5);
+        assert!(g.m() > 0);
+        // Deterministic per seed.
+        assert_eq!(g.adjacency(), gnp_capped(60, 0.3, 5, 7).adjacency());
+    }
+
+    #[test]
+    fn random_tree_is_tree_with_cap() {
+        let g = random_tree(40, 3, 11);
+        assert_eq!(g.m(), 39);
+        assert!(g.max_degree() <= 3);
+        // Connectivity: BFS from 0 reaches everyone.
+        let mut seen = vec![false; 40];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for (_, u) in g.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 11);
+        assert_eq!(g.max_degree(), 4); // interior spine: 2 spine + 2 legs
+    }
+}

@@ -1,0 +1,22 @@
+//! # anonet-gen
+//!
+//! Deterministic workload generators for the anonet experiments: graph
+//! families ([`family`]), weight regimes ([`weights`]), set-cover instances
+//! including the Fig. 3 symmetric lower-bound construction ([`setcover`]),
+//! and the Fig. 4 cycle-to-set-cover reduction ([`reduction`]).
+//!
+//! All randomness flows through the in-house xoshiro256** generator
+//! ([`rng::Rng`]) seeded explicitly, so every instance is bit-reproducible
+//! across platforms and toolchains.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod family;
+pub mod reduction;
+pub mod rng;
+pub mod setcover;
+pub mod weights;
+
+pub use rng::Rng;
+pub use weights::WeightSpec;

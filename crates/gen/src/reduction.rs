@@ -1,0 +1,156 @@
+//! The **Fig. 4 / Lemma 4** local reduction: independent set in a numbered
+//! directed cycle ⇒ set cover.
+//!
+//! Given a directed n-cycle with unique identifiers and a constant p, the
+//! paper builds a set cover instance H with a subset node `v₁` and an element
+//! `v₂` per cycle node v, where `{u₁, v₂} ∈ A` iff the directed path u → v
+//! has length ≤ p−1. A (p−ε)-approximate set cover on H would yield an
+//! independent set of size ≥ nε/p² on the cycle, contradicting the
+//! Czygrinow et al. / Lenzen–Wattenhofer lower bound. This module provides
+//! the forward construction and the extraction step, so experiment E7 can
+//! execute the whole pipeline.
+
+use anonet_sim::SetCoverInstance;
+
+/// Builds the reduction instance H for a directed n-cycle and locality p:
+/// subset `u` covers elements `u, u+1, …, u+p−1` (mod n). Unit weights.
+///
+/// # Panics
+/// Panics unless `n ≥ p ≥ 1` (the paper additionally takes n divisible by p
+/// so that OPT = n/p exactly; we do not require it, see [`optimum_size`]).
+pub fn cycle_cover_instance(n: usize, p: usize) -> SetCoverInstance {
+    assert!(p >= 1 && n >= p, "need n >= p >= 1");
+    let members: Vec<Vec<usize>> =
+        (0..n).map(|u| (0..p).map(|d| (u + d) % n).collect()).collect();
+    SetCoverInstance::new(n, &members, vec![1; n]).expect("cycle reduction instance is valid")
+}
+
+/// The paper's identifier scheme: cycle node `v` (with id v+1 in 1..=n) gives
+/// subset node `v₁` the id `2(v+1) − 1` and element `v₂` the id `2(v+1)`.
+/// Returns ids indexed by H's node ids (subsets first, then elements).
+pub fn inherited_ids(n: usize) -> Vec<u64> {
+    let mut ids = Vec::with_capacity(2 * n);
+    for v in 0..n as u64 {
+        ids.push(2 * (v + 1) - 1);
+    }
+    for v in 0..n as u64 {
+        ids.push(2 * (v + 1));
+    }
+    ids
+}
+
+/// Minimum set-cover size of [`cycle_cover_instance`]: ⌈n/p⌉ (every subset
+/// covers p consecutive elements of an n-cycle).
+pub fn optimum_size(n: usize, p: usize) -> usize {
+    n.div_ceil(p)
+}
+
+/// Extracts an independent set of the directed n-cycle from a set cover `C`
+/// of the reduction instance, following §6: take `X = {v : v₁ ∉ C}`, look at
+/// the paths induced by X, and keep each path's first node (in-degree 0).
+///
+/// Guarantees (tested): the result is an independent set of the cycle, and if
+/// `|C| ≤ (1 − ε/p)·n` then the result has ≥ nε/p² nodes.
+pub fn extract_independent_set(n: usize, cover: &[bool]) -> Vec<usize> {
+    assert_eq!(cover.len(), n);
+    (0..n)
+        .filter(|&v| {
+            let pred = (v + n - 1) % n;
+            !cover[v] && cover[pred]
+        })
+        .collect()
+}
+
+/// Checks independence in the cycle (no two chosen nodes adjacent).
+pub fn is_cycle_independent_set(n: usize, set: &[usize]) -> bool {
+    let mut chosen = vec![false; n];
+    for &v in set {
+        if v >= n || chosen[v] {
+            return false;
+        }
+        chosen[v] = true;
+    }
+    (0..n).all(|v| !(chosen[v] && chosen[(v + 1) % n]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_shape() {
+        let inst = cycle_cover_instance(12, 3);
+        assert_eq!(inst.n_subsets, 12);
+        assert_eq!(inst.n_elements(), 12);
+        assert_eq!(inst.f(), 3);
+        assert_eq!(inst.k(), 3);
+        // Subset 10 covers elements 10, 11, 0.
+        assert_eq!(inst.members(10).collect::<Vec<_>>(), vec![10, 11, 0]);
+        // Element 0 is covered by subsets 0, 11, 10.
+        let mut c: Vec<usize> = inst.containing(0).collect();
+        c.sort_unstable();
+        assert_eq!(c, vec![0, 10, 11]);
+    }
+
+    #[test]
+    fn optimal_cover_is_every_pth() {
+        let (n, p) = (12, 3);
+        let inst = cycle_cover_instance(n, p);
+        let mut cover = vec![false; n];
+        for v in (0..n).step_by(p) {
+            cover[v] = true;
+        }
+        assert!(inst.is_cover(&cover));
+        assert_eq!(cover.iter().filter(|&&b| b).count(), optimum_size(n, p));
+        assert_eq!(optimum_size(10, 3), 4);
+    }
+
+    #[test]
+    fn ids_are_unique_and_follow_paper() {
+        let ids = inherited_ids(5);
+        assert_eq!(ids, vec![1, 3, 5, 7, 9, 2, 4, 6, 8, 10]);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn extraction_yields_independent_set() {
+        let n = 12;
+        // A sloppy cover excluding the run {9, 10} (length 2 < p = 3, so
+        // every element keeps a covering subset).
+        let mut cover = vec![true; n];
+        cover[9] = false;
+        cover[10] = false;
+        let inst = cycle_cover_instance(n, 3);
+        assert!(inst.is_cover(&cover));
+        let is = extract_independent_set(n, &cover);
+        assert!(is_cycle_independent_set(n, &is));
+        // X = {9, 10} is one path; its first node is 9.
+        assert_eq!(is, vec![9]);
+    }
+
+    #[test]
+    fn extraction_counts_lower_bound() {
+        // If the cover misses many subsets, the IS is large: alternate cover.
+        let n = 20;
+        let p = 2;
+        let inst = cycle_cover_instance(n, p);
+        let cover: Vec<bool> = (0..n).map(|v| v % 2 == 0).collect();
+        assert!(inst.is_cover(&cover));
+        let is = extract_independent_set(n, &cover);
+        assert!(is_cycle_independent_set(n, &is));
+        // |C| = n/2 = (1 - eps/p) n with eps = 1: |I| >= n/p^2 = 5.
+        assert!(is.len() >= n / (p * p), "|I| = {} < {}", is.len(), n / (p * p));
+    }
+
+    #[test]
+    fn independence_checker_rejects_adjacent() {
+        assert!(is_cycle_independent_set(6, &[0, 2, 4]));
+        assert!(!is_cycle_independent_set(6, &[0, 1]));
+        assert!(!is_cycle_independent_set(6, &[5, 0])); // wraparound adjacency
+        assert!(!is_cycle_independent_set(6, &[3, 3])); // duplicates
+        assert!(is_cycle_independent_set(6, &[]));
+    }
+}

@@ -1,0 +1,189 @@
+//! Deterministic in-house PRNG (xoshiro256** seeded via splitmix64).
+//!
+//! All anonet workloads are generated from explicit seeds with this
+//! generator, so every experiment is bit-reproducible across platforms and
+//! toolchain versions — an external `rand` dependency would tie results to
+//! its version. (Algorithms in this project are deterministic; randomness is
+//! only for *instance generation* and the randomized baselines.)
+
+/// xoshiro256** by Blackman & Vigna: a small, fast, high-quality PRNG.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (expanded via splitmix64, the
+    /// procedure recommended by the xoshiro authors).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+    }
+
+    /// Next 64 uniform random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `0..bound` (Lemire-style rejection; `bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Rng::below(0)");
+        // Rejection sampling to avoid modulo bias.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        if lo == hi {
+            return lo;
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `usize` in `0..bound`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, data: &mut [T]) {
+        for i in (1..data.len()).rev() {
+            let j = self.index(i + 1);
+            data.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+
+    /// Derives an independent child generator (for parallel workload streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = Rng::new(12345);
+        let mut b = Rng::new(12345);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(54321);
+        assert_ne!(Rng::new(12345).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_vector_stability() {
+        // Pin the stream so accidental RNG changes fail loudly (experiment
+        // reproducibility depends on it).
+        let mut r = Rng::new(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532
+            ]
+        );
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Rng::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit in 1000 draws");
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = Rng::new(9);
+        for _ in 0..100 {
+            let v = r.range_u64(5, 7);
+            assert!((5..=7).contains(&v));
+        }
+        assert_eq!(r.range_u64(3, 3), 3);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = Rng::new(11);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        // Mean of 1000 uniforms is near 0.5.
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(13);
+        let p = r.permutation(50);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let mut r = Rng::new(17);
+        let mut a = r.fork();
+        let mut b = r.fork();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

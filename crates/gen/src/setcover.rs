@@ -1,0 +1,225 @@
+//! Set-cover instance generators, including the paper's Fig. 3 symmetric
+//! lower-bound instance.
+
+use crate::rng::Rng;
+use crate::weights::WeightSpec;
+use anonet_sim::SetCoverInstance;
+
+/// Random bipartite instance with element degree ≤ `f`, subset size ≤ `k`.
+///
+/// Each element joins `f` distinct subsets drawn uniformly among those with
+/// remaining capacity (fewer if capacity runs out, but always at least one).
+///
+/// # Panics
+/// Panics if total capacity `n_subsets * k < n_elements` (some element could
+/// not be covered at all).
+pub fn random_bounded(
+    n_elements: usize,
+    n_subsets: usize,
+    f: usize,
+    k: usize,
+    weights: WeightSpec,
+    seed: u64,
+) -> SetCoverInstance {
+    assert!(f >= 1 && k >= 1);
+    assert!(
+        n_subsets * k >= n_elements,
+        "capacity n_subsets*k = {} cannot cover {} elements",
+        n_subsets * k,
+        n_elements
+    );
+    let mut rng = Rng::new(seed);
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_subsets];
+    let mut open: Vec<usize> = (0..n_subsets).collect(); // subsets with capacity left
+    // Reserve one capacity slot per not-yet-placed element so every element
+    // is guaranteed a primary subset; extra memberships (up to f−1) only
+    // consume surplus capacity.
+    let mut capacity = n_subsets * k;
+    for u in 0..n_elements {
+        let remaining_primaries = n_elements - u; // including this one
+        let mut chosen: Vec<usize> = Vec::with_capacity(f);
+        let mut pool = open.clone();
+        // Primary membership (always possible by the reservation invariant).
+        {
+            let idx = rng.index(pool.len());
+            chosen.push(pool.swap_remove(idx));
+            capacity -= 1;
+        }
+        // Extras, while surplus capacity remains.
+        for _ in 1..f {
+            if pool.is_empty() || capacity < remaining_primaries {
+                break;
+            }
+            let idx = rng.index(pool.len());
+            chosen.push(pool.swap_remove(idx));
+            capacity -= 1;
+        }
+        for &s in &chosen {
+            members[s].push(u);
+            if members[s].len() >= k {
+                if let Some(pos) = open.iter().position(|&x| x == s) {
+                    open.swap_remove(pos);
+                }
+            }
+        }
+    }
+    // Drop empty subsets? Keep them: isolated subset nodes are legal
+    // computational entities and exercise the degree-0 code path.
+    let w = weights.draw_many(n_subsets, seed ^ 0x5e7c_0fe5);
+    SetCoverInstance::new(n_elements, &members, w).expect("generator produces valid instances")
+}
+
+/// The symmetric complete bipartite instance of **Fig. 3**: `K_{p,p}` with
+/// cyclically symmetric port numbering (subset `i`'s port `j` is element
+/// `(i+j) mod p`, and element `m`'s port `j` is subset `(m+j) mod p`), and
+/// equal weights.
+///
+/// The shift `i ↦ i+1` is a port-preserving automorphism acting transitively
+/// on subsets, so every deterministic port-numbering algorithm gives all
+/// subset nodes the same output; since the output must be a cover, it is all
+/// of S — size p against the optimum 1. This is the instance behind the
+/// p = min{f, k} lower bound (§6).
+pub fn symmetric_kpp(p: usize, weight: u64) -> SetCoverInstance {
+    assert!(p >= 1);
+    let subset_ports: Vec<Vec<usize>> =
+        (0..p).map(|i| (0..p).map(|j| (i + j) % p).collect()).collect();
+    let element_ports: Vec<Vec<usize>> =
+        (0..p).map(|m| (0..p).map(|j| (m + j) % p).collect()).collect();
+    SetCoverInstance::with_ports(&subset_ports, &element_ports, vec![weight; p])
+        .expect("symmetric K_{p,p} is valid")
+}
+
+/// A sensor-coverage instance on a `w × h` cell grid: sensors are placed on a
+/// sub-lattice with the given `spacing` and cover all cells within Chebyshev
+/// distance `radius`; cells are the elements. Models the paper's motivating
+/// "monitoring in wireless sensor networks" workloads with naturally bounded
+/// `f ≤ ⌈(2r+1)/spacing⌉²` and `k ≤ (2r+1)²`.
+///
+/// # Panics
+/// Panics unless `1 ≤ spacing ≤ 2·radius + 1` (full coverage requirement).
+pub fn grid_coverage(
+    w: usize,
+    h: usize,
+    spacing: usize,
+    radius: usize,
+    weights: WeightSpec,
+    seed: u64,
+) -> SetCoverInstance {
+    assert!(spacing >= 1 && spacing <= 2 * radius + 1, "spacing must keep the grid covered");
+    assert!(w >= 1 && h >= 1);
+    // Sensor coordinates along one axis: start at `radius` (covering the near
+    // edge), step by `spacing`, and never leave a tail gap wider than
+    // `radius` (covering the far edge).
+    let lattice = |len: usize| -> Vec<usize> {
+        let mut xs = Vec::new();
+        let mut x = radius.min(len - 1);
+        loop {
+            xs.push(x.min(len - 1));
+            if x + radius >= len - 1 {
+                break;
+            }
+            x += spacing;
+        }
+        xs.dedup();
+        xs
+    };
+    let mut sensors = Vec::new(); // (x, y) positions
+    for &y in &lattice(h) {
+        for &x in &lattice(w) {
+            sensors.push((x, y));
+        }
+    }
+    let members: Vec<Vec<usize>> = sensors
+        .iter()
+        .map(|&(sx, sy)| {
+            let mut cells = Vec::new();
+            let x0 = sx.saturating_sub(radius);
+            let y0 = sy.saturating_sub(radius);
+            for cy in y0..=(sy + radius).min(h - 1) {
+                for cx in x0..=(sx + radius).min(w - 1) {
+                    cells.push(cy * w + cx);
+                }
+            }
+            cells
+        })
+        .collect();
+    let wts = weights.draw_many(sensors.len(), seed);
+    SetCoverInstance::new(w * h, &members, wts).expect("grid coverage instance is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_bounded_respects_bounds() {
+        let inst = random_bounded(40, 20, 3, 8, WeightSpec::Uniform(10), 42);
+        assert!(inst.f() <= 3);
+        assert!(inst.k() <= 8);
+        assert_eq!(inst.n_elements(), 40);
+        assert_eq!(inst.n_subsets, 20);
+        // Every element is covered by at least one subset.
+        for u in 0..inst.n_elements() {
+            assert!(inst.containing(u).count() >= 1);
+        }
+        assert!(inst.weights.iter().all(|&w| (1..=10).contains(&w)));
+    }
+
+    #[test]
+    fn random_bounded_deterministic() {
+        let a = random_bounded(30, 15, 2, 6, WeightSpec::Unit, 7);
+        let b = random_bounded(30, 15, 2, 6, WeightSpec::Unit, 7);
+        assert_eq!(a.graph.adjacency(), b.graph.adjacency());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn random_bounded_capacity_check() {
+        let _ = random_bounded(100, 3, 2, 4, WeightSpec::Unit, 0);
+    }
+
+    #[test]
+    fn symmetric_kpp_structure() {
+        for p in 1..=5 {
+            let inst = symmetric_kpp(p, 1);
+            assert_eq!(inst.n_subsets, p);
+            assert_eq!(inst.n_elements(), p);
+            assert_eq!(inst.f(), p);
+            assert_eq!(inst.k(), p);
+            // Complete bipartite: every subset contains every element.
+            for s in 0..p {
+                let mut m: Vec<usize> = inst.members(s).collect();
+                m.sort_unstable();
+                assert_eq!(m, (0..p).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_kpp_port_symmetry() {
+        // The shift automorphism preserves ports: subset i's port j is
+        // element (i + j) mod p on every subset.
+        let p = 4;
+        let inst = symmetric_kpp(p, 1);
+        for i in 0..p {
+            let ports: Vec<usize> = inst.members(i).collect();
+            let expect: Vec<usize> = (0..p).map(|j| (i + j) % p).collect();
+            assert_eq!(ports, expect);
+        }
+        for m in 0..p {
+            let ports: Vec<usize> =
+                inst.graph.neighbors(inst.element_node(m)).map(|(_, s)| s).collect();
+            let expect: Vec<usize> = (0..p).map(|j| (m + j) % p).collect();
+            assert_eq!(ports, expect);
+        }
+    }
+
+    #[test]
+    fn grid_coverage_covers_everything() {
+        let inst = grid_coverage(12, 9, 3, 2, WeightSpec::Uniform(5), 3);
+        assert_eq!(inst.n_elements(), 12 * 9);
+        assert!(inst.is_cover(&vec![true; inst.n_subsets]));
+        assert!(inst.k() <= 25); // (2*2+1)^2
+        assert!(inst.f() <= 4); // ceil(5/3)^2
+    }
+}

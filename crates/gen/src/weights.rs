@@ -1,0 +1,116 @@
+//! Weight generators.
+//!
+//! The paper's model takes integer weights in `{1, …, W}` with W known to all
+//! nodes (§1.4) — "the algorithms are fast even if one chooses a very large
+//! value of W such as W = 2^64". The generators below produce the weight
+//! regimes the experiments sweep over.
+
+use crate::rng::Rng;
+
+/// How to draw node/subset weights.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightSpec {
+    /// All weights 1 (the unweighted case, W = 1).
+    Unit,
+    /// Uniform on `{1, …, w}`.
+    Uniform(u64),
+    /// Rounded geometric-ish spread over `{1, …, w}`: weight = `w^u` for
+    /// uniform `u ∈ [0,1)`, rounded up. Produces heavy weight skew, the
+    /// adversarial regime for proportional-offer algorithms.
+    LogUniform(u64),
+    /// Two classes: cheap (1) with the given probability, else expensive (w).
+    Bimodal {
+        /// The expensive weight.
+        w: u64,
+        /// Probability of drawing the cheap weight.
+        cheap_prob: f64,
+    },
+}
+
+impl WeightSpec {
+    /// Upper bound W implied by the spec.
+    pub fn max_weight(&self) -> u64 {
+        match *self {
+            WeightSpec::Unit => 1,
+            WeightSpec::Uniform(w) | WeightSpec::LogUniform(w) => w,
+            WeightSpec::Bimodal { w, .. } => w,
+        }
+    }
+
+    /// Draws one weight.
+    pub fn draw(&self, rng: &mut Rng) -> u64 {
+        match *self {
+            WeightSpec::Unit => 1,
+            WeightSpec::Uniform(w) => rng.range_u64(1, w),
+            WeightSpec::LogUniform(w) => {
+                let u = rng.f64();
+                let v = (w as f64).powf(u).ceil() as u64;
+                v.clamp(1, w)
+            }
+            WeightSpec::Bimodal { w, cheap_prob } => {
+                if rng.chance(cheap_prob) {
+                    1
+                } else {
+                    w
+                }
+            }
+        }
+    }
+
+    /// Draws `n` weights from a fresh stream for `seed`.
+    pub fn draw_many(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| self.draw(&mut rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_weights() {
+        let w = WeightSpec::Unit.draw_many(10, 0);
+        assert_eq!(w, vec![1; 10]);
+        assert_eq!(WeightSpec::Unit.max_weight(), 1);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let ws = WeightSpec::Uniform(100).draw_many(1000, 3);
+        assert!(ws.iter().all(|&w| (1..=100).contains(&w)));
+        // Should span a good part of the range.
+        assert!(*ws.iter().max().unwrap() > 80);
+        assert!(*ws.iter().min().unwrap() < 20);
+    }
+
+    #[test]
+    fn log_uniform_skews_low_but_reaches_high() {
+        let ws = WeightSpec::LogUniform(1 << 20).draw_many(2000, 5);
+        assert!(ws.iter().all(|&w| (1..=(1 << 20)).contains(&w)));
+        let low = ws.iter().filter(|&&w| w <= 1024).count();
+        assert!(low > 500, "log-uniform should put ~half the mass below sqrt(W)");
+        assert!(*ws.iter().max().unwrap() > 1 << 15);
+    }
+
+    #[test]
+    fn bimodal_mixes() {
+        let spec = WeightSpec::Bimodal { w: 1_000_000, cheap_prob: 0.5 };
+        let ws = spec.draw_many(1000, 7);
+        let cheap = ws.iter().filter(|&&w| w == 1).count();
+        assert!(ws.iter().all(|&w| w == 1 || w == 1_000_000));
+        assert!((300..700).contains(&cheap));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(
+            WeightSpec::Uniform(50).draw_many(20, 9),
+            WeightSpec::Uniform(50).draw_many(20, 9)
+        );
+        assert_ne!(
+            WeightSpec::Uniform(50).draw_many(20, 9),
+            WeightSpec::Uniform(50).draw_many(20, 10)
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the workload generators: every family respects its
+//! documented degree/size bounds, seeds are reproducible, and the special
+//! constructions have the structure the experiments rely on.
+
+use anonet_gen::{family, reduction, setcover, Rng, WeightSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn regular_graphs_are_regular(half_n in 3usize..20, d in 1usize..6, seed in any::<u64>()) {
+        let n = 2 * half_n;
+        prop_assume!(d < n);
+        let g = family::random_regular(n, d, seed);
+        prop_assert!((0..n).all(|v| g.degree(v) == d));
+        prop_assert_eq!(g.m(), n * d / 2);
+    }
+
+    #[test]
+    fn gnp_capped_bounds(n in 1usize..50, p in 0.0f64..1.0, cap in 1usize..8, seed in any::<u64>()) {
+        let g = family::gnp_capped(n, p, cap, seed);
+        prop_assert!(g.max_degree() <= cap);
+        prop_assert_eq!(g.n(), n);
+    }
+
+    #[test]
+    fn trees_are_trees(n in 1usize..60, cap in 2usize..8, seed in any::<u64>()) {
+        let g = family::random_tree(n, cap, seed);
+        prop_assert_eq!(g.m(), n - 1);
+        prop_assert!(g.max_degree() <= cap);
+        // Connected: BFS covers all nodes.
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for (_, u) in g.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        prop_assert_eq!(count, n);
+    }
+
+    #[test]
+    fn weights_in_declared_range(n in 1usize..100, w in 1u64..10_000, seed in any::<u64>()) {
+        for spec in [WeightSpec::Unit, WeightSpec::Uniform(w), WeightSpec::LogUniform(w)] {
+            let ws = spec.draw_many(n, seed);
+            prop_assert_eq!(ws.len(), n);
+            prop_assert!(ws.iter().all(|&x| x >= 1 && x <= spec.max_weight()));
+        }
+    }
+
+    #[test]
+    fn setcover_generator_bounds(
+        n_elem in 1usize..30,
+        extra_cap in 1usize..30,
+        f in 1usize..4,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let n_sub = n_elem.div_ceil(k) + extra_cap;
+        let inst = setcover::random_bounded(n_elem, n_sub, f, k, WeightSpec::Uniform(9), seed);
+        prop_assert!(inst.f() <= f);
+        prop_assert!(inst.k() <= k);
+        prop_assert_eq!(inst.n_elements(), n_elem);
+        // Coverable: every element has at least one subset.
+        for u in 0..n_elem {
+            prop_assert!(inst.containing(u).count() >= 1);
+        }
+    }
+
+    #[test]
+    fn symmetric_kpp_is_shift_invariant(p in 1usize..8, w in 1u64..100) {
+        let inst = setcover::symmetric_kpp(p, w);
+        // Port j of subset i is element (i + j) mod p and vice versa — the
+        // structure that makes i -> i+1 a port-preserving automorphism.
+        for i in 0..p {
+            let ports: Vec<usize> = inst.members(i).collect();
+            for (j, &e) in ports.iter().enumerate() {
+                prop_assert_eq!(e, (i + j) % p);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_reduction_structure(n in 2usize..60, p in 1usize..6) {
+        prop_assume!(n >= p);
+        let inst = reduction::cycle_cover_instance(n, p);
+        prop_assert_eq!(inst.f(), p);
+        prop_assert_eq!(inst.k(), p);
+        // Subset u covers exactly u..u+p-1.
+        for u in 0..n {
+            let members: Vec<usize> = inst.members(u).collect();
+            let expect: Vec<usize> = (0..p).map(|d| (u + d) % n).collect();
+            prop_assert_eq!(members, expect);
+        }
+        // Any valid cover, pushed through the extraction, is independent.
+        let mut rng = Rng::new(n as u64 * 31 + p as u64);
+        let mut cover = vec![false; n];
+        for v in 0..n {
+            cover[v] = rng.chance(0.7);
+        }
+        // Repair to a valid cover: ensure every element covered.
+        for u in 0..n {
+            if !inst.containing(u).any(|s| cover[s]) {
+                cover[u] = true;
+            }
+        }
+        prop_assert!(inst.is_cover(&cover));
+        let is = reduction::extract_independent_set(n, &cover);
+        prop_assert!(reduction::is_cycle_independent_set(n, &is));
+    }
+
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>()) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn permutations_are_permutations(n in 1usize..200, seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let p = rng.permutation(n);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn grid_coverage_full_parameter_grid() {
+    for (w, h, spacing, radius) in
+        [(6usize, 6usize, 1usize, 1usize), (10, 8, 2, 1), (9, 9, 3, 2), (12, 5, 5, 2)]
+    {
+        let inst =
+            setcover::grid_coverage(w, h, spacing, radius, WeightSpec::Uniform(5), 1);
+        assert!(inst.is_cover(&vec![true; inst.n_subsets]), "({w},{h},{spacing},{radius})");
+        assert!(inst.k() <= (2 * radius + 1) * (2 * radius + 1));
+    }
+}

@@ -1,0 +1,78 @@
+//! Adversarial fault injection for the self-stabilization experiments.
+//!
+//! Faults model arbitrary memory corruption of the *layered state* (the
+//! paper's model: local input and code are incorruptible, everything else is
+//! fair game). Type safety means we corrupt by rearranging valid states —
+//! swapping, duplicating, and rolling back layers — which subsumes the
+//! observable effect of bit-level corruption for a deterministic algorithm:
+//! any reachable-typed wrong state is some valid state of a different
+//! execution.
+
+use crate::transformer::SelfStabNode;
+use anonet_gen::Rng;
+use anonet_sim::PnAlgorithm;
+
+/// A corruption plan: at each listed round, scramble the given fraction of
+/// nodes.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Rounds (1-based) at which the adversary strikes.
+    pub rounds: Vec<u64>,
+    /// Fraction of nodes corrupted per strike (0, 1].
+    pub fraction: f64,
+    /// RNG seed for victim selection and scrambling.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The last round at which a fault occurs (0 if none).
+    pub fn last_fault_round(&self) -> u64 {
+        self.rounds.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Scrambles the layered state of one node: random layer swaps and
+/// overwrites.
+pub fn scramble_node<A: PnAlgorithm + Clone>(node: &mut SelfStabNode<A>, rng: &mut Rng)
+where
+    A::Input: Clone + Send + Sync,
+    A::Output: PartialEq,
+{
+    let layers = node.layers.len();
+    for _ in 0..layers {
+        match rng.below(3) {
+            0 => {
+                let (i, j) = (rng.index(layers), rng.index(layers));
+                node.layers.swap(i, j);
+            }
+            1 => {
+                let (i, j) = (rng.index(layers), rng.index(layers));
+                node.layers[j] = node.layers[i].clone();
+            }
+            _ => {
+                // Roll a layer back to the initial state.
+                let i = rng.index(layers);
+                node.layers[i] = node.layers[0].clone();
+            }
+        }
+    }
+}
+
+/// Applies one strike of the plan to the node array.
+pub fn strike<A: PnAlgorithm + Clone>(
+    nodes: &mut [SelfStabNode<A>],
+    fraction: f64,
+    rng: &mut Rng,
+) -> usize
+where
+    A::Input: Clone + Send + Sync,
+    A::Output: PartialEq,
+{
+    let n = nodes.len();
+    let victims = ((n as f64 * fraction).ceil() as usize).clamp(1, n);
+    let perm = rng.permutation(n);
+    for &v in perm.iter().take(victims) {
+        scramble_node(&mut nodes[v], rng);
+    }
+    victims
+}

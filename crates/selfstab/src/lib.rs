@@ -1,0 +1,19 @@
+//! # anonet-selfstab
+//!
+//! Self-stabilization for the paper's strictly local algorithms. §1.5 notes
+//! that because the algorithms are deterministic and run in time independent
+//! of n, "standard techniques \[4, 5, 23\] can be used to convert our
+//! algorithms into efficient self-stabilising algorithms". This crate
+//! implements the \[23\] transformer (layered full recomputation) generically
+//! over any [`anonet_sim::PnAlgorithm`], plus an adversarial fault injector,
+//! and the experiment E11 verifies the T+1-round recovery bound for the §3
+//! edge-packing algorithm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod transformer;
+
+pub use faults::{scramble_node, strike, FaultPlan};
+pub use transformer::{SelfStabConfig, SelfStabHarness, SelfStabNode};

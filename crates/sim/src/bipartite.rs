@@ -1,0 +1,254 @@
+//! Set-cover instances as bipartite communication graphs (§1.2).
+//!
+//! A set cover instance is a bipartite graph `H = (S ∪ U, A)`: subset nodes
+//! `S` carry positive weights, element nodes `U` carry none, and an edge
+//! `{s, u}` means element `u` belongs to subset `s`. In the distributed
+//! model *both* subset and element nodes are computational entities.
+//!
+//! Convention: nodes `0..n_subsets` are the subset nodes, nodes
+//! `n_subsets..n_subsets+n_elements` are the elements.
+
+use crate::graph::{Graph, GraphError};
+use std::fmt;
+
+/// A weighted set-cover instance over a bipartite communication graph.
+#[derive(Clone, Debug)]
+pub struct SetCoverInstance {
+    /// The bipartite graph; subsets first, then elements.
+    pub graph: Graph,
+    /// Number of subset nodes (`|S|`).
+    pub n_subsets: usize,
+    /// Subset weights, indexed by subset node id; all ≥ 1.
+    pub weights: Vec<u64>,
+}
+
+/// Errors raised by [`SetCoverInstance::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetCoverError {
+    /// Underlying graph error.
+    Graph(GraphError),
+    /// An edge connects two subsets or two elements.
+    NotBipartite {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// Weight vector length must equal the number of subsets.
+    WeightLength {
+        /// Provided length.
+        got: usize,
+        /// Expected length (`n_subsets`).
+        want: usize,
+    },
+    /// Weights must be positive.
+    ZeroWeight(usize),
+    /// An element with no incident subset can never be covered.
+    UncoverableElement(usize),
+}
+
+impl fmt::Display for SetCoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetCoverError::Graph(e) => write!(f, "graph error: {e}"),
+            SetCoverError::NotBipartite { u, v } => {
+                write!(f, "edge {{{u},{v}}} does not cross the bipartition")
+            }
+            SetCoverError::WeightLength { got, want } => {
+                write!(f, "got {got} weights for {want} subsets")
+            }
+            SetCoverError::ZeroWeight(s) => write!(f, "subset {s} has zero weight"),
+            SetCoverError::UncoverableElement(u) => {
+                write!(f, "element {u} belongs to no subset")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetCoverError {}
+
+impl SetCoverInstance {
+    /// Builds an instance from membership lists: `members[s]` is the ordered
+    /// list of elements (0-based element indices) of subset `s`. The order of
+    /// the lists defines the port numbering.
+    pub fn new(
+        n_elements: usize,
+        members: &[Vec<usize>],
+        weights: Vec<u64>,
+    ) -> Result<Self, SetCoverError> {
+        let n_subsets = members.len();
+        if weights.len() != n_subsets {
+            return Err(SetCoverError::WeightLength { got: weights.len(), want: n_subsets });
+        }
+        if let Some(s) = weights.iter().position(|&w| w == 0) {
+            return Err(SetCoverError::ZeroWeight(s));
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_subsets + n_elements];
+        for (s, elems) in members.iter().enumerate() {
+            for &u in elems {
+                assert!(u < n_elements, "element index {u} out of range");
+                adj[s].push(n_subsets + u);
+                adj[n_subsets + u].push(s);
+            }
+        }
+        let graph = Graph::from_adjacency(adj).map_err(SetCoverError::Graph)?;
+        let inst = SetCoverInstance { graph, n_subsets, weights };
+        if let Some(u) = (0..inst.n_elements()).find(|&u| inst.graph.degree(inst.element_node(u)) == 0)
+        {
+            return Err(SetCoverError::UncoverableElement(u));
+        }
+        Ok(inst)
+    }
+
+    /// Builds an instance with explicit port ordering on both sides:
+    /// `subset_ports[s]` lists element indices in `s`'s port order and
+    /// `element_ports[u]` lists subset indices in `u`'s port order (the two
+    /// must describe the same edge set). Needed for the symmetric Fig. 3
+    /// instances.
+    pub fn with_ports(
+        subset_ports: &[Vec<usize>],
+        element_ports: &[Vec<usize>],
+        weights: Vec<u64>,
+    ) -> Result<Self, SetCoverError> {
+        let n_subsets = subset_ports.len();
+        let n_elements = element_ports.len();
+        if weights.len() != n_subsets {
+            return Err(SetCoverError::WeightLength { got: weights.len(), want: n_subsets });
+        }
+        if let Some(s) = weights.iter().position(|&w| w == 0) {
+            return Err(SetCoverError::ZeroWeight(s));
+        }
+        let mut adj: Vec<Vec<usize>> = Vec::with_capacity(n_subsets + n_elements);
+        for elems in subset_ports {
+            adj.push(elems.iter().map(|&u| n_subsets + u).collect());
+        }
+        for subs in element_ports {
+            adj.push(subs.to_vec());
+        }
+        let graph = Graph::from_adjacency(adj).map_err(SetCoverError::Graph)?;
+        let inst = SetCoverInstance { graph, n_subsets, weights };
+        if let Some(u) = (0..inst.n_elements()).find(|&u| inst.graph.degree(inst.element_node(u)) == 0)
+        {
+            return Err(SetCoverError::UncoverableElement(u));
+        }
+        Ok(inst)
+    }
+
+    /// Number of element nodes (`|U|`).
+    pub fn n_elements(&self) -> usize {
+        self.graph.n() - self.n_subsets
+    }
+
+    /// Graph node id of element `u`.
+    pub fn element_node(&self, u: usize) -> usize {
+        self.n_subsets + u
+    }
+
+    /// True iff graph node `v` is a subset node.
+    pub fn is_subset(&self, v: usize) -> bool {
+        v < self.n_subsets
+    }
+
+    /// Maximum element degree `f` (every element is in ≤ f subsets).
+    pub fn f(&self) -> usize {
+        (0..self.n_elements())
+            .map(|u| self.graph.degree(self.element_node(u)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum subset size `k`.
+    pub fn k(&self) -> usize {
+        (0..self.n_subsets).map(|s| self.graph.degree(s)).max().unwrap_or(0)
+    }
+
+    /// Maximum subset weight `W`.
+    pub fn max_weight(&self) -> u64 {
+        self.weights.iter().copied().max().unwrap_or(1)
+    }
+
+    /// Elements of subset `s` (0-based element indices, port order).
+    pub fn members(&self, s: usize) -> impl Iterator<Item = usize> + '_ {
+        self.graph.neighbors(s).map(move |(_, v)| v - self.n_subsets)
+    }
+
+    /// Subsets containing element `u` (port order).
+    pub fn containing(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.graph.neighbors(self.element_node(u)).map(|(_, s)| s)
+    }
+
+    /// Checks that `cover[s]` (indexed by subset) covers every element.
+    pub fn is_cover(&self, cover: &[bool]) -> bool {
+        (0..self.n_elements()).all(|u| self.containing(u).any(|s| cover[s]))
+    }
+
+    /// Total weight of a cover.
+    pub fn cover_weight(&self, cover: &[bool]) -> u64 {
+        (0..self.n_subsets).filter(|&s| cover[s]).map(|s| self.weights[s]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetCoverInstance {
+        // s0 = {e0, e1}, s1 = {e1, e2}, s2 = {e2}
+        SetCoverInstance::new(3, &[vec![0, 1], vec![1, 2], vec![2]], vec![3, 5, 2]).unwrap()
+    }
+
+    #[test]
+    fn structure() {
+        let i = small();
+        assert_eq!(i.n_subsets, 3);
+        assert_eq!(i.n_elements(), 3);
+        assert_eq!(i.f(), 2); // e1 and e2 are in two subsets
+        assert_eq!(i.k(), 2);
+        assert_eq!(i.max_weight(), 5);
+        assert_eq!(i.members(0).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(i.containing(1).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn cover_checks() {
+        let i = small();
+        assert!(i.is_cover(&[true, true, false]));
+        assert!(!i.is_cover(&[true, false, false]));
+        assert!(i.is_cover(&[true, false, true]));
+        assert_eq!(i.cover_weight(&[true, false, true]), 5);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            SetCoverInstance::new(1, &[vec![0]], vec![]).unwrap_err(),
+            SetCoverError::WeightLength { got: 0, want: 1 }
+        );
+        assert_eq!(
+            SetCoverInstance::new(1, &[vec![0]], vec![0]).unwrap_err(),
+            SetCoverError::ZeroWeight(0)
+        );
+        assert_eq!(
+            SetCoverInstance::new(2, &[vec![0]], vec![1]).unwrap_err(),
+            SetCoverError::UncoverableElement(1)
+        );
+    }
+
+    #[test]
+    fn with_ports_controls_both_sides() {
+        // K_{2,2} with cyclic port structure.
+        let i = SetCoverInstance::with_ports(
+            &[vec![0, 1], vec![1, 0]],
+            &[vec![0, 1], vec![1, 0]],
+            vec![1, 1],
+        )
+        .unwrap();
+        assert_eq!(i.f(), 2);
+        assert_eq!(i.k(), 2);
+        // Subset 1's port 0 is element 1.
+        assert_eq!(i.members(1).collect::<Vec<_>>(), vec![1, 0]);
+        // Element node 1's port 1 is subset 0.
+        let nb: Vec<(usize, usize)> = i.graph.neighbors(i.element_node(1)).collect();
+        assert_eq!(nb, vec![(0, 1), (1, 0)]);
+    }
+}

@@ -1,0 +1,749 @@
+//! Synchronous round engines for both computation models.
+//!
+//! A round is executed in two phases, exactly as §1.3 prescribes: every node
+//! first produces its outgoing messages (from its state *before* the round),
+//! then every node consumes the messages delivered along its edges. The
+//! two-phase structure makes nodes trivially independent within a phase, so
+//! the parallel path partitions nodes into contiguous ranges and fans the
+//! phase out over scoped threads (CSR keeps each node's out-arc slots
+//! contiguous, so the per-range message buffers are disjoint `&mut` slices —
+//! Rayon-style data parallelism with no locks and no unsafe code).
+//!
+//! Determinism: the parallel engine produces bit-identical results to the
+//! sequential one (tested), because phases are barriers and no node reads
+//! another node's *current*-round state.
+
+use crate::graph::Graph;
+use crate::model::{BcastAlgorithm, MessageSize, PnAlgorithm};
+use std::fmt;
+use std::ops::Range;
+
+/// Instrumentation collected by an engine run.
+///
+/// `messages`/bit counts follow the model: every node sends on every incident
+/// edge in every round (halted nodes send the empty default message).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Number of completed communication rounds.
+    pub rounds: u64,
+    /// Total messages delivered (arcs × rounds).
+    pub messages: u64,
+    /// Total payload bits across all delivered messages.
+    pub total_bits: u64,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: u64,
+}
+
+/// Errors from an engine run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The round limit was reached before every node halted.
+    RoundLimit {
+        /// The limit that was exceeded.
+        limit: u64,
+        /// How many nodes had already halted.
+        halted: usize,
+        /// Total number of nodes.
+        n: usize,
+    },
+    /// The number of inputs does not match the number of nodes.
+    InputLength {
+        /// Number of inputs provided.
+        got: usize,
+        /// Number of nodes in the graph.
+        want: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RoundLimit { limit, halted, n } => write!(
+                f,
+                "round limit {limit} reached with only {halted}/{n} nodes halted"
+            ),
+            SimError::InputLength { got, want } => {
+                write!(f, "got {got} inputs for {want} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outputs plus instrumentation from a completed run.
+#[derive(Clone, Debug)]
+pub struct RunResult<O> {
+    /// Per-node outputs, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Instrumentation.
+    pub trace: Trace,
+}
+
+/// Splits `0..n` into at most `parts` contiguous non-empty ranges.
+pub(crate) fn partition(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Splits `data` into consecutive `&mut` chunks with the given sizes.
+fn split_sizes<'a, T>(mut data: &'a mut [T], sizes: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &s in sizes {
+        let (head, tail) = data.split_at_mut(s);
+        out.push(head);
+        data = tail;
+    }
+    debug_assert!(data.is_empty());
+    out
+}
+
+/// An in-flight port-numbering-model execution.
+///
+/// [`PnEngine::step`] advances one synchronous round; [`run_pn`] is the
+/// run-to-completion convenience wrapper. `threads > 1` enables the parallel
+/// path.
+pub struct PnEngine<'a, A: PnAlgorithm> {
+    graph: &'a Graph,
+    cfg: &'a A::Config,
+    states: Vec<A>,
+    outputs: Vec<Option<A::Output>>,
+    buf: Vec<A::Msg>,
+    halted: usize,
+    trace: Trace,
+    threads: usize,
+}
+
+impl<'a, A: PnAlgorithm> PnEngine<'a, A> {
+    /// Initialises every node. `inputs` is indexed by node id.
+    pub fn new(
+        graph: &'a Graph,
+        cfg: &'a A::Config,
+        inputs: &[A::Input],
+        threads: usize,
+    ) -> Result<Self, SimError> {
+        if inputs.len() != graph.n() {
+            return Err(SimError::InputLength { got: inputs.len(), want: graph.n() });
+        }
+        let states = (0..graph.n())
+            .map(|v| A::init(cfg, graph.degree(v), &inputs[v]))
+            .collect();
+        Ok(PnEngine {
+            graph,
+            cfg,
+            states,
+            outputs: vec![None; graph.n()],
+            buf: (0..graph.arcs()).map(|_| A::Msg::default()).collect(),
+            halted: 0,
+            trace: Trace::default(),
+            threads: threads.max(1),
+        })
+    }
+
+    /// Number of nodes that have halted.
+    pub fn halted(&self) -> usize {
+        self.halted
+    }
+
+    /// Completed rounds so far.
+    pub fn round(&self) -> u64 {
+        self.trace.rounds
+    }
+
+    /// Read access to node states (white-box tests and instrumentation only —
+    /// a real distributed node cannot see this).
+    pub fn states(&self) -> &[A] {
+        &self.states
+    }
+
+    /// Mutable access to node states — the **fault-injection hook** used by
+    /// the self-stabilization experiments to model adversarial memory
+    /// corruption between rounds. Never used by algorithms themselves.
+    pub fn states_mut(&mut self) -> &mut [A] {
+        &mut self.states
+    }
+
+    /// Instrumentation so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Runs one synchronous round; returns `true` when every node has halted.
+    pub fn step(&mut self) -> bool {
+        let round = self.trace.rounds + 1;
+        let g = self.graph;
+        let n = g.n();
+        let parts = partition(n, self.threads);
+
+        // Phase 1: send. Each range owns the contiguous out-arc slice of its
+        // nodes.
+        let arc_sizes: Vec<usize> = parts
+            .iter()
+            .map(|r| g.arc_range(r.end.saturating_sub(1)).end - g.arc_range(r.start).start)
+            .collect();
+        {
+            let cfg = self.cfg;
+            let states = &self.states;
+            let outputs = &self.outputs;
+            let buf_chunks = split_sizes(&mut self.buf, &arc_sizes);
+            if parts.len() == 1 {
+                send_range(g, cfg, states, outputs, parts[0].clone(), buf_chunks.into_iter().next().unwrap(), round);
+            } else {
+                std::thread::scope(|s| {
+                    for (range, chunk) in parts.iter().cloned().zip(buf_chunks) {
+                        let states = &states;
+                        let outputs = &outputs;
+                        s.spawn(move || send_range(g, cfg, states, outputs, range, chunk, round));
+                    }
+                });
+            }
+        }
+
+        // Instrumentation over the full buffer.
+        let (bits, maxb) = measure(&self.buf, &parts, self.graph, self.threads);
+        self.trace.messages += g.arcs() as u64;
+        self.trace.total_bits += bits;
+        self.trace.max_message_bits = self.trace.max_message_bits.max(maxb);
+
+        // Phase 2: receive.
+        {
+            let cfg = self.cfg;
+            let buf = &self.buf;
+            let state_sizes: Vec<usize> = parts.iter().map(|r| r.len()).collect();
+            let state_chunks = split_sizes(&mut self.states, &state_sizes);
+            let out_chunks = split_sizes(&mut self.outputs, &state_sizes);
+            let newly: u64 = if parts.len() == 1 {
+                let (sc, oc) = (
+                    state_chunks.into_iter().next().unwrap(),
+                    out_chunks.into_iter().next().unwrap(),
+                );
+                recv_range::<A>(g, cfg, buf, parts[0].clone(), sc, oc, round)
+            } else {
+                std::thread::scope(|s| {
+                    let mut handles = Vec::new();
+                    for ((range, sc), oc) in
+                        parts.iter().cloned().zip(state_chunks).zip(out_chunks)
+                    {
+                        handles.push(
+                            s.spawn(move || recv_range::<A>(g, cfg, buf, range, sc, oc, round)),
+                        );
+                    }
+                    handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+                })
+            };
+            self.halted += newly as usize;
+        }
+
+        self.trace.rounds = round;
+        self.halted == n
+    }
+
+    /// Consumes the engine, returning outputs if all nodes have halted.
+    pub fn finish(self) -> Result<RunResult<A::Output>, Self> {
+        if self.halted == self.graph.n() {
+            Ok(RunResult {
+                outputs: self.outputs.into_iter().map(|o| o.expect("halted")).collect(),
+                trace: self.trace,
+            })
+        } else {
+            Err(self)
+        }
+    }
+}
+
+fn send_range<A: PnAlgorithm>(
+    g: &Graph,
+    cfg: &A::Config,
+    states: &[A],
+    outputs: &[Option<A::Output>],
+    range: Range<usize>,
+    chunk: &mut [A::Msg],
+    round: u64,
+) {
+    let base = g.arc_range(range.start).start;
+    for slot in chunk.iter_mut() {
+        *slot = A::Msg::default();
+    }
+    for v in range {
+        if outputs[v].is_some() {
+            continue; // halted: default messages already in place
+        }
+        let r = g.arc_range(v);
+        states[v].send(cfg, round, &mut chunk[r.start - base..r.end - base]);
+    }
+}
+
+fn recv_range<A: PnAlgorithm>(
+    g: &Graph,
+    cfg: &A::Config,
+    buf: &[A::Msg],
+    range: Range<usize>,
+    states: &mut [A],
+    outputs: &mut [Option<A::Output>],
+    round: u64,
+) -> u64 {
+    let base = range.start;
+    let mut scratch: Vec<&A::Msg> = Vec::new();
+    let mut newly_halted = 0;
+    for v in range {
+        if outputs[v - base].is_some() {
+            continue;
+        }
+        scratch.clear();
+        for a in g.arc_range(v) {
+            scratch.push(&buf[g.rev(a)]);
+        }
+        if let Some(out) = states[v - base].receive(cfg, round, &scratch) {
+            outputs[v - base] = Some(out);
+            newly_halted += 1;
+        }
+    }
+    newly_halted
+}
+
+fn measure<M: MessageSize + Sync>(
+    buf: &[M],
+    parts: &[Range<usize>],
+    g: &Graph,
+    threads: usize,
+) -> (u64, u64) {
+    if threads <= 1 || parts.len() <= 1 {
+        let mut total = 0;
+        let mut max = 0;
+        for m in buf {
+            let b = m.approx_bits();
+            total += b;
+            max = max.max(b);
+        }
+        (total, max)
+    } else {
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for r in parts {
+                let slice = &buf[g.arc_range(r.start).start..g.arc_range(r.end - 1).end];
+                handles.push(s.spawn(move || {
+                    let mut total = 0u64;
+                    let mut max = 0u64;
+                    for m in slice {
+                        let b = m.approx_bits();
+                        total += b;
+                        max = max.max(b);
+                    }
+                    (total, max)
+                }));
+            }
+            let mut total = 0;
+            let mut max = 0;
+            for h in handles {
+                let (t, mx) = h.join().expect("worker panicked");
+                total += t;
+                max = max.max(mx);
+            }
+            (total, max)
+        })
+    }
+}
+
+/// Runs a port-numbering algorithm to completion.
+pub fn run_pn<A: PnAlgorithm>(
+    graph: &Graph,
+    cfg: &A::Config,
+    inputs: &[A::Input],
+    max_rounds: u64,
+) -> Result<RunResult<A::Output>, SimError> {
+    run_pn_threads::<A>(graph, cfg, inputs, max_rounds, 1)
+}
+
+/// Runs a port-numbering algorithm to completion on `threads` threads.
+pub fn run_pn_threads<A: PnAlgorithm>(
+    graph: &Graph,
+    cfg: &A::Config,
+    inputs: &[A::Input],
+    max_rounds: u64,
+    threads: usize,
+) -> Result<RunResult<A::Output>, SimError> {
+    let mut engine = PnEngine::<A>::new(graph, cfg, inputs, threads)?;
+    for _ in 0..max_rounds {
+        if engine.step() {
+            return Ok(engine.finish().ok().expect("all halted"));
+        }
+    }
+    Err(SimError::RoundLimit { limit: max_rounds, halted: engine.halted(), n: graph.n() })
+}
+
+/// An in-flight broadcast-model execution (see [`PnEngine`] for the driving
+/// protocol). Incoming messages are delivered as a canonically sorted
+/// multiset.
+pub struct BcastEngine<'a, A: BcastAlgorithm> {
+    graph: &'a Graph,
+    cfg: &'a A::Config,
+    states: Vec<A>,
+    outputs: Vec<Option<A::Output>>,
+    buf: Vec<A::Msg>,
+    halted: usize,
+    trace: Trace,
+    threads: usize,
+}
+
+impl<'a, A: BcastAlgorithm> BcastEngine<'a, A> {
+    /// Initialises every node. `inputs` is indexed by node id.
+    pub fn new(
+        graph: &'a Graph,
+        cfg: &'a A::Config,
+        inputs: &[A::Input],
+        threads: usize,
+    ) -> Result<Self, SimError> {
+        if inputs.len() != graph.n() {
+            return Err(SimError::InputLength { got: inputs.len(), want: graph.n() });
+        }
+        let states =
+            (0..graph.n()).map(|v| A::init(cfg, graph.degree(v), &inputs[v])).collect();
+        Ok(BcastEngine {
+            graph,
+            cfg,
+            states,
+            outputs: vec![None; graph.n()],
+            buf: (0..graph.n()).map(|_| A::Msg::default()).collect(),
+            halted: 0,
+            trace: Trace::default(),
+            threads: threads.max(1),
+        })
+    }
+
+    /// Number of halted nodes.
+    pub fn halted(&self) -> usize {
+        self.halted
+    }
+
+    /// Completed rounds so far.
+    pub fn round(&self) -> u64 {
+        self.trace.rounds
+    }
+
+    /// Read access to node states (instrumentation only).
+    pub fn states(&self) -> &[A] {
+        &self.states
+    }
+
+    /// Instrumentation so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Runs one synchronous round; returns `true` when every node has halted.
+    pub fn step(&mut self) -> bool {
+        let round = self.trace.rounds + 1;
+        let g = self.graph;
+        let n = g.n();
+        let parts = partition(n, self.threads);
+
+        // Phase 1: send (one message per node).
+        {
+            let cfg = self.cfg;
+            let states = &self.states;
+            let outputs = &self.outputs;
+            let sizes: Vec<usize> = parts.iter().map(|r| r.len()).collect();
+            let chunks = split_sizes(&mut self.buf, &sizes);
+            let do_range = |range: Range<usize>, chunk: &mut [A::Msg]| {
+                for v in range.clone() {
+                    chunk[v - range.start] = if outputs[v].is_some() {
+                        A::Msg::default()
+                    } else {
+                        states[v].send(cfg, round)
+                    };
+                }
+            };
+            if parts.len() == 1 {
+                do_range(parts[0].clone(), chunks.into_iter().next().unwrap());
+            } else {
+                std::thread::scope(|s| {
+                    for (range, chunk) in parts.iter().cloned().zip(chunks) {
+                        let do_range = &do_range;
+                        s.spawn(move || do_range(range, chunk));
+                    }
+                });
+            }
+        }
+
+        // Instrumentation: each node's broadcast is delivered along each
+        // incident edge.
+        {
+            let mut total = 0u64;
+            let mut max = 0u64;
+            for (v, m) in self.buf.iter().enumerate() {
+                let b = m.approx_bits();
+                total += b * g.degree(v) as u64;
+                max = max.max(b);
+            }
+            self.trace.messages += g.arcs() as u64;
+            self.trace.total_bits += total;
+            self.trace.max_message_bits = self.trace.max_message_bits.max(max);
+        }
+
+        // Phase 2: receive sorted multisets.
+        {
+            let cfg = self.cfg;
+            let buf = &self.buf;
+            let sizes: Vec<usize> = parts.iter().map(|r| r.len()).collect();
+            let state_chunks = split_sizes(&mut self.states, &sizes);
+            let out_chunks = split_sizes(&mut self.outputs, &sizes);
+            let do_range = |range: Range<usize>,
+                            states: &mut [A],
+                            outputs: &mut [Option<A::Output>]|
+             -> u64 {
+                let base = range.start;
+                let mut scratch: Vec<&A::Msg> = Vec::new();
+                let mut newly = 0;
+                for v in range {
+                    if outputs[v - base].is_some() {
+                        continue;
+                    }
+                    scratch.clear();
+                    scratch.extend(g.neighbors(v).map(|(_, u)| &buf[u]));
+                    // Canonical multiset order: the algorithm cannot learn
+                    // which neighbour sent which message.
+                    scratch.sort();
+                    if let Some(out) = states[v - base].receive(cfg, round, &scratch) {
+                        outputs[v - base] = Some(out);
+                        newly += 1;
+                    }
+                }
+                newly
+            };
+            let newly: u64 = if parts.len() == 1 {
+                let (sc, oc) = (
+                    state_chunks.into_iter().next().unwrap(),
+                    out_chunks.into_iter().next().unwrap(),
+                );
+                do_range(parts[0].clone(), sc, oc)
+            } else {
+                std::thread::scope(|s| {
+                    let mut handles = Vec::new();
+                    for ((range, sc), oc) in
+                        parts.iter().cloned().zip(state_chunks).zip(out_chunks)
+                    {
+                        let do_range = &do_range;
+                        handles.push(s.spawn(move || do_range(range, sc, oc)));
+                    }
+                    handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+                })
+            };
+            self.halted += newly as usize;
+        }
+
+        self.trace.rounds = round;
+        self.halted == n
+    }
+
+    /// Consumes the engine, returning outputs if all nodes have halted.
+    pub fn finish(self) -> Result<RunResult<A::Output>, Self> {
+        if self.halted == self.graph.n() {
+            Ok(RunResult {
+                outputs: self.outputs.into_iter().map(|o| o.expect("halted")).collect(),
+                trace: self.trace,
+            })
+        } else {
+            Err(self)
+        }
+    }
+}
+
+/// Runs a broadcast algorithm to completion.
+pub fn run_bcast<A: BcastAlgorithm>(
+    graph: &Graph,
+    cfg: &A::Config,
+    inputs: &[A::Input],
+    max_rounds: u64,
+) -> Result<RunResult<A::Output>, SimError> {
+    run_bcast_threads::<A>(graph, cfg, inputs, max_rounds, 1)
+}
+
+/// Runs a broadcast algorithm to completion on `threads` threads.
+pub fn run_bcast_threads<A: BcastAlgorithm>(
+    graph: &Graph,
+    cfg: &A::Config,
+    inputs: &[A::Input],
+    max_rounds: u64,
+    threads: usize,
+) -> Result<RunResult<A::Output>, SimError> {
+    let mut engine = BcastEngine::<A>::new(graph, cfg, inputs, threads)?;
+    for _ in 0..max_rounds {
+        if engine.step() {
+            return Ok(engine.finish().ok().expect("all halted"));
+        }
+    }
+    Err(SimError::RoundLimit { limit: max_rounds, halted: engine.halted(), n: graph.n() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test algorithm: every node learns the maximum degree within distance
+    /// `rounds_budget` and halts; messages carry the best value seen.
+    struct MaxDegreeProbe {
+        best: u64,
+        budget: u64,
+    }
+
+    impl PnAlgorithm for MaxDegreeProbe {
+        type Msg = u64;
+        type Input = ();
+        type Output = u64;
+        type Config = u64; // number of rounds to run
+
+        fn init(cfg: &u64, degree: usize, _input: &()) -> Self {
+            MaxDegreeProbe { best: degree as u64, budget: *cfg }
+        }
+        fn send(&self, _cfg: &u64, _round: u64, out: &mut [u64]) {
+            for o in out {
+                *o = self.best;
+            }
+        }
+        fn receive(&mut self, _cfg: &u64, round: u64, incoming: &[&u64]) -> Option<u64> {
+            for &&m in incoming {
+                self.best = self.best.max(m);
+            }
+            (round >= self.budget).then_some(self.best)
+        }
+    }
+
+    fn star(leaves: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (1..=leaves).map(|v| (0, v)).collect();
+        Graph::from_edges(leaves + 1, &edges).unwrap()
+    }
+
+    #[test]
+    fn probe_converges_on_star() {
+        let g = star(5);
+        let inputs = vec![(); 6];
+        let res = run_pn::<MaxDegreeProbe>(&g, &2, &inputs, 10).unwrap();
+        assert_eq!(res.outputs, vec![5; 6]);
+        assert_eq!(res.trace.rounds, 2);
+        assert_eq!(res.trace.messages, 2 * g.arcs() as u64);
+    }
+
+    #[test]
+    fn round_limit_error() {
+        let g = star(3);
+        let inputs = vec![(); 4];
+        let err = run_pn::<MaxDegreeProbe>(&g, &5, &inputs, 3).unwrap_err();
+        assert_eq!(err, SimError::RoundLimit { limit: 3, halted: 0, n: 4 });
+    }
+
+    #[test]
+    fn input_length_error() {
+        let g = star(3);
+        let err = run_pn::<MaxDegreeProbe>(&g, &1, &[(), ()], 3).unwrap_err();
+        assert_eq!(err, SimError::InputLength { got: 2, want: 4 });
+    }
+
+    #[test]
+    fn parallel_matches_sequential_pn() {
+        // A graph big enough to exercise several chunks.
+        let n = 257;
+        let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let inputs = vec![(); n];
+        let seq = run_pn::<MaxDegreeProbe>(&g, &7, &inputs, 100).unwrap();
+        for t in [2, 3, 8] {
+            let par = run_pn_threads::<MaxDegreeProbe>(&g, &7, &inputs, 100, t).unwrap();
+            assert_eq!(par.outputs, seq.outputs, "threads={t}");
+            assert_eq!(par.trace, seq.trace, "threads={t}");
+        }
+    }
+
+    /// Broadcast test algorithm: nodes exchange degree multisets; output is
+    /// the sorted multiset of neighbour degrees (tests multiset delivery).
+    struct DegreeCensus {
+        degree: u64,
+        seen: Vec<u64>,
+    }
+
+    impl BcastAlgorithm for DegreeCensus {
+        type Msg = u64;
+        type Input = ();
+        type Output = Vec<u64>;
+        type Config = ();
+
+        fn init(_cfg: &(), degree: usize, _input: &()) -> Self {
+            DegreeCensus { degree: degree as u64, seen: Vec::new() }
+        }
+        fn send(&self, _cfg: &(), _round: u64) -> u64 {
+            self.degree
+        }
+        fn receive(&mut self, _cfg: &(), _round: u64, incoming: &[&u64]) -> Option<Vec<u64>> {
+            self.seen = incoming.iter().map(|&&m| m).collect();
+            Some(self.seen.clone())
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_sorted_multiset() {
+        // Path 0-1-2 plus leaf 3 on node 1: node 1 has degree 3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap();
+        let res = run_bcast::<DegreeCensus>(&g, &(), &vec![(); 4], 5).unwrap();
+        assert_eq!(res.outputs[0], vec![3]);
+        assert_eq!(res.outputs[1], vec![1, 1, 1]);
+        assert_eq!(res.outputs[2], vec![3]);
+        assert_eq!(res.trace.rounds, 1);
+    }
+
+    #[test]
+    fn broadcast_sender_oblivious() {
+        // Regardless of port order, the received multiset is identical.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap();
+        let r = g.reorder_ports(|_, old| old.iter().rev().copied().collect());
+        let a = run_bcast::<DegreeCensus>(&g, &(), &vec![(); 4], 5).unwrap();
+        let b = run_bcast::<DegreeCensus>(&r, &(), &vec![(); 4], 5).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bcast() {
+        let n = 128;
+        let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let seq = run_bcast::<DegreeCensus>(&g, &(), &vec![(); n], 5).unwrap();
+        let par = run_bcast_threads::<DegreeCensus>(&g, &(), &vec![(); n], 5, 4).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.trace, par.trace);
+    }
+
+    #[test]
+    fn partition_covers_range() {
+        for n in [0usize, 1, 5, 16, 17] {
+            for p in [1usize, 2, 3, 8, 40] {
+                let parts = partition(n, p);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for r in &parts {
+                    assert_eq!(r.start, prev_end);
+                    assert!(!r.is_empty());
+                    covered += r.len();
+                    prev_end = r.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_halt() {
+        let g = Graph::from_edges(3, &[]).unwrap();
+        let res = run_pn::<MaxDegreeProbe>(&g, &1, &vec![(); 3], 2).unwrap();
+        assert_eq!(res.outputs, vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,400 @@
+//! Communication graphs in CSR form with explicit port numbering.
+//!
+//! The paper's port-numbering model (§1.3) lets a node of degree d refer to
+//! its neighbours by integers 1..d. Here ports are 0-based indices into the
+//! node's contiguous arc range; the *order of the adjacency lists defines the
+//! port numbering*, so generators that need adversarial or symmetric port
+//! assignments (e.g. Fig. 3) simply order the lists accordingly.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// Error raised by graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Endpoint out of range.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// Self-loops are not allowed (simple graphs only, per the paper).
+    SelfLoop(usize),
+    /// Duplicate undirected edge.
+    DuplicateEdge(usize, usize),
+    /// Adjacency lists do not describe a symmetric relation.
+    AsymmetricAdjacency(usize, usize),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {{{u}, {v}}}"),
+            GraphError::AsymmetricAdjacency(u, v) => {
+                write!(f, "adjacency lists asymmetric: {u} lists {v} but not vice versa")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A simple undirected graph in CSR (compressed sparse row) layout with
+/// port numbering.
+///
+/// Each undirected edge `{u, v}` is stored as two directed *arcs* `u→v` and
+/// `v→u`. Arcs are grouped contiguously by source node; the position of an
+/// arc within its source's group is the source's **port number** for that
+/// edge (0-based; the paper writes 1..deg(v)).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `arc_start[v]..arc_start[v+1]` is the arc range of node `v`; len n+1.
+    arc_start: Vec<usize>,
+    /// Head (target node) of each arc.
+    arc_head: Vec<u32>,
+    /// Index of the reverse arc.
+    arc_rev: Vec<u32>,
+    /// Undirected edge id of each arc (two arcs share an id).
+    arc_edge: Vec<u32>,
+    /// Endpoints of each undirected edge, `(min, max)` by construction order.
+    edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list; port order at each node is the order
+    /// in which its edges appear in `edges`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Graph, GraphError> {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut seen = HashSet::new();
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, n });
+            }
+            if v >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            if !seen.insert((u.min(v), u.max(v))) {
+                return Err(GraphError::DuplicateEdge(u, v));
+            }
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        Graph::from_adjacency(adj)
+    }
+
+    /// Builds a graph from explicit ordered adjacency lists: `adj[v][p]` is
+    /// the neighbour of `v` on port `p`. The lists must be symmetric, simple
+    /// and loop-free. This is the entry point for generators that control the
+    /// port numbering exactly (symmetric instances, covering lifts).
+    pub fn from_adjacency(adj: Vec<Vec<usize>>) -> Result<Graph, GraphError> {
+        let n = adj.len();
+        // Validate.
+        let mut pair_count: HashSet<(usize, usize)> = HashSet::new();
+        for (v, list) in adj.iter().enumerate() {
+            let mut local = HashSet::new();
+            for &u in list {
+                if u >= n {
+                    return Err(GraphError::NodeOutOfRange { node: u, n });
+                }
+                if u == v {
+                    return Err(GraphError::SelfLoop(v));
+                }
+                if !local.insert(u) {
+                    return Err(GraphError::DuplicateEdge(v, u));
+                }
+                pair_count.insert((v, u));
+            }
+        }
+        for &(v, u) in &pair_count {
+            if !pair_count.contains(&(u, v)) {
+                return Err(GraphError::AsymmetricAdjacency(v, u));
+            }
+        }
+
+        let mut arc_start = Vec::with_capacity(n + 1);
+        arc_start.push(0usize);
+        for list in &adj {
+            arc_start.push(arc_start.last().unwrap() + list.len());
+        }
+        let total_arcs = *arc_start.last().unwrap();
+        let mut arc_head = vec![0u32; total_arcs];
+        let mut arc_rev = vec![0u32; total_arcs];
+        let mut arc_edge = vec![0u32; total_arcs];
+        let mut edges = Vec::with_capacity(total_arcs / 2);
+
+        // Map (min,max) -> first arc index, to pair reverse arcs and edges.
+        let mut first_arc: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        for (v, list) in adj.iter().enumerate() {
+            for (p, &u) in list.iter().enumerate() {
+                let a = arc_start[v] + p;
+                arc_head[a] = u as u32;
+                let key = (v.min(u), v.max(u));
+                match first_arc.get(&key) {
+                    None => {
+                        first_arc.insert(key, a);
+                    }
+                    Some(&b) => {
+                        arc_rev[a] = b as u32;
+                        arc_rev[b] = a as u32;
+                        let e = edges.len() as u32;
+                        arc_edge[a] = e;
+                        arc_edge[b] = e;
+                        edges.push((key.0 as u32, key.1 as u32));
+                    }
+                }
+            }
+        }
+        Ok(Graph { arc_start, arc_head, arc_rev, arc_edge, edges })
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.arc_start.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of directed arcs (2m).
+    pub fn arcs(&self) -> usize {
+        self.arc_head.len()
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.arc_start[v + 1] - self.arc_start[v]
+    }
+
+    /// Maximum degree Δ (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The arc id of node `v`'s port `p`.
+    pub fn arc(&self, v: usize, p: usize) -> usize {
+        debug_assert!(p < self.degree(v));
+        self.arc_start[v] + p
+    }
+
+    /// The arc range of node `v` (its out-arcs, in port order).
+    pub fn arc_range(&self, v: usize) -> std::ops::Range<usize> {
+        self.arc_start[v]..self.arc_start[v + 1]
+    }
+
+    /// Head (target) of an arc.
+    pub fn head(&self, arc: usize) -> usize {
+        self.arc_head[arc] as usize
+    }
+
+    /// Source of an arc.
+    pub fn tail(&self, arc: usize) -> usize {
+        self.head(self.rev(arc))
+    }
+
+    /// The reverse arc.
+    pub fn rev(&self, arc: usize) -> usize {
+        self.arc_rev[arc] as usize
+    }
+
+    /// Undirected edge id of an arc.
+    pub fn edge_of(&self, arc: usize) -> usize {
+        self.arc_edge[arc] as usize
+    }
+
+    /// Endpoints `(min, max)` of undirected edge `e`.
+    pub fn edge(&self, e: usize) -> (usize, usize) {
+        let (u, v) = self.edges[e];
+        (u as usize, v as usize)
+    }
+
+    /// Port number of an arc at its source.
+    pub fn port_of(&self, arc: usize) -> usize {
+        arc - self.arc_start[self.tail(arc)]
+    }
+
+    /// Iterates `(port, neighbour)` pairs of node `v`.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.arc_range(v).map(move |a| (a - self.arc_start[v], self.head(a)))
+    }
+
+    /// Iterates all undirected edges as `(edge_id, u, v)`.
+    pub fn edge_iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.edges.iter().enumerate().map(|(e, &(u, v))| (e, u as usize, v as usize))
+    }
+
+    /// Returns the ordered adjacency lists (port order).
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        (0..self.n()).map(|v| self.neighbors(v).map(|(_, u)| u).collect()).collect()
+    }
+
+    /// Returns a graph with each node's port order permuted by `perm`, where
+    /// `perm(v, old_ports) -> new_order` returns the neighbour list of `v` in
+    /// the new port order. Used to test port-numbering sensitivity.
+    pub fn reorder_ports(&self, mut perm: impl FnMut(usize, &[usize]) -> Vec<usize>) -> Graph {
+        let adj: Vec<Vec<usize>> = (0..self.n())
+            .map(|v| {
+                let old: Vec<usize> = self.neighbors(v).map(|(_, u)| u).collect();
+                let new = perm(v, &old);
+                assert_eq!(
+                    {
+                        let mut a = new.clone();
+                        a.sort_unstable();
+                        a
+                    },
+                    {
+                        let mut b = old.clone();
+                        b.sort_unstable();
+                        b
+                    },
+                    "reorder_ports must permute the neighbour list of node {v}"
+                );
+                new
+            })
+            .collect();
+        Graph::from_adjacency(adj).expect("permutation of a valid graph is valid")
+    }
+
+    /// True iff `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).any(|(_, w)| w == v)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={}, Δ={})", self.n(), self.m(), self.max_degree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.arcs(), 6);
+        assert_eq!(g.max_degree(), 2);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = Graph::from_edges(4, &[]).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        let g0 = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(g0.n(), 0);
+    }
+
+    #[test]
+    fn rev_arcs_are_involution() {
+        let g = triangle();
+        for a in 0..g.arcs() {
+            assert_eq!(g.rev(g.rev(a)), a);
+            assert_ne!(g.rev(a), a);
+            assert_eq!(g.head(g.rev(a)), g.tail(a));
+            assert_eq!(g.edge_of(a), g.edge_of(g.rev(a)));
+        }
+    }
+
+    #[test]
+    fn ports_follow_insertion_order() {
+        // Node 1 sees edge (0,1) first, then (1,2): port 0 -> 0, port 1 -> 2.
+        let g = triangle();
+        let nb: Vec<(usize, usize)> = g.neighbors(1).collect();
+        assert_eq!(nb, vec![(0, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn port_of_and_arc_consistent() {
+        let g = triangle();
+        for v in 0..g.n() {
+            for p in 0..g.degree(v) {
+                let a = g.arc(v, p);
+                assert_eq!(g.port_of(a), p);
+                assert_eq!(g.tail(a), v);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_endpoints() {
+        let g = triangle();
+        let mut ends: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+        ends.sort_unstable();
+        assert_eq!(ends, vec![(0, 1), (0, 2), (1, 2)]);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 5)]).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 5, n: 2 }
+        );
+        assert_eq!(Graph::from_edges(2, &[(1, 1)]).unwrap_err(), GraphError::SelfLoop(1));
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 1), (1, 0)]).unwrap_err(),
+            GraphError::DuplicateEdge(1, 0)
+        );
+        assert!(matches!(
+            Graph::from_adjacency(vec![vec![1], vec![]]),
+            Err(GraphError::AsymmetricAdjacency(0, 1))
+        ));
+    }
+
+    #[test]
+    fn from_adjacency_controls_ports() {
+        // Path 0-1-2 with node 1 listing 2 before 0.
+        let g = Graph::from_adjacency(vec![vec![1], vec![2, 0], vec![1]]).unwrap();
+        let nb: Vec<(usize, usize)> = g.neighbors(1).collect();
+        assert_eq!(nb, vec![(0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn reorder_ports_reverses() {
+        let g = triangle();
+        let r = g.reorder_ports(|_, old| old.iter().rev().copied().collect());
+        assert_eq!(r.n(), 3);
+        assert_eq!(r.m(), 3);
+        let nb: Vec<(usize, usize)> = r.neighbors(1).collect();
+        assert_eq!(nb, vec![(0, 2), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must permute")]
+    fn reorder_ports_validates() {
+        let g = triangle();
+        let _ = g.reorder_ports(|_, _| vec![0, 0]);
+    }
+
+    #[test]
+    fn adjacency_roundtrip() {
+        let g = triangle();
+        let adj = g.adjacency();
+        let g2 = Graph::from_adjacency(adj).unwrap();
+        assert_eq!(g, g2);
+    }
+}

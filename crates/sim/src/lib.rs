@@ -1,0 +1,35 @@
+//! # anonet-sim
+//!
+//! A synchronous anonymous-network simulator implementing the exact
+//! computation model of Åstrand & Suomela (SPAA 2010), §1.3:
+//!
+//! * [`graph::Graph`] — simple undirected communication graphs in CSR layout,
+//!   where adjacency-list order *is* the port numbering;
+//! * [`model::PnAlgorithm`] / [`model::BcastAlgorithm`] — the port-numbering
+//!   and broadcast models (the engine sorts incoming broadcast messages, so
+//!   multiset semantics are enforced rather than assumed);
+//! * [`engine`] — sequential and multi-threaded synchronous round engines
+//!   with instrumentation (rounds, message counts, message bits);
+//! * [`cover`] — k-fold covering lifts, turning the §7 symmetry theorems into
+//!   executable invariants.
+//!
+//! The parallel path uses scoped threads over contiguous node ranges (CSR
+//! keeps each range's message slots a disjoint `&mut` slice) and is
+//! bit-identical to the sequential path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod cover;
+pub mod engine;
+pub mod graph;
+pub mod model;
+
+pub use engine::{
+    run_bcast, run_bcast_threads, run_pn, run_pn_threads, BcastEngine, PnEngine, RunResult,
+    SimError, Trace,
+};
+pub use bipartite::{SetCoverError, SetCoverInstance};
+pub use graph::{Graph, GraphError};
+pub use model::{BcastAlgorithm, MessageSize, PnAlgorithm};

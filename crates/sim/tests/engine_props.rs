@@ -1,0 +1,209 @@
+//! Property tests for the simulator: engine determinism across thread
+//! counts, broadcast sender-obliviousness under arbitrary port permutations,
+//! lift correctness on random graphs, and instrumentation accounting.
+
+use anonet_sim::cover::{check_lift_outputs, lift};
+use anonet_sim::{
+    run_bcast, run_pn, run_pn_threads, BcastAlgorithm, Graph, MessageSize, PnAlgorithm,
+};
+use proptest::prelude::*;
+
+/// A PN test algorithm with non-trivial state: iterated neighbourhood
+/// hashing (a fingerprint of the local view, different per port order).
+struct ViewHash {
+    h: u64,
+    rounds: u64,
+}
+
+impl PnAlgorithm for ViewHash {
+    type Msg = u64;
+    type Input = u64;
+    type Output = u64;
+    type Config = u64; // rounds to run
+
+    fn init(_cfg: &u64, degree: usize, input: &u64) -> Self {
+        ViewHash { h: *input ^ (degree as u64).wrapping_mul(0x9E37), rounds: 0 }
+    }
+    fn send(&self, _cfg: &u64, _round: u64, out: &mut [u64]) {
+        for (p, m) in out.iter_mut().enumerate() {
+            *m = self.h.wrapping_add(p as u64);
+        }
+    }
+    fn receive(&mut self, cfg: &u64, round: u64, incoming: &[&u64]) -> Option<u64> {
+        for (p, &&m) in incoming.iter().enumerate() {
+            self.h = self
+                .h
+                .rotate_left(7)
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add(m)
+                .wrapping_add(p as u64);
+        }
+        self.rounds = round;
+        (round >= *cfg).then_some(self.h)
+    }
+}
+
+/// Broadcast census: multiset fingerprint of the 2-hop neighbourhood.
+struct Census {
+    h: u64,
+}
+
+impl BcastAlgorithm for Census {
+    type Msg = u64;
+    type Input = u64;
+    type Output = u64;
+    type Config = u64;
+
+    fn init(_cfg: &u64, degree: usize, input: &u64) -> Self {
+        Census { h: input.wrapping_mul(31).wrapping_add(degree as u64) }
+    }
+    fn send(&self, _cfg: &u64, _round: u64) -> u64 {
+        self.h
+    }
+    fn receive(&mut self, cfg: &u64, round: u64, incoming: &[&u64]) -> Option<u64> {
+        // Sorted multiset (enforced by the engine) folded order-dependently:
+        // the result is a function of the multiset only.
+        for &&m in incoming {
+            self.h = self.h.rotate_left(9).wrapping_add(m);
+        }
+        (round >= *cfg).then_some(self.h)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn pn_parallel_equals_sequential(
+        n in 2usize..40,
+        p in 0.05f64..0.5,
+        seed in any::<u64>(),
+        rounds in 1u64..6,
+        threads in 2usize..9,
+    ) {
+        let g = seeded_gnp(n, p, seed);
+        let inputs: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(seed | 1)).collect();
+        let a = run_pn::<ViewHash>(&g, &rounds, &inputs, rounds + 1).unwrap();
+        let b = run_pn_threads::<ViewHash>(&g, &rounds, &inputs, rounds + 1, threads).unwrap();
+        prop_assert_eq!(&a.outputs, &b.outputs);
+        prop_assert_eq!(&a.trace, &b.trace);
+    }
+
+    #[test]
+    fn bcast_is_sender_oblivious(
+        n in 2usize..30,
+        p in 0.1f64..0.6,
+        seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+        rounds in 1u64..5,
+    ) {
+        let g = seeded_gnp(n, p, seed);
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        let base = run_bcast::<Census>(&g, &rounds, &inputs, rounds + 1).unwrap();
+        // Arbitrary per-node port permutation must not change anything.
+        let mut state = perm_seed | 1;
+        let permuted = g.reorder_ports(|_, old| {
+            let mut v = old.to_vec();
+            for i in (1..v.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(99991);
+                v.swap(i, (state % (i as u64 + 1)) as usize);
+            }
+            v
+        });
+        let twisted = run_bcast::<Census>(&permuted, &rounds, &inputs, rounds + 1).unwrap();
+        prop_assert_eq!(base.outputs, twisted.outputs);
+    }
+
+    #[test]
+    fn pn_lift_outputs_project(
+        n in 3usize..16,
+        p in 0.1f64..0.6,
+        seed in any::<u64>(),
+        k in 2usize..5,
+        rounds in 1u64..4,
+    ) {
+        let g = seeded_gnp(n, p, seed);
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        let base = run_pn::<ViewHash>(&g, &rounds, &inputs, rounds + 1).unwrap();
+        let l = lift(&g, k, seed ^ 0xFACE);
+        let lifted_inputs: Vec<u64> =
+            (0..l.graph.n()).map(|vp| inputs[l.projection[vp]]).collect();
+        let lifted = run_pn::<ViewHash>(&l.graph, &rounds, &lifted_inputs, rounds + 1).unwrap();
+        prop_assert_eq!(check_lift_outputs(&l, &base.outputs, &lifted.outputs), None);
+    }
+
+    #[test]
+    fn trace_accounting(
+        n in 2usize..20,
+        p in 0.1f64..0.6,
+        seed in any::<u64>(),
+        rounds in 1u64..5,
+    ) {
+        let g = seeded_gnp(n, p, seed);
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        let res = run_pn::<ViewHash>(&g, &rounds, &inputs, rounds + 1).unwrap();
+        prop_assert_eq!(res.trace.rounds, rounds);
+        prop_assert_eq!(res.trace.messages, rounds * g.arcs() as u64);
+        // Every u64 message is 64 bits.
+        prop_assert_eq!(res.trace.total_bits, rounds * g.arcs() as u64 * 64);
+        prop_assert_eq!(res.trace.max_message_bits, if g.arcs() > 0 { 64 } else { 0 });
+    }
+
+    #[test]
+    fn graph_invariants(n in 1usize..30, p in 0.0f64..0.8, seed in any::<u64>()) {
+        let g = seeded_gnp(n, p, seed);
+        // Handshake lemma and arc pairing.
+        let degree_sum: usize = (0..g.n()).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.m());
+        prop_assert_eq!(g.arcs(), 2 * g.m());
+        for a in 0..g.arcs() {
+            prop_assert_eq!(g.rev(g.rev(a)), a);
+            prop_assert_eq!(g.tail(g.rev(a)), g.head(a));
+        }
+        // adjacency() round-trips.
+        let g2 = Graph::from_adjacency(g.adjacency()).unwrap();
+        prop_assert_eq!(g2, g);
+    }
+}
+
+/// Seeded G(n, p) without pulling `anonet-gen` into `sim`'s dev-deps.
+fn seeded_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut state = seed | 1;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if ((state >> 11) as f64 / (1u64 << 53) as f64) < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).unwrap()
+}
+
+#[test]
+fn message_size_is_observed() {
+    // Vec messages: bits counted per entry.
+    struct Wide;
+    impl PnAlgorithm for Wide {
+        type Msg = Vec<u64>;
+        type Input = ();
+        type Output = ();
+        type Config = ();
+        fn init(_: &(), _d: usize, _i: &()) -> Self {
+            Wide
+        }
+        fn send(&self, _: &(), _r: u64, out: &mut [Vec<u64>]) {
+            for m in out {
+                *m = vec![0; 10];
+            }
+        }
+        fn receive(&mut self, _: &(), _r: u64, inc: &[&Vec<u64>]) -> Option<()> {
+            let _ = inc;
+            Some(())
+        }
+    }
+    let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+    let res = run_pn::<Wide>(&g, &(), &[(), ()], 2).unwrap();
+    assert_eq!(res.trace.max_message_bits, vec![0u64; 10].approx_bits());
+}

@@ -1,0 +1,49 @@
+//! A wireless-sensor-network scenario: link monitoring by battery-weighted
+//! vertex cover, at a scale where the strictly-local guarantee matters.
+//!
+//! Sensors are anonymous (mass-produced, no serials readable by the
+//! protocol), arranged in a bounded-degree field; each radio link must be
+//! observed by at least one of its endpoints, and waking a sensor costs its
+//! remaining-battery weight. The §3 algorithm elects monitors in O(Δ +
+//! log*W) rounds — the same count whether the field has 100 or 100,000
+//! sensors — and ships a 2-approximation certificate.
+//!
+//! Run with: `cargo run --release --example sensor_network`
+
+use anonet::bigmath::Rat128;
+use anonet::core::certify::certify_vertex_cover;
+use anonet::core::vc_pn::{run_edge_packing_with, VcConfig};
+use anonet::gen::{family, WeightSpec};
+
+fn main() {
+    let delta = 6; // radio-range cap: at most 6 neighbours
+    let w_max = 1000; // battery level in permil
+
+    for n in [100usize, 1_000, 10_000] {
+        let field = family::gnp_capped(n, 12.0 / n as f64, delta, 2024);
+        let batteries = WeightSpec::Uniform(w_max).draw_many(n, 7 + n as u64);
+
+        // Rat128 fast path: Δ = 6, W = 1000 stays within i128 (see bigmath
+        // docs); the exact BigRat path gives identical output.
+        let run = run_edge_packing_with::<Rat128>(&field, &batteries, delta, w_max, 4)
+            .expect("run completes");
+        let cert = certify_vertex_cover(&field, &batteries, &run.packing, &run.cover)
+            .expect("certified");
+
+        let monitors = run.cover.iter().filter(|&&b| b).count();
+        println!(
+            "n = {n:6}: {} links, {} monitors elected, battery cost {}, \
+             certified ratio ≤ {:.3}, rounds = {} (schedule: {})",
+            field.m(),
+            monitors,
+            cert.cover_weight,
+            cert.certified_ratio(),
+            run.trace.rounds,
+            VcConfig::new(delta, w_max).total_rounds(),
+        );
+    }
+    println!(
+        "\nThe round count never moves: it is a function of (Δ, W) only — the paper's \
+         strictly-local guarantee. Election time does not grow with the deployment."
+    );
+}
