@@ -28,10 +28,7 @@ pub fn greedy_edge_packing<V: PackingValue>(
 
 /// Greedy maximal edge packing in edge-id order, plus the induced
 /// 2-approximate cover.
-pub fn bar_yehuda_even<V: PackingValue>(
-    g: &Graph,
-    weights: &[u64],
-) -> (EdgePacking<V>, Vec<bool>) {
+pub fn bar_yehuda_even<V: PackingValue>(g: &Graph, weights: &[u64]) -> (EdgePacking<V>, Vec<bool>) {
     let packing = greedy_edge_packing::<V>(g, weights, 0..g.m());
     let cover = packing.saturated_nodes(g, weights);
     (packing, cover)

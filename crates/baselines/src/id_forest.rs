@@ -30,8 +30,7 @@ pub struct IdPackConfig {
 impl IdPackConfig {
     /// Builds the configuration.
     pub fn new(delta: usize, id_bound: u64) -> IdPackConfig {
-        let cv_steps =
-            CvSchedule::for_bound(&UBig::from_u64(id_bound.saturating_add(1))).steps;
+        let cv_steps = CvSchedule::for_bound(&UBig::from_u64(id_bound.saturating_add(1))).steps;
         IdPackConfig { delta, id_bound, cv_steps }
     }
 
@@ -268,8 +267,7 @@ impl<V: PackingValue> PnAlgorithm for IdPackNode<V> {
                             self.pending_grants[p] = Some(V::zero());
                         }
                     } else {
-                        let total =
-                            anonet_bigmath::value::sum(leaves.iter().map(|(_, r)| r));
+                        let total = anonet_bigmath::value::sum(leaves.iter().map(|(_, r)| r));
                         if total < self.r {
                             for (p, ru) in leaves {
                                 self.y[p] = self.y[p].add(&ru);
@@ -288,9 +286,7 @@ impl<V: PackingValue> PnAlgorithm for IdPackNode<V> {
                 }
             } else {
                 if let Some(p) = self.await_grant.take() {
-                    let IdPackMsg::Grant(g) = incoming[p] else {
-                        panic!("leaf expected a Grant")
-                    };
+                    let IdPackMsg::Grant(g) = incoming[p] else { panic!("leaf expected a Grant") };
                     self.y[p] = self.y[p].add(g);
                     self.r = self.r.sub(g);
                 }
@@ -333,8 +329,7 @@ pub fn run_id_edge_packing<V: PackingValue>(
     id_bound: u64,
 ) -> Result<IdPackRun<V>, SimError> {
     let cfg = IdPackConfig::new(g.max_degree().max(1), id_bound);
-    let inputs: Vec<(u64, u64)> =
-        weights.iter().copied().zip(ids.iter().copied()).collect();
+    let inputs: Vec<(u64, u64)> = weights.iter().copied().zip(ids.iter().copied()).collect();
     let res: RunResult<IdPackOutput<V>> =
         run_pn::<IdPackNode<V>>(g, &cfg, &inputs, cfg.total_rounds())?;
     let mut y = vec![V::zero(); g.m()];

@@ -137,7 +137,7 @@ impl<V: PackingValue> PnAlgorithm for KvyNode<V> {
         // after freezing), or (b) every incident edge is resolved by a
         // frozen neighbour.
         let done = match self.frozen_at {
-            Some(r) => round >= r + 1,
+            Some(r) => round > r,
             None => (0..self.y.len()).all(|p| self.nb_frozen[p]),
         };
         done.then(|| KvyOutput { in_cover: self.frozen, y: self.y.clone() })
@@ -180,9 +180,11 @@ pub fn run_kvy<V: PackingValue>(
             break;
         }
     }
-    let res = engine
-        .finish()
-        .map_err(|e| SimError::RoundLimit { limit: max_rounds, halted: e.halted(), n: g.n() })?;
+    let res = engine.finish().map_err(|e| SimError::RoundLimit {
+        limit: max_rounds,
+        halted: e.halted(),
+        n: g.n(),
+    })?;
     let mut y = vec![V::zero(); g.m()];
     for (v, out) in res.outputs.iter().enumerate() {
         for (p, val) in out.y.iter().enumerate() {

@@ -85,18 +85,11 @@ impl PnAlgorithm for PsNode {
         }
     }
 
-    fn receive(
-        &mut self,
-        cfg: &PsConfig,
-        round: u64,
-        incoming: &[&PsMsg],
-    ) -> Option<bool> {
+    fn receive(&mut self, cfg: &PsConfig, round: u64, incoming: &[&PsMsg]) -> Option<bool> {
         if round % 2 == 1 {
             // Black role: accept the minimum-port proposal if unmatched.
             if self.black_matched.is_none() {
-                if let Some(p) =
-                    incoming.iter().position(|m| matches!(m, PsMsg::Propose))
-                {
+                if let Some(p) = incoming.iter().position(|m| matches!(m, PsMsg::Propose)) {
                     self.black_matched = Some(p);
                     self.pending_accept = Some(p);
                 }

@@ -111,7 +111,7 @@ impl PnAlgorithm for RmNode {
         }
         self.draw_proposal();
         let done = match self.matched_at {
-            Some(r) => round >= r + 1,
+            Some(r) => round > r,
             None => self.live_ports().is_empty(),
         };
         done.then_some(self.matched)
@@ -137,9 +137,11 @@ pub fn run_rand_matching(g: &Graph, seed: u64, max_rounds: u64) -> Result<RmRun,
             break;
         }
     }
-    let res = engine
-        .finish()
-        .map_err(|e| SimError::RoundLimit { limit: max_rounds, halted: e.halted(), n: g.n() })?;
+    let res = engine.finish().map_err(|e| SimError::RoundLimit {
+        limit: max_rounds,
+        halted: e.halted(),
+        n: g.n(),
+    })?;
     Ok(RmRun { cover: res.outputs, trace: res.trace })
 }
 

@@ -14,13 +14,8 @@ fn check(g: &anonet_sim::Graph, w: &[u64], eps_num: u64, eps_den: u64) -> u64 {
     // w(C) <= 2/(1-ε) · Σy  (and Σy <= OPT).
     let cw: u64 = (0..g.n()).filter(|&v| run.cover[v]).map(|v| w[v]).sum();
     let eps = BigRat::from_frac(eps_num as i64, eps_den);
-    let bound = BigRat::from_u64(2)
-        .div(&BigRat::one().sub(&eps))
-        .mul(&run.packing.dual_value());
-    assert!(
-        BigRat::from_u64(cw) <= bound,
-        "w(C) = {cw} exceeds (2/(1-ε))Σy = {bound:?}"
-    );
+    let bound = BigRat::from_u64(2).div(&BigRat::one().sub(&eps)).mul(&run.packing.dual_value());
+    assert!(BigRat::from_u64(cw) <= bound, "w(C) = {cw} exceeds (2/(1-ε))Σy = {bound:?}");
     run.trace.rounds
 }
 

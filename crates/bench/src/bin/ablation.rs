@@ -20,11 +20,7 @@ type V = BigRat;
 
 /// Central Phase I (the paper's steps (i)–(iii)), stopping after
 /// `iterations`; returns (per-edge y, per-node colour sequences).
-fn phase1(
-    g: &Graph,
-    weights: &[u64],
-    iterations: usize,
-) -> (Vec<V>, Vec<Vec<V>>) {
+fn phase1(g: &Graph, weights: &[u64], iterations: usize) -> (Vec<V>, Vec<Vec<V>>) {
     let (n, m) = (g.n(), g.m());
     let mut y = vec![V::zero(); m];
     let mut seq: Vec<Vec<V>> = vec![Vec::new(); n];
@@ -44,9 +40,8 @@ fn phase1(
                 r[u].is_positive() && r[v].is_positive() && seq[u] == seq[v]
             })
             .collect();
-        let degyc: Vec<usize> = (0..n)
-            .map(|v| g.arc_range(v).filter(|&a| in_eyc[g.edge_of(a)]).count())
-            .collect();
+        let degyc: Vec<usize> =
+            (0..n).map(|v| g.arc_range(v).filter(|&a| in_eyc[g.edge_of(a)]).count()).collect();
         let x: Vec<Option<V>> = (0..n)
             .map(|v| (degyc[v] > 0).then(|| r[v].div(&V::from_u64(degyc[v] as u64))))
             .collect();
@@ -75,10 +70,7 @@ fn unsaturated_stats(g: &Graph, weights: &[u64], y: &[V]) -> (usize, usize) {
             r
         })
         .collect();
-    let unsat = g
-        .edge_iter()
-        .filter(|&(_, u, v)| r[u].is_positive() && r[v].is_positive())
-        .count();
+    let unsat = g.edge_iter().filter(|&(_, u, v)| r[u].is_positive() && r[v].is_positive()).count();
     (unsat, g.m())
 }
 
@@ -91,16 +83,8 @@ fn main() {
 fn phase2_necessity() {
     let mut rows = Vec::new();
     for (name, mk, spec) in [
-        (
-            "4-regular / unit",
-            family::random_regular(40, 4, 1),
-            WeightSpec::Unit,
-        ),
-        (
-            "4-regular / U(100)",
-            family::random_regular(40, 4, 1),
-            WeightSpec::Uniform(100),
-        ),
+        ("4-regular / unit", family::random_regular(40, 4, 1), WeightSpec::Unit),
+        ("4-regular / U(100)", family::random_regular(40, 4, 1), WeightSpec::Uniform(100)),
         ("grid 6×5 / unit", family::grid(6, 5), WeightSpec::Unit),
         ("grid 6×5 / U(100)", family::grid(6, 5), WeightSpec::Uniform(100)),
         ("tree(40,4) / U(100)", family::random_tree(40, 4, 2), WeightSpec::Uniform(100)),
@@ -147,15 +131,9 @@ fn iteration_count_necessity() {
             .collect();
         let bad = g
             .edge_iter()
-            .filter(|&(_, u, v)| {
-                r[u].is_positive() && r[v].is_positive() && seq[u] == seq[v]
-            })
+            .filter(|&(_, u, v)| r[u].is_positive() && r[v].is_positive() && seq[u] == seq[v])
             .count();
-        rows.push(vec![
-            format!("{iters} of Δ = {delta}"),
-            bad.to_string(),
-            (bad == 0).to_string(),
-        ]);
+        rows.push(vec![format!("{iters} of Δ = {delta}"), bad.to_string(), (bad == 0).to_string()]);
     }
     md_table(
         "Ablation B — Phase I iteration count: monochromatic unsaturated edges left (0 guaranteed only at Δ)",
@@ -191,11 +169,7 @@ fn cv_steps_necessity() {
             colours = next;
         }
         let max = colours.iter().map(|c| c.to_u64().unwrap_or(u64::MAX)).max().unwrap();
-        rows.push(vec![
-            steps.to_string(),
-            max.to_string(),
-            (max <= 5).to_string(),
-        ]);
+        rows.push(vec![steps.to_string(), max.to_string(), (max <= 5).to_string()]);
     }
     md_table(
         &format!(

@@ -30,8 +30,7 @@ fn main() {
     let cfg = ScConfig::new(f, k, w);
     let inputs: Vec<Option<u64>> =
         (0..inst.graph.n()).map(|v| inst.is_subset(v).then(|| inst.weights[v])).collect();
-    let mut engine =
-        BcastEngine::<ScNode<BigRat>>::new(&inst.graph, &cfg, &inputs, 1).unwrap();
+    let mut engine = BcastEngine::<ScNode<BigRat>>::new(&inst.graph, &cfg, &inputs, 1).unwrap();
 
     // The colour-0 saturation phase is rounds 1..=5 of the schedule.
     println!("\n-- saturation phase for colour i = 1 (paper numbering) --");
@@ -64,21 +63,14 @@ fn main() {
     println!("\n-- final --");
     let cover: Vec<usize> = (0..inst.n_subsets)
         .filter(|&s| {
-            matches!(
-                res.outputs[s],
-                anonet_core::sc_bcast::ScOutput::Subset { in_cover: true }
-            )
+            matches!(res.outputs[s], anonet_core::sc_bcast::ScOutput::Subset { in_cover: true })
         })
         .collect();
     println!("cover = saturated subsets: {cover:?} (weights {:?})", inst.weights);
     println!("total rounds: {} (schedule {})", res.trace.rounds, cfg.total_rounds());
 }
 
-fn print_state(
-    inst: &SetCoverInstance,
-    engine: &BcastEngine<'_, ScNode<BigRat>>,
-    caption: &str,
-) {
+fn print_state(inst: &SetCoverInstance, engine: &BcastEngine<'_, ScNode<BigRat>>, caption: &str) {
     println!("\n{caption}:");
     for s in 0..inst.n_subsets {
         let r = engine.states()[s].subset_resid().unwrap();

@@ -34,12 +34,8 @@ fn main() {
         let mut bprime: Vec<(usize, usize)> = Vec::new();
         for u in 0..colours.len() {
             let succ = successors(u);
-            let ell = succ
-                .iter()
-                .map(|&v| &colours[v])
-                .filter(|c| **c != colours[u])
-                .min()
-                .cloned();
+            let ell =
+                succ.iter().map(|&v| &colours[v]).filter(|c| **c != colours[u]).min().cloned();
             match ell {
                 Some(l) => {
                     for &v in &succ {

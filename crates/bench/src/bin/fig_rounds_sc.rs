@@ -18,8 +18,7 @@ fn fk_sweep() {
     let w_bound = 1u64 << 8;
     let mut rows = Vec::new();
     for (f, k) in [(1usize, 2usize), (2, 2), (2, 3), (3, 3), (2, 4), (3, 4), (2, 5)] {
-        let inst =
-            setcover::random_bounded(30, 20, f, k, WeightSpec::Uniform(w_bound), 17);
+        let inst = setcover::random_bounded(30, 20, f, k, WeightSpec::Uniform(w_bound), 17);
         let run = run_fractional_packing_with::<BigRat>(&inst, f, k, w_bound, 1).unwrap();
         assert!(run.packing.is_maximal(&inst));
         let cfg = ScConfig::new(f, k, w_bound);

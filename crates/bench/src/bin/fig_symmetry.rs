@@ -50,14 +50,7 @@ fn symmetric_outputs() {
     }
     md_table(
         "E8a — broadcast model forces symmetric solutions (unit weights)",
-        &[
-            "graph",
-            "|Aut|",
-            "broadcast cover",
-            "broadcast Σy",
-            "§3 PN cover",
-            "§3 PN packing",
-        ],
+        &["graph", "|Aut|", "broadcast cover", "broadcast Σy", "§3 PN cover", "§3 PN packing"],
         &rows,
     );
     println!(
@@ -79,8 +72,8 @@ fn lift_invariance() {
         let l = lift(&g, k, 99);
         let wl: Vec<u64> = (0..l.graph.n()).map(|vp| w[l.projection[vp]]).collect();
         let lifted = run_edge_packing::<BigRat>(&l.graph, &wl).unwrap();
-        let fibrewise_equal = (0..l.graph.n())
-            .all(|vp| lifted.cover[vp] == base.cover[l.projection[vp]]);
+        let fibrewise_equal =
+            (0..l.graph.n()).all(|vp| lifted.cover[vp] == base.cover[l.projection[vp]]);
         rows.push(vec![
             name.to_string(),
             format!("{} → {}", g.n(), l.graph.n()),

@@ -159,6 +159,6 @@ fn feature_matrix() {
 
     println!(
         "\nCover sizes on Petersen (unweighted reference): §3 = {}, exact = 6",
-        cover_size(&run_edge_packing_with::<BigRat>(&g, &vec![1; 10], 3, 1, 1).unwrap().cover)
+        cover_size(&run_edge_packing_with::<BigRat>(&g, &[1; 10], 3, 1, 1).unwrap().cover)
     );
 }

@@ -20,7 +20,8 @@ fn main() {
 
 fn vc_table() {
     let mut rows = Vec::new();
-    let cases: Vec<(&str, Box<dyn Fn(u64) -> anonet_sim::Graph>, WeightSpec)> = vec![
+    type GraphCase = (&'static str, Box<dyn Fn(u64) -> anonet_sim::Graph>, WeightSpec);
+    let cases: Vec<GraphCase> = vec![
         ("cycle-16 / unit", Box::new(|_| family::cycle(16)), WeightSpec::Unit),
         ("petersen / U(100)", Box::new(|_| family::petersen()), WeightSpec::Uniform(100)),
         (
@@ -33,7 +34,11 @@ fn vc_table() {
             Box::new(|s| family::random_regular(16, 3, s)),
             WeightSpec::Bimodal { w: 1000, cheap_prob: 0.4 },
         ),
-        ("tree(17,4) / U(30)", Box::new(|s| family::random_tree(17, 4, s)), WeightSpec::Uniform(30)),
+        (
+            "tree(17,4) / U(30)",
+            Box::new(|s| family::random_tree(17, 4, s)),
+            WeightSpec::Uniform(30),
+        ),
     ];
     for (name, gen, spec) in cases {
         let mut true_ratios = Vec::new();

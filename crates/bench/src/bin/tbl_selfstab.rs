@@ -45,11 +45,7 @@ fn main() {
                     strike(nodes, 0.6, &mut rng);
                 }
             });
-            let ok = h
-                .outputs()
-                .iter()
-                .zip(&reference)
-                .all(|(o, r)| o.as_ref() == Some(r));
+            let ok = h.outputs().iter().zip(&reference).all(|(o, r)| o.as_ref() == Some(r));
             correct.push(ok);
         }
         let mut stable_from = horizon + 1;

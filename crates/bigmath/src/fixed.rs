@@ -4,8 +4,15 @@
 //! interface as [`BigRat`](crate::rat::BigRat) but with `i128`
 //! numerator/denominator. It is exact while it fits and **panics on
 //! overflow** (documented contract): it is the fast path for small parameter
-//! regimes (the Lemma 2 bound `W·(Δ!)^Δ` fits in `i128` roughly up to
-//! `Δ ≤ 5`, `W ≤ 2^16`), and the test suite cross-checks it against `BigRat`.
+//! regimes, and the test suite cross-checks it against `BigRat`.
+//!
+//! Sizing the regime: Phase I values stay on the Lemma 2 grid, denominator
+//! `L = (Δ!)^Δ`, but the §3 star-phase grant `r_u·r_v/Σr` can reach
+//! denominator `~L³·W`, and *global* reporting sums such as the packing's
+//! `dual_value` take lcms across stars that grow with the instance. In practice `Rat128` is safe for the full pipeline up to about
+//! `Δ ≤ 4` with small weights, and for Phase-I-bounded quantities up to
+//! `Δ ≤ 5`, `W ≤ 2^16`; use `BigRat` beyond that (see the
+//! `sensor_network` example for a case that needs it).
 
 use std::cmp::Ordering;
 use std::fmt;

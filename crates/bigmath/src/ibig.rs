@@ -129,10 +129,7 @@ impl IBig {
     pub fn div_rem(&self, d: &IBig) -> (IBig, IBig) {
         let (q, r) = self.mag.div_rem(&d.mag);
         let q_sign = if self.sign == d.sign { Sign::Plus } else { Sign::Minus };
-        (
-            IBig::from_sign_mag(q_sign, q),
-            IBig::from_sign_mag(self.sign, r),
-        )
+        (IBig::from_sign_mag(q_sign, q), IBig::from_sign_mag(self.sign, r))
     }
 
     /// Greatest common divisor of magnitudes (non-negative).
@@ -237,7 +234,11 @@ mod tests {
     #[test]
     fn add_sub_matches_i128() {
         let cases: &[(i128, i128)] = &[
-            (0, 0), (1, -1), (-5, 3), (100, -250), (i64::MAX as i128, i64::MAX as i128),
+            (0, 0),
+            (1, -1),
+            (-5, 3),
+            (100, -250),
+            (i64::MAX as i128, i64::MAX as i128),
             (-(1i128 << 100), 1i128 << 99),
         ];
         for &(a, b) in cases {

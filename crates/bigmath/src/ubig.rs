@@ -101,9 +101,7 @@ impl UBig {
     pub fn bits(&self) -> u64 {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u64) * LIMB_BITS as u64 - top.leading_zeros() as u64
-            }
+            Some(&top) => (self.limbs.len() as u64) * LIMB_BITS as u64 - top.leading_zeros() as u64,
         }
     }
 
@@ -262,9 +260,7 @@ impl UBig {
                 (top / dtop as u128, top % dtop as u128)
             };
             // Correct the estimate; once rhat >= 2^64 the test is vacuous.
-            while rhat >> 64 == 0
-                && qhat * dsub as u128 > ((rhat << 64) | un[j + n - 2] as u128)
-            {
+            while rhat >> 64 == 0 && qhat * dsub as u128 > ((rhat << 64) | un[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += dtop as u128;
             }
@@ -578,7 +574,8 @@ mod tests {
 
     #[test]
     fn mul_matches_u128() {
-        let cases = [(0u128, 0u128), (1, 1), (u64::MAX as u128, u64::MAX as u128), (123456789, 987654321)];
+        let cases =
+            [(0u128, 0u128), (1, 1), (u64::MAX as u128, u64::MAX as u128), (123456789, 987654321)];
         for (a, b) in cases {
             assert_eq!(ub(a).mul_ref(&ub(b)).to_u128(), a.checked_mul(b));
         }
@@ -604,7 +601,8 @@ mod tests {
 
     #[test]
     fn div_rem_multi_limb() {
-        let a = UBig::from_decimal("123456789012345678901234567890123456789012345678901234567890").unwrap();
+        let a = UBig::from_decimal("123456789012345678901234567890123456789012345678901234567890")
+            .unwrap();
         let d = UBig::from_decimal("987654321098765432109876543210").unwrap();
         let (q, r) = a.div_rem(&d);
         assert_eq!(&q.mul_ref(&d) + &r, a);
@@ -676,7 +674,8 @@ mod tests {
 
     #[test]
     fn display_and_parse_roundtrip() {
-        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211456"] {
+        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211456"]
+        {
             let v = UBig::from_decimal(s).unwrap();
             assert_eq!(v.to_string(), s);
         }
@@ -688,7 +687,8 @@ mod tests {
 
     #[test]
     fn ordering_total() {
-        let mut vals = vec![ub(0), ub(1), ub(u64::MAX as u128), ub(u64::MAX as u128 + 1), ub(u128::MAX)];
+        let mut vals =
+            vec![ub(0), ub(1), ub(u64::MAX as u128), ub(u64::MAX as u128 + 1), ub(u128::MAX)];
         let sorted = vals.clone();
         vals.reverse();
         vals.sort();

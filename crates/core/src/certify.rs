@@ -177,8 +177,7 @@ mod tests {
 
     #[test]
     fn valid_sc_certificate() {
-        let inst =
-            SetCoverInstance::new(2, &[vec![0, 1], vec![1]], vec![2, 5]).unwrap();
+        let inst = SetCoverInstance::new(2, &[vec![0, 1], vec![1]], vec![2, 5]).unwrap();
         let packing = FractionalPacking { y: vec![BigRat::one(), BigRat::one()] };
         // s0 load = 2 = w0: saturated; covers both elements.
         let cover = vec![true, false];

@@ -229,10 +229,7 @@ mod tests {
         assert_eq!(first_diff_bit(&u(0b1010), &u(0b1000)), 1);
         assert_eq!(first_diff_bit(&u(1), &u(0)), 0);
         assert_eq!(first_diff_bit(&UBig::one().shl_bits(100), &UBig::zero()), 100);
-        assert_eq!(
-            first_diff_bit(&UBig::one().shl_bits(100), &UBig::one().shl_bits(101)),
-            100
-        );
+        assert_eq!(first_diff_bit(&UBig::one().shl_bits(100), &UBig::one().shl_bits(101)), 100);
     }
 
     #[test]

@@ -93,8 +93,7 @@ impl<V: PackingValue> FractionalPacking<V> {
     /// Feasibility: `y(u) ≥ 0` and `y[s] ≤ w_s` for every subset s.
     pub fn is_feasible(&self, inst: &SetCoverInstance) -> bool {
         self.y.iter().all(|y| *y >= V::zero())
-            && (0..inst.n_subsets)
-                .all(|s| self.load(inst, s) <= V::from_u64(inst.weights[s]))
+            && (0..inst.n_subsets).all(|s| self.load(inst, s) <= V::from_u64(inst.weights[s]))
     }
 
     /// Whether subset `s` is saturated (`y[s] = w_s`).

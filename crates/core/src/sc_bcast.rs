@@ -121,11 +121,7 @@ impl ScConfig {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ScPhase {
     /// Saturation phase (§4.3) for one colour; `step` is (i)–(v) as 0..5.
-    Sat {
-        colour: u32,
-        step: u8,
-        iter_start: bool,
-    },
+    Sat { colour: u32, step: u8, iter_start: bool },
     /// Colouring-phase status refresh: elements broadcast y.
     StatusY,
     /// Colouring-phase status refresh: subsets broadcast residuals.
@@ -378,12 +374,11 @@ impl<V: PackingValue> BcastAlgorithm for ScNode<V> {
                 }
                 s.recompute_resid(incoming);
             }
-            (ScNode::Element(e), ScPhase::Sat { step: 0, iter_start, .. }) => {
-                if iter_start {
+            (ScNode::Element(e), ScPhase::Sat { step: 0, iter_start, .. })
+                if iter_start => {
                     e.p = None;
                     e.cprime = None;
                 }
-            }
             (ScNode::Element(e), ScPhase::Sat { colour, step: 1, .. }) => {
                 e.update_saturated(incoming);
                 e.in_uyi = !e.saturated && e.c == colour;
@@ -392,8 +387,8 @@ impl<V: PackingValue> BcastAlgorithm for ScNode<V> {
                 let cnt = incoming.iter().filter(|m| matches!(m, ScMsg::InUyi)).count();
                 s.x[colour as usize] = (cnt > 0).then(|| s.resid.div(&V::from_u64(cnt as u64)));
             }
-            (ScNode::Element(e), ScPhase::Sat { step: 3, .. }) => {
-                if e.in_uyi {
+            (ScNode::Element(e), ScPhase::Sat { step: 3, .. })
+                if e.in_uyi => {
                     let p = incoming
                         .iter()
                         .filter_map(|m| match m {
@@ -405,7 +400,6 @@ impl<V: PackingValue> BcastAlgorithm for ScNode<V> {
                         .clone();
                     e.p = Some(p);
                 }
-            }
             (ScNode::Subset(s), ScPhase::Sat { colour, step: 4, .. }) => {
                 s.q[colour as usize] = incoming
                     .iter()
@@ -416,13 +410,12 @@ impl<V: PackingValue> BcastAlgorithm for ScNode<V> {
                     .min()
                     .cloned();
             }
-            (ScNode::Element(e), ScPhase::Sat { step: 4, .. }) => {
+            (ScNode::Element(e), ScPhase::Sat { step: 4, .. })
                 // Step (vi): y(u) ← y(u) + p(u).
-                if e.in_uyi {
+                if e.in_uyi => {
                     e.y = e.y.add(e.p.as_ref().unwrap());
                     e.in_uyi = false;
                 }
-            }
             // ---- colouring phase: status refresh + c₁ ----
             (ScNode::Subset(s), ScPhase::StatusY) => s.recompute_resid(incoming),
             (ScNode::Element(e), ScPhase::StatusResid) => {
@@ -447,8 +440,8 @@ impl<V: PackingValue> BcastAlgorithm for ScNode<V> {
                 s.pending_triples.sort();
                 s.pending_triples.dedup();
             }
-            (ScNode::Element(e), ScPhase::WeakCv { sub: 1, last_step }) => {
-                if !e.saturated {
+            (ScNode::Element(e), ScPhase::WeakCv { sub: 1, last_step })
+                if !e.saturated => {
                     let own = e.cprime.as_ref().unwrap();
                     let p = e.p.as_ref().unwrap();
                     // ℓ(u) = min L(u): smallest successor colour ≠ own.
@@ -476,7 +469,6 @@ impl<V: PackingValue> BcastAlgorithm for ScNode<V> {
                         e.c3 = 6 * e.c + c2 as u32;
                     }
                 }
-            }
             // ---- trivial colour reduction ----
             (ScNode::Subset(s), ScPhase::Reduce { sub: 0, .. }) => {
                 s.pending_cols.clear();
@@ -594,11 +586,5 @@ pub fn run_fractional_packing_with<V: PackingValue>(
 pub fn run_fractional_packing<V: PackingValue>(
     inst: &SetCoverInstance,
 ) -> Result<ScRun<V>, SimError> {
-    run_fractional_packing_with(
-        inst,
-        inst.f().max(1),
-        inst.k().max(1),
-        inst.max_weight().max(1),
-        1,
-    )
+    run_fractional_packing_with(inst, inst.f().max(1), inst.k().max(1), inst.max_weight().max(1), 1)
 }

@@ -119,8 +119,8 @@ impl<V: PackingValue> BcastAlgorithm for VcBcastNode<V> {
             // (at the end) its output. Results are replayed once per
             // *occurrence* — neighbours with identical histories host
             // distinct but identically-behaving elements.
-            let mut computed: HashMap<&Vec<ScMsg<V>>, (ScMsg<V>, Option<(V, bool)>)> =
-                HashMap::new();
+            type Replayed<V> = (ScMsg<V>, Option<(V, bool)>);
+            let mut computed: HashMap<&Vec<ScMsg<V>>, Replayed<V>> = HashMap::new();
 
             for h in incoming.iter().map(|m| &m.0) {
                 debug_assert_eq!(h.len() as u64, t, "history length mismatch");
@@ -213,13 +213,8 @@ pub fn run_vc_broadcast_with<V: PackingValue>(
     threads: usize,
 ) -> Result<VcBcastRun<V>, SimError> {
     let cfg = VcBcastConfig::new(delta, max_weight);
-    let res: RunResult<VcBcastOutput<V>> = run_bcast_threads::<VcBcastNode<V>>(
-        g,
-        &cfg,
-        weights,
-        cfg.total_rounds(),
-        threads,
-    )?;
+    let res: RunResult<VcBcastOutput<V>> =
+        run_bcast_threads::<VcBcastNode<V>>(g, &cfg, weights, cfg.total_rounds(), threads)?;
     let cover = res.outputs.iter().map(|o| o.in_cover).collect();
     let mut double_dual = V::zero();
     let mut all_saturated = true;
@@ -248,9 +243,8 @@ pub fn run_vc_broadcast<V: PackingValue>(
 /// the E4 experiment): subsets = nodes of G (in id order, port order of
 /// members = port order of G), elements = edges of G.
 pub fn incidence_instance(g: &Graph, weights: &[u64]) -> anonet_sim::SetCoverInstance {
-    let members: Vec<Vec<usize>> = (0..g.n())
-        .map(|v| g.arc_range(v).map(|a| g.edge_of(a)).collect())
-        .collect();
+    let members: Vec<Vec<usize>> =
+        (0..g.n()).map(|v| g.arc_range(v).map(|a| g.edge_of(a)).collect()).collect();
     anonet_sim::SetCoverInstance::new(g.m(), &members, weights.to_vec())
         .expect("incidence instance of a valid graph is valid")
 }

@@ -326,8 +326,7 @@ impl<V: PackingValue> PnAlgorithm for EdgePackingNode<V> {
                         me_active && self.nb_active[p] && self.ord[p] == Ordering::Equal;
                     degyc += usize::from(self.in_eyc[p]);
                 }
-                self.my_x =
-                    (degyc > 0).then(|| self.r.div(&V::from_u64(degyc as u64)));
+                self.my_x = (degyc > 0).then(|| self.r.div(&V::from_u64(degyc as u64)));
             }
             Phase::P1Offer { .. } => {
                 let one = V::one();
@@ -471,8 +470,7 @@ impl<V: PackingValue> PnAlgorithm for EdgePackingNode<V> {
             Phase::StarResid(star) => {
                 // Leaf: remember where I expect a grant.
                 self.await_grant = self.parent_port[star.forest].filter(|_| {
-                    self.colours[star.forest].as_ref().and_then(UBig::to_u64)
-                        == Some(star.colour)
+                    self.colours[star.forest].as_ref().and_then(UBig::to_u64) == Some(star.colour)
                         && self.active()
                 });
                 // Root: gather residuals and compute grants now (send() is
@@ -531,10 +529,8 @@ impl<V: PackingValue> PnAlgorithm for EdgePackingNode<V> {
             }
         }
 
-        (round == cfg.total_rounds()).then(|| VcOutput {
-            in_cover: self.r.is_zero(),
-            y: self.y.clone(),
-        })
+        (round == cfg.total_rounds())
+            .then(|| VcOutput { in_cover: self.r.is_zero(), y: self.y.clone() })
     }
 }
 
@@ -582,10 +578,7 @@ pub fn run_edge_packing_with<V: PackingValue>(
 }
 
 /// Runs the §3 algorithm deriving Δ and W from the instance.
-pub fn run_edge_packing<V: PackingValue>(
-    g: &Graph,
-    weights: &[u64],
-) -> Result<VcRun<V>, SimError> {
+pub fn run_edge_packing<V: PackingValue>(g: &Graph, weights: &[u64]) -> Result<VcRun<V>, SimError> {
     let delta = g.max_degree();
     let w = weights.iter().copied().max().unwrap_or(1).max(1);
     run_edge_packing_with(g, weights, delta, w, 1)

@@ -39,9 +39,8 @@ fn central_sec3(g: &Graph, weights: &[u64], delta: usize, w_bound: u64) -> (Vec<
                 r[u].is_positive() && r[v].is_positive() && seq[u] == seq[v]
             })
             .collect();
-        let degyc: Vec<usize> = (0..n)
-            .map(|v| g.arc_range(v).filter(|&a| in_eyc[g.edge_of(a)]).count())
-            .collect();
+        let degyc: Vec<usize> =
+            (0..n).map(|v| g.arc_range(v).filter(|&a| in_eyc[g.edge_of(a)]).count()).collect();
         // Lemma 1: the maximum degree of G_yc decreases by ≥ 1 per iteration.
         let max_degyc = degyc.iter().copied().max().unwrap_or(0);
         assert!(
@@ -136,9 +135,8 @@ fn central_sec3(g: &Graph, weights: &[u64], delta: usize, w_bound: u64) -> (Vec<
                 .collect()
         })
         .collect();
-    let parent_of = |v: usize, i: usize| -> Option<usize> {
-        parent_port[v][i].map(|p| g.head(g.arc(v, p)))
-    };
+    let parent_of =
+        |v: usize, i: usize| -> Option<usize> { parent_port[v][i].map(|p| g.head(g.arc(v, p))) };
     for _ in 0..cfg.cv_steps {
         let snapshot = colours.clone();
         for v in 0..n {
@@ -181,13 +179,11 @@ fn central_sec3(g: &Graph, weights: &[u64], delta: usize, w_bound: u64) -> (Vec<
                 }
                 let mut forbidden = [false; 6];
                 if let Some(par) = parent_of(v, i) {
-                    forbidden[snapshot[par][i].as_ref().unwrap().to_u64().unwrap() as usize] =
-                        true;
+                    forbidden[snapshot[par][i].as_ref().unwrap().to_u64().unwrap() as usize] = true;
                 }
                 for &p in &children[v][i] {
                     let c = g.head(g.arc(v, p));
-                    forbidden[snapshot[c][i].as_ref().unwrap().to_u64().unwrap() as usize] =
-                        true;
+                    forbidden[snapshot[c][i].as_ref().unwrap().to_u64().unwrap() as usize] = true;
                 }
                 colours[v][i] =
                     Some(UBig::from_u64((0..3).find(|&c| !forbidden[c as usize]).unwrap()));
@@ -218,8 +214,7 @@ fn central_sec3(g: &Graph, weights: &[u64], delta: usize, w_bound: u64) -> (Vec<
                 if !r[v].is_positive() {
                     continue; // grants of zero
                 }
-                let total =
-                    anonet_bigmath::value::sum(per_root[v].iter().map(|(_, ru)| ru));
+                let total = anonet_bigmath::value::sum(per_root[v].iter().map(|(_, ru)| ru));
                 if total < r[v] {
                     for (e, ru) in per_root[v].clone() {
                         y[e] = y[e].add(&ru);
@@ -247,7 +242,7 @@ fn central_sec3(g: &Graph, weights: &[u64], delta: usize, w_bound: u64) -> (Vec<
 }
 
 fn compare(g: &Graph, weights: &[u64]) {
-    let delta = g.max_degree().max(0);
+    let delta = g.max_degree();
     let w_bound = weights.iter().copied().max().unwrap_or(1);
     let dist = run_edge_packing_with::<V>(g, weights, delta, w_bound, 1).unwrap();
     let (y, cover) = central_sec3(g, weights, delta, w_bound);

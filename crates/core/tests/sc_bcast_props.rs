@@ -188,8 +188,7 @@ fn vc_broadcast_equals_sc_on_incidence() {
         let inst = incidence_instance(&g, &w);
         let delta = g.max_degree().max(1);
         let wmax = w.iter().copied().max().unwrap();
-        let direct =
-            run_fractional_packing_with::<BigRat>(&inst, 2, delta, wmax, 1).unwrap();
+        let direct = run_fractional_packing_with::<BigRat>(&inst, 2, delta, wmax, 1).unwrap();
         assert_eq!(sim.cover, direct.cover, "seed {seed}");
         assert_eq!(sim.dual_value, direct.packing.dual_value());
         // One extra round on G (history catches up at T+1).

@@ -25,8 +25,7 @@ fn check_run<V: PackingValue>(g: &Graph, weights: &[u64]) {
         assert!(run.cover[u] || run.cover[v], "edge {{{u},{v}}} uncovered");
     }
     // Certificate: w(C) <= 2 * dual value  (and dual <= OPT, so ratio <= 2).
-    let cover_weight: u64 =
-        (0..g.n()).filter(|&v| run.cover[v]).map(|v| weights[v]).sum();
+    let cover_weight: u64 = (0..g.n()).filter(|&v| run.cover[v]).map(|v| weights[v]).sum();
     let two_dual = run.packing.dual_value().mul(&V::from_u64(2));
     assert!(
         V::from_u64(cover_weight) <= two_dual,
@@ -186,11 +185,7 @@ fn rat128_matches_bigrat() {
         let b = run_edge_packing::<Rat128>(&g, &w).unwrap();
         assert_eq!(a.cover, b.cover, "seed {seed}");
         for (e, (ya, yb)) in a.packing.y.iter().zip(&b.packing.y).enumerate() {
-            assert_eq!(
-                ya.numer().to_i128(),
-                Some(yb.numer()),
-                "edge {e} numerator, seed {seed}"
-            );
+            assert_eq!(ya.numer().to_i128(), Some(yb.numer()), "edge {e} numerator, seed {seed}");
             assert_eq!(ya.denom().to_u128(), Some(yb.denom() as u128), "edge {e} denominator");
         }
     }

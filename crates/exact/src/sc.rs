@@ -23,8 +23,8 @@ impl<'a> Solver<'a> {
     /// fractionally (weight / subset size) — a crude but admissible bound.
     fn bound(&self, covered: &[bool], chosen: &[bool]) -> u64 {
         let mut acc = 0f64;
-        for u in 0..self.inst.n_elements() {
-            if covered[u] {
+        for (u, &is_covered) in covered.iter().enumerate() {
+            if is_covered {
                 continue;
             }
             let cheapest = self
@@ -58,8 +58,7 @@ impl<'a> Solver<'a> {
                 continue; // would have covered u already
             }
             chosen[s] = true;
-            let newly: Vec<usize> =
-                self.inst.members(s).filter(|&e| !covered[e]).collect();
+            let newly: Vec<usize> = self.inst.members(s).filter(|&e| !covered[e]).collect();
             for &e in &newly {
                 covered[e] = true;
             }
@@ -75,8 +74,7 @@ impl<'a> Solver<'a> {
 /// Computes a minimum-weight set cover exactly (experiment-scale instances).
 pub fn min_weight_set_cover(inst: &SetCoverInstance) -> ExactSetCover {
     let trivial: u64 = inst.weights.iter().sum::<u64>() + 1;
-    let mut solver =
-        Solver { inst, best: trivial, best_cover: vec![true; inst.n_subsets] };
+    let mut solver = Solver { inst, best: trivial, best_cover: vec![true; inst.n_subsets] };
     let mut covered = vec![false; inst.n_elements()];
     let mut chosen = vec![false; inst.n_subsets];
     solver.solve(&mut covered, &mut chosen, 0);
@@ -90,8 +88,8 @@ pub fn greedy_set_cover(inst: &SetCoverInstance) -> Vec<bool> {
     let mut cover = vec![false; inst.n_subsets];
     while covered.iter().any(|&c| !c) {
         let mut best: Option<(f64, usize)> = None;
-        for s in 0..inst.n_subsets {
-            if cover[s] {
+        for (s, &in_cover) in cover.iter().enumerate() {
+            if in_cover {
                 continue;
             }
             let fresh = inst.members(s).filter(|&u| !covered[u]).count();
@@ -157,12 +155,9 @@ mod tests {
         .unwrap();
         let r = min_weight_set_cover(&i);
         assert_eq!(r.weight, 6); // three singletons beat the big subset
-        let i2 = SetCoverInstance::new(
-            3,
-            &[vec![0, 1, 2], vec![0], vec![1], vec![2]],
-            vec![5, 2, 2, 2],
-        )
-        .unwrap();
+        let i2 =
+            SetCoverInstance::new(3, &[vec![0, 1, 2], vec![0], vec![1], vec![2]], vec![5, 2, 2, 2])
+                .unwrap();
         assert_eq!(min_weight_set_cover(&i2).weight, 5);
     }
 

@@ -47,9 +47,8 @@ impl<'a> Solver<'a> {
     /// bound for the weight still needed (Bar-Yehuda–Even duality).
     fn dual_bound(&self, st: &[St]) -> u64 {
         let n = self.g.n();
-        let mut resid: Vec<u64> = (0..n)
-            .map(|v| if st[v] == St::Free { self.weights[v] } else { 0 })
-            .collect();
+        let mut resid: Vec<u64> =
+            (0..n).map(|v| if st[v] == St::Free { self.weights[v] } else { 0 }).collect();
         let mut bound = 0u64;
         for (_, u, v) in self.g.edge_iter() {
             if st[u] == St::In || st[v] == St::In {
@@ -116,8 +115,7 @@ impl<'a> Solver<'a> {
                 // All edges covered: candidate solution (Free nodes stay out).
                 if acc < self.best {
                     self.best = acc;
-                    self.best_cover =
-                        st.iter().map(|&s| s == St::In).collect();
+                    self.best_cover = st.iter().map(|&s| s == St::In).collect();
                 }
             }
             Some(v) => {

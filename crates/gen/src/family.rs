@@ -377,7 +377,7 @@ mod tests {
         assert_eq!(g.m(), 39);
         assert!(g.max_degree() <= 3);
         // Connectivity: BFS from 0 reaches everyone.
-        let mut seen = vec![false; 40];
+        let mut seen = [false; 40];
         let mut stack = vec![0usize];
         seen[0] = true;
         while let Some(v) = stack.pop() {

@@ -20,8 +20,7 @@ use anonet_sim::SetCoverInstance;
 /// so that OPT = n/p exactly; we do not require it, see [`optimum_size`]).
 pub fn cycle_cover_instance(n: usize, p: usize) -> SetCoverInstance {
     assert!(p >= 1 && n >= p, "need n >= p >= 1");
-    let members: Vec<Vec<usize>> =
-        (0..n).map(|u| (0..p).map(|d| (u + d) % n).collect()).collect();
+    let members: Vec<Vec<usize>> = (0..n).map(|u| (0..p).map(|d| (u + d) % n).collect()).collect();
     SetCoverInstance::new(n, &members, vec![1; n]).expect("cycle reduction instance is valid")
 }
 

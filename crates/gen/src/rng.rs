@@ -25,7 +25,9 @@ impl Rng {
     /// procedure recommended by the xoshiro authors).
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        Rng { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+        Rng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
     }
 
     /// Next 64 uniform random bits.

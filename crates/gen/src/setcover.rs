@@ -31,6 +31,7 @@ pub fn random_bounded(
     let mut rng = Rng::new(seed);
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_subsets];
     let mut open: Vec<usize> = (0..n_subsets).collect(); // subsets with capacity left
+
     // Reserve one capacity slot per not-yet-placed element so every element
     // is guaranteed a primary subset; extra memberships (up to f−1) only
     // consume surplus capacity.

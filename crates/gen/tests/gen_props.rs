@@ -102,8 +102,8 @@ proptest! {
         // Any valid cover, pushed through the extraction, is independent.
         let mut rng = Rng::new(n as u64 * 31 + p as u64);
         let mut cover = vec![false; n];
-        for v in 0..n {
-            cover[v] = rng.chance(0.7);
+        for c in cover.iter_mut() {
+            *c = rng.chance(0.7);
         }
         // Repair to a valid cover: ensure every element covered.
         for u in 0..n {
@@ -140,8 +140,7 @@ fn grid_coverage_full_parameter_grid() {
     for (w, h, spacing, radius) in
         [(6usize, 6usize, 1usize, 1usize), (10, 8, 2, 1), (9, 9, 3, 2), (12, 5, 5, 2)]
     {
-        let inst =
-            setcover::grid_coverage(w, h, spacing, radius, WeightSpec::Uniform(5), 1);
+        let inst = setcover::grid_coverage(w, h, spacing, radius, WeightSpec::Uniform(5), 1);
         assert!(inst.is_cover(&vec![true; inst.n_subsets]), "({w},{h},{spacing},{radius})");
         assert!(inst.k() <= (2 * radius + 1) * (2 * radius + 1));
     }

@@ -68,8 +68,7 @@ where
         // communication; instead start every layer at init. This *is* a
         // corrupted configuration — the whole point — and it stabilizes
         // within T+1 rounds like any other.
-        let layers =
-            (0..=cfg.t_rounds).map(|_| A::init(&cfg.inner, degree, input)).collect();
+        let layers = (0..=cfg.t_rounds).map(|_| A::init(&cfg.inner, degree, input)).collect();
         SelfStabNode { layers, input: input.clone(), degree, current_output: None }
     }
 
@@ -114,9 +113,8 @@ where
             self.layers[t + 1] = next;
         }
         // The transformer never halts on its own; the harness horizon does.
-        (round >= cfg.horizon).then(|| {
-            self.current_output.clone().expect("inner algorithm outputs at round T")
-        })
+        (round >= cfg.horizon)
+            .then(|| self.current_output.clone().expect("inner algorithm outputs at round T"))
     }
 }
 
@@ -144,8 +142,8 @@ where
         cfg: &'g SelfStabConfig<A::Config>,
         inputs: &[A::Input],
     ) -> Self {
-        let engine = PnEngine::<SelfStabNode<A>>::new(graph, cfg, inputs, 1)
-            .expect("input length matches");
+        let engine =
+            PnEngine::<SelfStabNode<A>>::new(graph, cfg, inputs, 1).expect("input length matches");
         SelfStabHarness { engine }
     }
 

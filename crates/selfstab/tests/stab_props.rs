@@ -48,10 +48,7 @@ fn stabilization_round(
             }
         });
         let outs = harness.outputs();
-        let all_correct = outs
-            .iter()
-            .zip(&reference)
-            .all(|(o, r)| o.as_ref() == Some(r));
+        let all_correct = outs.iter().zip(&reference).all(|(o, r)| o.as_ref() == Some(r));
         correct_at.push(all_correct);
     }
     // First round after which correctness holds for good.
@@ -95,11 +92,7 @@ fn repeated_bursts_recover_after_last() {
     let w = WeightSpec::Uniform(6).draw_many(9, 11);
     let faults = vec![2, 7, 13];
     let (stable, t) = stabilization_round(&g, &w, &faults, 5);
-    assert!(
-        stable <= 13 + t + 1,
-        "stabilized at {stable}, last fault at 13, bound {}",
-        13 + t + 1
-    );
+    assert!(stable <= 13 + t + 1, "stabilized at {stable}, last fault at 13, bound {}", 13 + t + 1);
 }
 
 #[test]

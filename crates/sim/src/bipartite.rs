@@ -93,7 +93,8 @@ impl SetCoverInstance {
         }
         let graph = Graph::from_adjacency(adj).map_err(SetCoverError::Graph)?;
         let inst = SetCoverInstance { graph, n_subsets, weights };
-        if let Some(u) = (0..inst.n_elements()).find(|&u| inst.graph.degree(inst.element_node(u)) == 0)
+        if let Some(u) =
+            (0..inst.n_elements()).find(|&u| inst.graph.degree(inst.element_node(u)) == 0)
         {
             return Err(SetCoverError::UncoverableElement(u));
         }
@@ -127,7 +128,8 @@ impl SetCoverInstance {
         }
         let graph = Graph::from_adjacency(adj).map_err(SetCoverError::Graph)?;
         let inst = SetCoverInstance { graph, n_subsets, weights };
-        if let Some(u) = (0..inst.n_elements()).find(|&u| inst.graph.degree(inst.element_node(u)) == 0)
+        if let Some(u) =
+            (0..inst.n_elements()).find(|&u| inst.graph.degree(inst.element_node(u)) == 0)
         {
             return Err(SetCoverError::UncoverableElement(u));
         }
@@ -151,10 +153,7 @@ impl SetCoverInstance {
 
     /// Maximum element degree `f` (every element is in ≤ f subsets).
     pub fn f(&self) -> usize {
-        (0..self.n_elements())
-            .map(|u| self.graph.degree(self.element_node(u)))
-            .max()
-            .unwrap_or(0)
+        (0..self.n_elements()).map(|u| self.graph.degree(self.element_node(u))).max().unwrap_or(0)
     }
 
     /// Maximum subset size `k`.

@@ -58,10 +58,9 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::RoundLimit { limit, halted, n } => write!(
-                f,
-                "round limit {limit} reached with only {halted}/{n} nodes halted"
-            ),
+            SimError::RoundLimit { limit, halted, n } => {
+                write!(f, "round limit {limit} reached with only {halted}/{n} nodes halted")
+            }
             SimError::InputLength { got, want } => {
                 write!(f, "got {got} inputs for {want} nodes")
             }
@@ -137,9 +136,7 @@ impl<'a, A: PnAlgorithm> PnEngine<'a, A> {
         if inputs.len() != graph.n() {
             return Err(SimError::InputLength { got: inputs.len(), want: graph.n() });
         }
-        let states = (0..graph.n())
-            .map(|v| A::init(cfg, graph.degree(v), &inputs[v]))
-            .collect();
+        let states = (0..graph.n()).map(|v| A::init(cfg, graph.degree(v), &inputs[v])).collect();
         Ok(PnEngine {
             graph,
             cfg,
@@ -199,7 +196,15 @@ impl<'a, A: PnAlgorithm> PnEngine<'a, A> {
             let outputs = &self.outputs;
             let buf_chunks = split_sizes(&mut self.buf, &arc_sizes);
             if parts.len() == 1 {
-                send_range(g, cfg, states, outputs, parts[0].clone(), buf_chunks.into_iter().next().unwrap(), round);
+                send_range(
+                    g,
+                    cfg,
+                    states,
+                    outputs,
+                    parts[0].clone(),
+                    buf_chunks.into_iter().next().unwrap(),
+                    round,
+                );
             } else {
                 std::thread::scope(|s| {
                     for (range, chunk) in parts.iter().cloned().zip(buf_chunks) {
@@ -233,8 +238,7 @@ impl<'a, A: PnAlgorithm> PnEngine<'a, A> {
             } else {
                 std::thread::scope(|s| {
                     let mut handles = Vec::new();
-                    for ((range, sc), oc) in
-                        parts.iter().cloned().zip(state_chunks).zip(out_chunks)
+                    for ((range, sc), oc) in parts.iter().cloned().zip(state_chunks).zip(out_chunks)
                     {
                         handles.push(
                             s.spawn(move || recv_range::<A>(g, cfg, buf, range, sc, oc, round)),
@@ -251,6 +255,10 @@ impl<'a, A: PnAlgorithm> PnEngine<'a, A> {
     }
 
     /// Consumes the engine, returning outputs if all nodes have halted.
+    ///
+    /// The `Err` variant deliberately hands the whole engine back so a
+    /// caller can keep stepping it; the size is irrelevant on this cold path.
+    #[allow(clippy::result_large_err)]
     pub fn finish(self) -> Result<RunResult<A::Output>, Self> {
         if self.halted == self.graph.n() {
             Ok(RunResult {
@@ -408,8 +416,7 @@ impl<'a, A: BcastAlgorithm> BcastEngine<'a, A> {
         if inputs.len() != graph.n() {
             return Err(SimError::InputLength { got: inputs.len(), want: graph.n() });
         }
-        let states =
-            (0..graph.n()).map(|v| A::init(cfg, graph.degree(v), &inputs[v])).collect();
+        let states = (0..graph.n()).map(|v| A::init(cfg, graph.degree(v), &inputs[v])).collect();
         Ok(BcastEngine {
             graph,
             cfg,
@@ -499,29 +506,27 @@ impl<'a, A: BcastAlgorithm> BcastEngine<'a, A> {
             let sizes: Vec<usize> = parts.iter().map(|r| r.len()).collect();
             let state_chunks = split_sizes(&mut self.states, &sizes);
             let out_chunks = split_sizes(&mut self.outputs, &sizes);
-            let do_range = |range: Range<usize>,
-                            states: &mut [A],
-                            outputs: &mut [Option<A::Output>]|
-             -> u64 {
-                let base = range.start;
-                let mut scratch: Vec<&A::Msg> = Vec::new();
-                let mut newly = 0;
-                for v in range {
-                    if outputs[v - base].is_some() {
-                        continue;
+            let do_range =
+                |range: Range<usize>, states: &mut [A], outputs: &mut [Option<A::Output>]| -> u64 {
+                    let base = range.start;
+                    let mut scratch: Vec<&A::Msg> = Vec::new();
+                    let mut newly = 0;
+                    for v in range {
+                        if outputs[v - base].is_some() {
+                            continue;
+                        }
+                        scratch.clear();
+                        scratch.extend(g.neighbors(v).map(|(_, u)| &buf[u]));
+                        // Canonical multiset order: the algorithm cannot learn
+                        // which neighbour sent which message.
+                        scratch.sort();
+                        if let Some(out) = states[v - base].receive(cfg, round, &scratch) {
+                            outputs[v - base] = Some(out);
+                            newly += 1;
+                        }
                     }
-                    scratch.clear();
-                    scratch.extend(g.neighbors(v).map(|(_, u)| &buf[u]));
-                    // Canonical multiset order: the algorithm cannot learn
-                    // which neighbour sent which message.
-                    scratch.sort();
-                    if let Some(out) = states[v - base].receive(cfg, round, &scratch) {
-                        outputs[v - base] = Some(out);
-                        newly += 1;
-                    }
-                }
-                newly
-            };
+                    newly
+                };
             let newly: u64 = if parts.len() == 1 {
                 let (sc, oc) = (
                     state_chunks.into_iter().next().unwrap(),
@@ -531,8 +536,7 @@ impl<'a, A: BcastAlgorithm> BcastEngine<'a, A> {
             } else {
                 std::thread::scope(|s| {
                     let mut handles = Vec::new();
-                    for ((range, sc), oc) in
-                        parts.iter().cloned().zip(state_chunks).zip(out_chunks)
+                    for ((range, sc), oc) in parts.iter().cloned().zip(state_chunks).zip(out_chunks)
                     {
                         let do_range = &do_range;
                         handles.push(s.spawn(move || do_range(range, sc, oc)));
@@ -548,6 +552,10 @@ impl<'a, A: BcastAlgorithm> BcastEngine<'a, A> {
     }
 
     /// Consumes the engine, returning outputs if all nodes have halted.
+    ///
+    /// The `Err` variant deliberately hands the whole engine back so a
+    /// caller can keep stepping it; the size is irrelevant on this cold path.
+    #[allow(clippy::result_large_err)]
     pub fn finish(self) -> Result<RunResult<A::Output>, Self> {
         if self.halted == self.graph.n() {
             Ok(RunResult {
@@ -694,7 +702,7 @@ mod tests {
     fn broadcast_delivers_sorted_multiset() {
         // Path 0-1-2 plus leaf 3 on node 1: node 1 has degree 3.
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap();
-        let res = run_bcast::<DegreeCensus>(&g, &(), &vec![(); 4], 5).unwrap();
+        let res = run_bcast::<DegreeCensus>(&g, &(), &[(); 4], 5).unwrap();
         assert_eq!(res.outputs[0], vec![3]);
         assert_eq!(res.outputs[1], vec![1, 1, 1]);
         assert_eq!(res.outputs[2], vec![3]);
@@ -706,8 +714,8 @@ mod tests {
         // Regardless of port order, the received multiset is identical.
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap();
         let r = g.reorder_ports(|_, old| old.iter().rev().copied().collect());
-        let a = run_bcast::<DegreeCensus>(&g, &(), &vec![(); 4], 5).unwrap();
-        let b = run_bcast::<DegreeCensus>(&r, &(), &vec![(); 4], 5).unwrap();
+        let a = run_bcast::<DegreeCensus>(&g, &(), &[(); 4], 5).unwrap();
+        let b = run_bcast::<DegreeCensus>(&r, &(), &[(); 4], 5).unwrap();
         assert_eq!(a.outputs, b.outputs);
     }
 
@@ -743,7 +751,7 @@ mod tests {
     #[test]
     fn isolated_nodes_halt() {
         let g = Graph::from_edges(3, &[]).unwrap();
-        let res = run_pn::<MaxDegreeProbe>(&g, &1, &vec![(); 3], 2).unwrap();
+        let res = run_pn::<MaxDegreeProbe>(&g, &1, &[(); 3], 2).unwrap();
         assert_eq!(res.outputs, vec![0, 0, 0]);
     }
 }

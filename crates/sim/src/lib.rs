@@ -26,10 +26,10 @@ pub mod engine;
 pub mod graph;
 pub mod model;
 
+pub use bipartite::{SetCoverError, SetCoverInstance};
 pub use engine::{
     run_bcast, run_bcast_threads, run_pn, run_pn_threads, BcastEngine, PnEngine, RunResult,
     SimError, Trace,
 };
-pub use bipartite::{SetCoverError, SetCoverInstance};
 pub use graph::{Graph, GraphError};
 pub use model::{BcastAlgorithm, MessageSize, PnAlgorithm};

@@ -31,7 +31,7 @@ fn main() {
     // Port numbering *may* break symmetry. On a path (not regular) the §3
     // algorithm picks a strict subset.
     let path = family::path(7);
-    let run = run_edge_packing::<BigRat>(&path, &vec![1; 7]).expect("run completes");
+    let run = run_edge_packing::<BigRat>(&path, &[1; 7]).expect("run completes");
     let chosen: Vec<usize> = (0..7).filter(|&v| run.cover[v]).collect();
     println!("\npath-7 with ports (§3): cover = {chosen:?} — symmetry broken by structure");
 

@@ -17,11 +17,9 @@ fn main() {
     //    0 |      | 5
     //     \|      |/
     //      3 ---- 4
-    let graph = Graph::from_edges(
-        6,
-        &[(0, 1), (0, 3), (1, 2), (1, 3), (2, 4), (2, 5), (3, 4), (4, 5)],
-    )
-    .expect("simple graph");
+    let graph =
+        Graph::from_edges(6, &[(0, 1), (0, 3), (1, 2), (1, 3), (2, 4), (2, 5), (3, 4), (4, 5)])
+            .expect("simple graph");
     let weights = [3u64, 10, 2, 8, 5, 7];
 
     // Every node runs the same deterministic program; no identifiers, no

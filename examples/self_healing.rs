@@ -41,12 +41,8 @@ fn main() {
                 strike(nodes, 0.7, &mut rng);
             }
         });
-        let correct = harness
-            .outputs()
-            .iter()
-            .zip(&reference)
-            .filter(|(o, r)| o.as_ref() == Some(r))
-            .count();
+        let correct =
+            harness.outputs().iter().zip(&reference).filter(|(o, r)| o.as_ref() == Some(r)).count();
         let recovered = correct == g.n() && round > t;
         if round % 5 == 0 || strike_now || recovered {
             println!(

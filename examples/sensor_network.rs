@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example sensor_network`
 
-use anonet::bigmath::Rat128;
+use anonet::bigmath::BigRat;
 use anonet::core::certify::certify_vertex_cover;
 use anonet::core::vc_pn::{run_edge_packing_with, VcConfig};
 use anonet::gen::{family, WeightSpec};
@@ -23,12 +23,13 @@ fn main() {
         let field = family::gnp_capped(n, 12.0 / n as f64, delta, 2024);
         let batteries = WeightSpec::Uniform(w_max).draw_many(n, 7 + n as u64);
 
-        // Rat128 fast path: Δ = 6, W = 1000 stays within i128 (see bigmath
-        // docs); the exact BigRat path gives identical output.
-        let run = run_edge_packing_with::<Rat128>(&field, &batteries, delta, w_max, 4)
+        // Exact BigRat arithmetic: at Δ = 6 the star-phase grants and the
+        // certificate's global dual sum outgrow i128 (the Rat128 fast path
+        // is for small regimes like the quickstart; see bigmath docs).
+        let run = run_edge_packing_with::<BigRat>(&field, &batteries, delta, w_max, 4)
             .expect("run completes");
-        let cert = certify_vertex_cover(&field, &batteries, &run.packing, &run.cover)
-            .expect("certified");
+        let cert =
+            certify_vertex_cover(&field, &batteries, &run.packing, &run.cover).expect("certified");
 
         let monitors = run.cover.iter().filter(|&&b| b).count();
         println!(

@@ -1,8 +1,8 @@
 //! Umbrella crate re-exporting the anonet workspace.
-pub use anonet_bigmath as bigmath;
-pub use anonet_sim as sim;
-pub use anonet_gen as gen;
-pub use anonet_core as core;
 pub use anonet_baselines as baselines;
+pub use anonet_bigmath as bigmath;
+pub use anonet_core as core;
 pub use anonet_exact as exact;
+pub use anonet_gen as gen;
 pub use anonet_selfstab as selfstab;
+pub use anonet_sim as sim;

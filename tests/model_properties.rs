@@ -97,12 +97,9 @@ fn disconnected_components_are_independent() {
     // Same global bounds for all three runs (Δ, W are global parameters).
     let delta = gu.max_degree();
     let wmax = *wu.iter().max().unwrap();
-    let u = anonet::core::vc_pn::run_edge_packing_with::<BigRat>(&gu, &wu, delta, wmax, 1)
-        .unwrap();
-    let a = anonet::core::vc_pn::run_edge_packing_with::<BigRat>(&g1, &w1, delta, wmax, 1)
-        .unwrap();
-    let b = anonet::core::vc_pn::run_edge_packing_with::<BigRat>(&g2, &w2, delta, wmax, 1)
-        .unwrap();
+    let u = anonet::core::vc_pn::run_edge_packing_with::<BigRat>(&gu, &wu, delta, wmax, 1).unwrap();
+    let a = anonet::core::vc_pn::run_edge_packing_with::<BigRat>(&g1, &w1, delta, wmax, 1).unwrap();
+    let b = anonet::core::vc_pn::run_edge_packing_with::<BigRat>(&g2, &w2, delta, wmax, 1).unwrap();
 
     assert_eq!(&u.cover[..5], &a.cover[..]);
     assert_eq!(&u.cover[5..], &b.cover[..]);

@@ -12,6 +12,40 @@ use anonet::core::vc_pn::run_edge_packing;
 use anonet::exact::{is_vertex_cover, min_weight_set_cover, min_weight_vertex_cover};
 use anonet::gen::{family, setcover, WeightSpec};
 
+/// The ISSUE-1 smoke test: generate via `anonet::gen`, drive the PN engine
+/// via `anonet::sim` directly (no convenience wrapper), and check cover
+/// validity plus the ≤ 2·OPT bound against `anonet::exact`.
+#[test]
+fn gen_sim_exact_smoke() {
+    use anonet::core::vc_pn::{EdgePackingNode, VcConfig};
+    use anonet::sim::run_pn;
+
+    fn check<V: PackingValue>(g: &anonet::sim::Graph, w: &[u64]) {
+        let delta = g.max_degree();
+        let wmax = w.iter().copied().max().unwrap_or(1).max(1);
+        let cfg = VcConfig::new(delta, wmax);
+        let res = run_pn::<EdgePackingNode<V>>(g, &cfg, w, cfg.total_rounds()).unwrap();
+        let cover: Vec<bool> = res.outputs.iter().map(|o| o.in_cover).collect();
+        assert!(is_vertex_cover(g, &cover), "sim output must be a vertex cover");
+        let cover_weight: u64 = (0..g.n()).filter(|&v| cover[v]).map(|v| w[v]).sum();
+        let opt = min_weight_vertex_cover(g, w);
+        assert!(
+            cover_weight <= 2 * opt.weight,
+            "2·OPT violated: {cover_weight} > 2·{}",
+            opt.weight
+        );
+        assert_eq!(res.trace.rounds, cfg.total_rounds(), "fixed schedule must be exact");
+    }
+
+    for seed in 0..5u64 {
+        let g = family::gnp_capped(12, 0.35, 4, seed);
+        let w = WeightSpec::LogUniform(50).draw_many(12, seed + 99);
+        check::<BigRat>(&g, &w);
+        check::<Rat128>(&g, &w);
+    }
+    check::<BigRat>(&family::petersen(), &[1; 10]);
+}
+
 #[test]
 fn full_vc_pipeline_with_exact_ratio() {
     for seed in 0..4u64 {

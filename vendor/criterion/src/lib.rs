@@ -1,0 +1,210 @@
+//! Offline API-compatible subset of the `criterion` benchmark harness.
+//!
+//! See `vendor/README.md` for why this exists and what it covers. The
+//! measurement model is intentionally simple: a short warmup, then
+//! `sample_size` timed samples of an adaptively chosen iteration batch,
+//! reporting the mean wall-clock time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, e.g. `mul/256`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and batch-size calibration: aim for samples of >= ~1ms
+        // so Instant overhead is negligible, but cap total work.
+        let mut batch: u64 = 1;
+        let warmup_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+            if warmup_start.elapsed() > Duration::from_millis(500) {
+                break;
+            }
+        }
+        let samples = self.sample_size.clamp(1, 100);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let budget = Duration::from_millis(300);
+        let run_start = Instant::now();
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            iters += batch;
+            if run_start.elapsed() > budget {
+                break;
+            }
+        }
+        self.last_mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, mean_ns: f64) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if mean_ns >= 1_000_000.0 {
+        println!("{full:<48} {:>12.3} ms/iter", mean_ns / 1_000_000.0);
+    } else if mean_ns >= 1_000.0 {
+        println!("{full:<48} {:>12.3} µs/iter", mean_ns / 1_000.0);
+    } else {
+        println!("{full:<48} {:>12.1} ns/iter", mean_ns);
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { sample_size: self.sample_size, last_mean_ns: 0.0 };
+        f(&mut b);
+        report(Some(&self.name), &id.id, b.last_mean_ns);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { sample_size: self.sample_size, last_mean_ns: 0.0 };
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, b.last_mean_ns);
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API compatibility).
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+    }
+
+    /// Benchmarks `f` under `id` without an explicit group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { sample_size: self.default_sample_size, last_mean_ns: 0.0 };
+        f(&mut b);
+        report(None, id, b.last_mean_ns);
+        self
+    }
+}
+
+/// Declares a benchmark group function from a list of target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,237 @@
+//! Offline API-compatible subset of the `proptest` property-testing
+//! framework.
+//!
+//! See `vendor/README.md` for scope. Differences from upstream that matter
+//! when reading failures:
+//!
+//! * Inputs are drawn from a deterministic SplitMix64 stream seeded from the
+//!   fully-qualified test name (override with the `PROPTEST_SEED` env var).
+//! * There is **no shrinking**: a failure reports the assertion message and
+//!   the seed so the exact run can be replayed.
+//! * `prop_assume!` rejections retry the case; more than
+//!   `max_global_rejects` rejections abort the test as upstream does.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Deterministic pseudo-random generation used by strategies.
+pub mod rng {
+    /// SplitMix64 generator: tiny, fast, and good enough for test-case
+    /// generation (this is not a statistics-grade or crypto RNG).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from an explicit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+
+        /// Creates a generator seeded from a test name, honouring the
+        /// `PROPTEST_SEED` environment variable when set.
+        pub fn for_test(name: &str) -> Self {
+            if let Ok(s) = std::env::var("PROPTEST_SEED") {
+                if let Ok(seed) = s.trim().parse::<u64>() {
+                    return TestRng::from_seed(seed);
+                }
+            }
+            // FNV-1a over the test path gives a stable per-test seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Returns the next 128 random bits.
+        pub fn next_u128(&mut self) -> u128 {
+            ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+        }
+
+        /// Uniform value in `[0, bound)` via Lemire-style rejection.
+        pub fn below_u64(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Rejection sampling over the top; bias is irrelevant for tests,
+            // but the simple modulo is fine and branch-free.
+            self.next_u64() % bound
+        }
+
+        /// Uniform value in `[0, bound)` for 128-bit bounds.
+        pub fn below_u128(&mut self, bound: u128) -> u128 {
+            debug_assert!(bound > 0);
+            self.next_u128() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!`.
+///
+/// Supports the two forms the workspace uses: an optional leading
+/// `#![proptest_config(...)]`, then any number of `#[test]` functions whose
+/// arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { [$config] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            [$crate::test_runner::ProptestConfig::default()] $($rest)*
+        }
+    };
+}
+
+/// Internal: peels one test function off the stream and recurses.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ([$config:expr]) => {};
+    ([$config:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $crate::__proptest_one! { [$config] $(#[$meta])* fn $name($($args)*) $body }
+        $crate::__proptest_fns! { [$config] $($rest)* }
+    };
+}
+
+/// Internal: expands a single property-test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    ([$config:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            let mut rng = $crate::rng::TestRng::for_test(test_path);
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                )+
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({} after {} accepted cases)",
+                                test_path, rejected, accepted
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}\n(replay with PROPTEST_SEED after reading vendor/proptest)",
+                            test_path, accepted, msg
+                        );
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, fmt...)` — fail the current
+/// case (without panicking the whole runner) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` — like `assert_eq!` but fails the case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (__pt_left, __pt_right) => {
+                $crate::prop_assert!(
+                    *__pt_left == *__pt_right,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    __pt_left,
+                    __pt_right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&($left), &($right)) {
+            (__pt_left, __pt_right) => {
+                $crate::prop_assert!(*__pt_left == *__pt_right, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// `prop_assert_ne!(left, right)` — like `assert_ne!` but fails the case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (__pt_left, __pt_right) => {
+                $crate::prop_assert!(
+                    *__pt_left != *__pt_right,
+                    "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                    __pt_left,
+                    __pt_right
+                );
+            }
+        }
+    };
+}
+
+/// `prop_assume!(cond)` — reject the current case (resample) when false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

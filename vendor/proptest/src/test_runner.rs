@@ -1,0 +1,33 @@
+//! Runner configuration and per-case error type.
+
+/// Configuration for a `proptest!` block — mirrors
+/// `proptest::test_runner::Config` for the fields the workspace uses.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated overall.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 1024 }
+    }
+}
+
+impl ProptestConfig {
+    /// Returns the default configuration with `cases` overridden.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// Why a single generated case did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs — resample and retry.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
