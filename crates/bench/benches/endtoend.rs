@@ -6,8 +6,9 @@ use anonet_baselines::{run_id_edge_packing, run_ps3};
 use anonet_bigmath::{BigRat, Rat128};
 use anonet_core::sc_bcast::run_fractional_packing;
 use anonet_core::vc_bcast::run_vc_broadcast;
-use anonet_core::vc_pn::run_edge_packing;
+use anonet_core::vc_pn::{run_edge_packing, run_edge_packing_many, VcInstance};
 use anonet_gen::{family, setcover, WeightSpec};
+use anonet_sim::Graph;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_vc(c: &mut Criterion) {
@@ -44,5 +45,30 @@ fn bench_sc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vc, bench_sc);
+/// The "serve many requests" shape: 16 independent §3 instances through the
+/// batched runner, sequential pool vs 4 workers.
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_packing_batch");
+    group.sample_size(10);
+    let cases: Vec<(Graph, Vec<u64>)> = (0..16)
+        .map(|i| {
+            let g = family::random_regular(64, 4, 40 + i);
+            let w = WeightSpec::Uniform(1 << 12).draw_many(64, 50 + i);
+            (g, w)
+        })
+        .collect();
+    let instances: Vec<VcInstance<'_>> = cases.iter().map(|(g, w)| VcInstance::new(g, w)).collect();
+    for threads in [1usize, 4] {
+        group.bench_function(format!("sec3_rat128_x16_t{threads}"), |b| {
+            b.iter(|| {
+                let runs = run_edge_packing_many::<Rat128>(black_box(&instances), threads);
+                assert!(runs.iter().all(|r| r.is_ok()));
+                runs.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vc, bench_sc, bench_batch);
 criterion_main!(benches);

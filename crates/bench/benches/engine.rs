@@ -1,8 +1,10 @@
 //! **E12** — engine throughput and parallel scalability: synchronous rounds
-//! per second on large graphs, sequential vs scoped-thread execution.
+//! per second on large graphs, sequential vs scoped-thread execution, the
+//! halted-frontier skipping win, and batched multi-instance throughput.
 
+use anonet_bench::{halting_inputs, HaltingGossip};
 use anonet_gen::family;
-use anonet_sim::{Graph, PnAlgorithm, PnEngine};
+use anonet_sim::{BatchRunner, EngineOptions, Graph, Job, PnAlgorithm, PnEngine, PortNumbering};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// A light per-node workload: gossip the running maximum of neighbour ids.
@@ -57,5 +59,47 @@ fn bench_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rounds);
+/// 95% of nodes halt after round 1; the rest run 40 more rounds. With
+/// frontier skipping the per-round cost tracks the collapsed frontier.
+fn bench_frontier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_frontier");
+    group.sample_size(10);
+    let n = 10_000usize;
+    let g: Graph = family::random_regular(n, 8, 7);
+    let inputs = halting_inputs(n, |v| if v % 20 == 0 { 40 } else { 1 });
+    for (label, skip) in [("skip", true), ("sweep_all", false)] {
+        group.bench_function(BenchmarkId::new("n10000_d8", label), |bch| {
+            bch.iter(|| {
+                let opts = EngineOptions { threads: 1, frontier_skipping: skip };
+                let mut engine =
+                    PnEngine::<HaltingGossip>::with_options(&g, &(), &inputs, opts).unwrap();
+                while !engine.step() {}
+                black_box(engine.trace().rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Many small independent instances through one pool: the batch runner's
+/// across-instance parallelism vs running them back to back.
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_batch");
+    group.sample_size(10);
+    let graphs: Vec<Graph> = (0..32).map(|i| family::random_regular(256, 4, 100 + i)).collect();
+    let inputs = halting_inputs(256, |v| v % 12 + 1);
+    let jobs: Vec<Job<'_, HaltingGossip, PortNumbering>> =
+        graphs.iter().map(|g| Job::new(g, &(), &inputs, 64)).collect();
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("x32_n256", threads), &threads, |bch, &t| {
+            bch.iter(|| {
+                let res = BatchRunner::new(t).run(&jobs);
+                black_box(res.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds, bench_frontier, bench_batch);
 criterion_main!(benches);

@@ -8,22 +8,36 @@
 
 use anonet_bench::md_table;
 use anonet_bigmath::BigRat;
-use anonet_core::vc_bcast::run_vc_broadcast_with;
-use anonet_core::vc_pn::run_edge_packing_with;
+use anonet_core::vc_bcast::run_vc_broadcast_many;
+use anonet_core::vc_pn::{run_edge_packing_many, VcInstance};
 use anonet_gen::{family, WeightSpec};
 
 fn main() {
     let w_bound = 16u64;
-    let mut rows = Vec::new();
-    for delta in [2usize, 3, 4, 5] {
-        let n = 24;
-        let g = family::random_regular(n, delta, 31);
-        let w = WeightSpec::Uniform(w_bound).draw_many(n, 37);
+    let deltas = [2usize, 3, 4, 5];
+    // Build every instance up front, then run both models through the
+    // batched runners (one pool per model sweep).
+    let cases: Vec<_> = deltas
+        .iter()
+        .map(|&delta| {
+            let n = 24;
+            let g = family::random_regular(n, delta, 31);
+            let w = WeightSpec::Uniform(w_bound).draw_many(n, 37);
+            (g, w, delta)
+        })
+        .collect();
+    let instances: Vec<VcInstance<'_>> =
+        cases.iter().map(|(g, w, d)| VcInstance::with_bounds(g, w, *d, w_bound)).collect();
+    let pn_runs = run_edge_packing_many::<BigRat>(&instances, 4);
+    let bc_runs = run_vc_broadcast_many::<BigRat>(&instances, 4);
 
-        let pn = run_edge_packing_with::<BigRat>(&g, &w, delta, w_bound, 1).unwrap();
-        let bc = run_vc_broadcast_with::<BigRat>(&g, &w, delta, w_bound, 1).unwrap();
+    let mut rows = Vec::new();
+    for (((g, w, delta), pn), bc) in cases.iter().zip(pn_runs).zip(bc_runs) {
+        let delta = *delta;
+        let pn = pn.unwrap();
+        let bc = bc.unwrap();
         assert!(bc.all_saturated, "Theorem 2: all elements saturated");
-        assert!(pn.packing.is_maximal(&g, &w));
+        assert!(pn.packing.is_maximal(g, w));
 
         rows.push(vec![
             delta.to_string(),

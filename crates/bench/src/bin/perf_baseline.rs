@@ -1,0 +1,125 @@
+//! **Machine-readable engine perf baseline**: runs fixed-seed engine
+//! workloads and writes `BENCH_engine.json` (ns/round and rounds/sec per
+//! workload), so successive PRs have a numeric trajectory to compare
+//! against instead of eyeballing criterion logs.
+//!
+//! Regenerate with:
+//! `cargo run --release -p anonet-bench --bin perf_baseline [-- out.json]`
+//!
+//! The workload ([`HaltingGossip`]) is shared with the criterion `engine`
+//! bench, so the committed baseline and the bench numbers measure the same
+//! thing. Numbers are machine-dependent; the committed file records the
+//! shape (which workloads exist and their relative cost), CI uploads a
+//! fresh one per run as an artifact.
+
+use anonet_bench::{halting_inputs, HaltingGossip};
+use anonet_gen::family;
+use anonet_sim::{BatchRunner, EngineOptions, Graph, Job, PnEngine, PortNumbering};
+use std::time::Instant;
+
+/// One measured workload.
+struct Sample {
+    name: &'static str,
+    rounds: u64,
+    ns_per_round: f64,
+}
+
+impl Sample {
+    fn rounds_per_sec(&self) -> f64 {
+        if self.ns_per_round > 0.0 {
+            1e9 / self.ns_per_round
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One warmup call, then the fastest of `reps` timed calls of `f`, which
+/// returns the number of rounds it executed.
+fn time_reps(reps: u32, mut f: impl FnMut() -> u64) -> Sample {
+    let mut rounds = f();
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        rounds = f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    Sample { name: "", rounds, ns_per_round: best / rounds.max(1) as f64 }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut samples: Vec<Sample> = Vec::new();
+
+    // Steady-state round throughput, 10k nodes, degree 8 (fixed seed 7).
+    // The engine lives outside the timed region so ns_per_round measures
+    // stepping only, not construction; halt round 0xFF = 255 keeps every
+    // node active for the whole measurement (warmup + reps × 20 < 255).
+    let g10k = family::random_regular(10_000, 8, 7);
+    let steady_inputs = halting_inputs(10_000, |_| 0xFF);
+    for threads in [1usize, 4] {
+        let mut engine = PnEngine::<HaltingGossip>::new(&g10k, &(), &steady_inputs, threads)
+            .expect("inputs match");
+        let mut s = time_reps(5, || {
+            for _ in 0..20 {
+                engine.step();
+            }
+            20
+        });
+        assert!(engine.round() < 0xFF, "steady-state window exceeded the halt round");
+        s.name = if threads == 1 { "pn_steady_n10k_d8_t1" } else { "pn_steady_n10k_d8_t4" };
+        samples.push(s);
+    }
+
+    // Frontier collapse: 95% of nodes halt after round 1, stragglers run 40
+    // rounds — the workload halted-frontier skipping targets. Whole runs
+    // (construction included): the collapse only happens once per engine.
+    let collapse_inputs = halting_inputs(10_000, |v| if v % 20 == 0 { 40 } else { 1 });
+    for (name, skip) in
+        [("pn_collapse_n10k_d8_skip", true), ("pn_collapse_n10k_d8_sweep_all", false)]
+    {
+        let mut s = time_reps(5, || {
+            let opts = EngineOptions { threads: 1, frontier_skipping: skip };
+            let mut engine =
+                PnEngine::<HaltingGossip>::with_options(&g10k, &(), &collapse_inputs, opts)
+                    .expect("inputs match");
+            while !engine.step() {}
+            engine.trace().rounds
+        });
+        s.name = name;
+        samples.push(s);
+    }
+
+    // Batched multi-instance throughput: 32 × 256-node instances, one pool.
+    let graphs: Vec<Graph> = (0..32).map(|i| family::random_regular(256, 4, 100 + i)).collect();
+    let batch_inputs = halting_inputs(256, |v| v % 12 + 1);
+    let jobs: Vec<Job<'_, HaltingGossip, PortNumbering>> =
+        graphs.iter().map(|g| Job::new(g, &(), &batch_inputs, 64)).collect();
+    for threads in [1usize, 4] {
+        let mut s = time_reps(5, || {
+            let runs = BatchRunner::new(threads).run(&jobs);
+            runs.iter().map(|r| r.as_ref().unwrap().trace.rounds).sum()
+        });
+        s.name = if threads == 1 { "pn_batch_x32_n256_t1" } else { "pn_batch_x32_n256_t4" };
+        samples.push(s);
+    }
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json =
+        String::from("{\n  \"schema\": \"anonet-bench-engine/1\",\n  \"workloads\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rounds\": {}, \"ns_per_round\": {:.1}, \"rounds_per_sec\": {:.1}}}{}\n",
+            s.name,
+            s.rounds,
+            s.ns_per_round,
+            s.rounds_per_sec(),
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+
+    println!("wrote {out_path}:");
+    print!("{json}");
+}

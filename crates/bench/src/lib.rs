@@ -9,7 +9,46 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use anonet_sim::PnAlgorithm;
 use std::fmt::Display;
+
+/// Shared engine-benchmark workload: gossip the running maximum of inputs,
+/// halting at the per-node round packed into the input's low byte (the
+/// `(value << 8) | halt_round` scheme of [`halting_inputs`]). Used by both
+/// the criterion `engine` bench and the `perf_baseline` bin so the committed
+/// `BENCH_engine.json` trajectory measures exactly the bench workload.
+pub struct HaltingGossip {
+    best: u64,
+    halt_at: u64,
+}
+
+impl PnAlgorithm for HaltingGossip {
+    type Msg = u64;
+    type Input = u64;
+    type Output = u64;
+    type Config = ();
+
+    fn init(_: &(), _degree: usize, input: &u64) -> Self {
+        HaltingGossip { best: *input >> 8, halt_at: (*input & 0xFF).max(1) }
+    }
+    fn send(&self, _: &(), _round: u64, out: &mut [u64]) {
+        for m in out {
+            *m = self.best;
+        }
+    }
+    fn receive(&mut self, _: &(), round: u64, incoming: &[&u64]) -> Option<u64> {
+        for &&m in incoming {
+            self.best = self.best.max(m);
+        }
+        (round >= self.halt_at).then_some(self.best)
+    }
+}
+
+/// Inputs for [`HaltingGossip`]: node v carries value `v` and halts at round
+/// `halt_round(v)` (clamped to 1..=255 by the encoding).
+pub fn halting_inputs(n: usize, halt_round: impl Fn(u64) -> u64) -> Vec<u64> {
+    (0..n as u64).map(|v| (v << 8) | (halt_round(v) & 0xFF)).collect()
+}
 
 /// Prints a Markdown table.
 pub fn md_table<S: Display>(title: &str, headers: &[&str], rows: &[Vec<S>]) {

@@ -27,7 +27,8 @@ use crate::encode::{cv_step, cv_step_root, CvSchedule, SeqEncoder};
 use crate::packing::FractionalPacking;
 use anonet_bigmath::{PackingValue, UBig};
 use anonet_sim::{
-    run_bcast_threads, BcastAlgorithm, MessageSize, RunResult, SetCoverInstance, SimError, Trace,
+    run_bcast_many, run_bcast_threads, BcastAlgorithm, BcastJob, MessageSize, RunResult,
+    SetCoverInstance, SimError, Trace,
 };
 
 /// Global configuration: the paper's f, k, W and derived quantities.
@@ -571,6 +572,21 @@ pub fn run_fractional_packing_with<V: PackingValue>(
         (0..inst.graph.n()).map(|v| inst.is_subset(v).then(|| inst.weights[v])).collect();
     let res: RunResult<ScOutput<V>> =
         run_bcast_threads::<ScNode<V>>(&inst.graph, &cfg, &inputs, cfg.total_rounds(), threads)?;
+    Ok(assemble_sc_run(inst, res))
+}
+
+/// Runs the §4 algorithm deriving (f, k, W) from the instance.
+pub fn run_fractional_packing<V: PackingValue>(
+    inst: &SetCoverInstance,
+) -> Result<ScRun<V>, SimError> {
+    run_fractional_packing_with(inst, inst.f().max(1), inst.k().max(1), inst.max_weight().max(1), 1)
+}
+
+/// Folds per-node outputs into the packing and the cover.
+fn assemble_sc_run<V: PackingValue>(
+    inst: &SetCoverInstance,
+    res: RunResult<ScOutput<V>>,
+) -> ScRun<V> {
     let mut y = vec![V::zero(); inst.n_elements()];
     let mut cover = vec![false; inst.n_subsets];
     for (v, out) in res.outputs.iter().enumerate() {
@@ -579,12 +595,35 @@ pub fn run_fractional_packing_with<V: PackingValue>(
             ScOutput::Element { y: yu, .. } => y[v - inst.n_subsets] = yu.clone(),
         }
     }
-    Ok(ScRun { packing: FractionalPacking { y }, cover, trace: res.trace })
+    ScRun { packing: FractionalPacking { y }, cover, trace: res.trace }
 }
 
-/// Runs the §4 algorithm deriving (f, k, W) from the instance.
-pub fn run_fractional_packing<V: PackingValue>(
-    inst: &SetCoverInstance,
-) -> Result<ScRun<V>, SimError> {
-    run_fractional_packing_with(inst, inst.f().max(1), inst.k().max(1), inst.max_weight().max(1), 1)
+/// Runs the §4 algorithm on many independent instances (bounds derived per
+/// instance) across one pool of `threads` workers. `results[i]` corresponds
+/// to `instances[i]`.
+pub fn run_fractional_packing_many<V: PackingValue>(
+    instances: &[SetCoverInstance],
+    threads: usize,
+) -> Vec<Result<ScRun<V>, SimError>> {
+    let cfgs: Vec<ScConfig> = instances
+        .iter()
+        .map(|inst| ScConfig::new(inst.f().max(1), inst.k().max(1), inst.max_weight().max(1)))
+        .collect();
+    let input_sets: Vec<Vec<Option<u64>>> = instances
+        .iter()
+        .map(|inst| {
+            (0..inst.graph.n()).map(|v| inst.is_subset(v).then(|| inst.weights[v])).collect()
+        })
+        .collect();
+    let jobs: Vec<BcastJob<'_, ScNode<V>>> = instances
+        .iter()
+        .zip(&cfgs)
+        .zip(&input_sets)
+        .map(|((inst, cfg), inputs)| BcastJob::new(&inst.graph, cfg, inputs, cfg.total_rounds()))
+        .collect();
+    run_bcast_many(&jobs, threads)
+        .into_iter()
+        .zip(instances)
+        .map(|(res, inst)| res.map(|r| assemble_sc_run(inst, r)))
+        .collect()
 }

@@ -20,9 +20,11 @@
 //! the O(T) re-simulation per edge per round.
 
 use crate::sc_bcast::{ScConfig, ScMsg, ScNode, ScOutput};
+use crate::vc_pn::VcInstance;
 use anonet_bigmath::PackingValue;
 use anonet_sim::{
-    run_bcast_threads, BcastAlgorithm, Graph, MessageSize, RunResult, SimError, Trace,
+    run_bcast_many, run_bcast_threads, BcastAlgorithm, BcastJob, Graph, MessageSize, RunResult,
+    SimError, Trace,
 };
 use std::collections::HashMap;
 
@@ -215,6 +217,11 @@ pub fn run_vc_broadcast_with<V: PackingValue>(
     let cfg = VcBcastConfig::new(delta, max_weight);
     let res: RunResult<VcBcastOutput<V>> =
         run_bcast_threads::<VcBcastNode<V>>(g, &cfg, weights, cfg.total_rounds(), threads)?;
+    Ok(assemble_vc_bcast_run(res))
+}
+
+/// Folds per-node outputs into the cover and the dual value.
+fn assemble_vc_bcast_run<V: PackingValue>(res: RunResult<VcBcastOutput<V>>) -> VcBcastRun<V> {
     let cover = res.outputs.iter().map(|o| o.in_cover).collect();
     let mut double_dual = V::zero();
     let mut all_saturated = true;
@@ -225,7 +232,24 @@ pub fn run_vc_broadcast_with<V: PackingValue>(
         }
     }
     let dual_value = double_dual.div(&V::from_u64(2));
-    Ok(VcBcastRun { cover, dual_value, all_saturated, trace: res.trace })
+    VcBcastRun { cover, dual_value, all_saturated, trace: res.trace }
+}
+
+/// Runs the §5 broadcast-model vertex cover on many independent instances
+/// across one pool of `threads` workers. `results[i]` corresponds to
+/// `instances[i]` (bounds per [`VcInstance`]).
+pub fn run_vc_broadcast_many<V: PackingValue>(
+    instances: &[VcInstance<'_>],
+    threads: usize,
+) -> Vec<Result<VcBcastRun<V>, SimError>> {
+    let cfgs: Vec<VcBcastConfig> =
+        instances.iter().map(|i| VcBcastConfig::new(i.delta, i.max_weight)).collect();
+    let jobs: Vec<BcastJob<'_, VcBcastNode<V>>> = instances
+        .iter()
+        .zip(&cfgs)
+        .map(|(i, cfg)| BcastJob::new(i.graph, cfg, i.weights, cfg.total_rounds()))
+        .collect();
+    run_bcast_many(&jobs, threads).into_iter().map(|res| res.map(assemble_vc_bcast_run)).collect()
 }
 
 /// Runs the §5 broadcast-model vertex cover deriving Δ and W from the

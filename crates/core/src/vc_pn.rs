@@ -24,7 +24,9 @@
 use crate::encode::{cv_step, cv_step_root, CvSchedule, SeqEncoder};
 use crate::packing::EdgePacking;
 use anonet_bigmath::{PackingValue, UBig};
-use anonet_sim::{run_pn_threads, Graph, MessageSize, PnAlgorithm, RunResult, SimError, Trace};
+use anonet_sim::{
+    run_pn_many, run_pn_threads, Graph, MessageSize, PnAlgorithm, PnJob, RunResult, SimError, Trace,
+};
 use std::cmp::Ordering;
 
 /// Global configuration: the paper's Δ and W, plus quantities every node
@@ -561,6 +563,11 @@ pub fn run_edge_packing_with<V: PackingValue>(
     let cfg = VcConfig::new(delta, max_weight);
     let res: RunResult<VcOutput<V>> =
         run_pn_threads::<EdgePackingNode<V>>(g, &cfg, weights, cfg.total_rounds(), threads)?;
+    Ok(assemble_vc_run(g, res))
+}
+
+/// Folds per-node outputs into the per-edge packing and the cover.
+fn assemble_vc_run<V: PackingValue>(g: &Graph, res: RunResult<VcOutput<V>>) -> VcRun<V> {
     let mut y = vec![V::zero(); g.m()];
     for (v, out) in res.outputs.iter().enumerate() {
         for (p, val) in out.y.iter().enumerate() {
@@ -574,7 +581,62 @@ pub fn run_edge_packing_with<V: PackingValue>(
     }
     let packing = EdgePacking { y };
     let cover = res.outputs.iter().map(|o| o.in_cover).collect();
-    Ok(VcRun { packing, cover, trace: res.trace })
+    VcRun { packing, cover, trace: res.trace }
+}
+
+/// One §3 instance of a batched run: a graph, its node weights, and the
+/// global bounds (Δ, W) the anonymous nodes are told.
+#[derive(Clone, Copy, Debug)]
+pub struct VcInstance<'a> {
+    /// Communication graph.
+    pub graph: &'a Graph,
+    /// Node weights, indexed by node id.
+    pub weights: &'a [u64],
+    /// Maximum degree bound Δ.
+    pub delta: usize,
+    /// Maximum weight bound W.
+    pub max_weight: u64,
+}
+
+impl<'a> VcInstance<'a> {
+    /// An instance with bounds derived from the graph and weights.
+    pub fn new(graph: &'a Graph, weights: &'a [u64]) -> Self {
+        let delta = graph.max_degree();
+        let max_weight = weights.iter().copied().max().unwrap_or(1).max(1);
+        VcInstance { graph, weights, delta, max_weight }
+    }
+
+    /// An instance with explicit global bounds (Δ, W).
+    pub fn with_bounds(
+        graph: &'a Graph,
+        weights: &'a [u64],
+        delta: usize,
+        max_weight: u64,
+    ) -> Self {
+        VcInstance { graph, weights, delta, max_weight }
+    }
+}
+
+/// Runs the §3 algorithm on many independent instances across one pool of
+/// `threads` workers — the batched entry point the experiment binaries and
+/// service layers funnel through. `results[i]` corresponds to
+/// `instances[i]`.
+pub fn run_edge_packing_many<V: PackingValue>(
+    instances: &[VcInstance<'_>],
+    threads: usize,
+) -> Vec<Result<VcRun<V>, SimError>> {
+    let cfgs: Vec<VcConfig> =
+        instances.iter().map(|i| VcConfig::new(i.delta, i.max_weight)).collect();
+    let jobs: Vec<PnJob<'_, EdgePackingNode<V>>> = instances
+        .iter()
+        .zip(&cfgs)
+        .map(|(i, cfg)| PnJob::new(i.graph, cfg, i.weights, cfg.total_rounds()))
+        .collect();
+    run_pn_many(&jobs, threads)
+        .into_iter()
+        .zip(instances)
+        .map(|(res, i)| res.map(|r| assemble_vc_run(i.graph, r)))
+        .collect()
 }
 
 /// Runs the §3 algorithm deriving Δ and W from the instance.

@@ -5,7 +5,9 @@
 
 use anonet_bigmath::{BigRat, PackingValue, Rat128};
 use anonet_core::certify::certify_set_cover;
-use anonet_core::sc_bcast::{run_fractional_packing, run_fractional_packing_with, ScConfig};
+use anonet_core::sc_bcast::{
+    run_fractional_packing, run_fractional_packing_many, run_fractional_packing_with, ScConfig,
+};
 use anonet_core::trivial::{run_trivial, trivial_bound};
 use anonet_core::vc_bcast::{incidence_instance, run_vc_broadcast, VcBcastConfig};
 use anonet_core::vc_pn::run_edge_packing;
@@ -26,6 +28,23 @@ fn check_sc<V: PackingValue>(inst: &SetCoverInstance) {
     // Exact schedule.
     let cfg = ScConfig::new(inst.f().max(1), inst.k().max(1), inst.max_weight());
     assert_eq!(run.trace.rounds, cfg.total_rounds(), "schedule must be exact");
+}
+
+#[test]
+fn batched_runner_matches_individual_sc_runs() {
+    let instances: Vec<SetCoverInstance> = (0..4u64)
+        .map(|seed| setcover::random_bounded(12, 8, 2, 3, WeightSpec::Uniform(20), seed))
+        .collect();
+    for threads in [1usize, 3] {
+        let batch = run_fractional_packing_many::<BigRat>(&instances, threads);
+        for (inst, run) in instances.iter().zip(batch) {
+            let run = run.unwrap();
+            let solo = run_fractional_packing::<BigRat>(inst).unwrap();
+            assert_eq!(run.cover, solo.cover, "threads={threads}");
+            assert_eq!(run.packing.y, solo.packing.y, "threads={threads}");
+            assert_eq!(run.trace, solo.trace, "threads={threads}");
+        }
+    }
 }
 
 #[test]

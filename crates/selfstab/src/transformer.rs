@@ -120,6 +120,12 @@ where
 
 /// Drives a transformed algorithm with fault injection and records, per
 /// round, which nodes already produce the given reference output.
+///
+/// Fault injection uses the unified engine's `states_mut` hook (the one
+/// white-box mutation point of `anonet_sim::Engine`, shared by both
+/// delivery models). Transformed nodes never halt before the horizon, so
+/// the engine's halted-frontier skipping never hides a corrupted node from
+/// the sweep.
 pub struct SelfStabHarness<'g, A: PnAlgorithm + Clone>
 where
     A::Input: Clone + Send + Sync,

@@ -1,0 +1,226 @@
+//! Batched multi-instance execution: run many independent (graph, config,
+//! inputs) instances across **one** pool of worker threads.
+//!
+//! The paper's algorithms finish in rounds that depend only on local
+//! parameters (Δ, W), never on n — so the interesting workloads are *many*
+//! instances, not one giant one. This module is the "serve many requests"
+//! entry point the bench binaries, the figure/table experiments, and future
+//! service layers funnel through: a fixed-size scoped thread pool pulls jobs
+//! off a shared atomic queue (work stealing, no locks on the hot path) and
+//! runs each instance on a single-threaded engine with frontier skipping,
+//! so all parallelism is across instances where it is embarrassingly
+//! effective, and per-instance state is allocated in one pass when the job
+//! starts.
+//!
+//! Use [`BatchRunner`] for control over pool size and engine options, or the
+//! [`run_pn_many`] / [`run_bcast_many`] convenience wrappers.
+
+use crate::delivery::{Broadcast, Delivery, PortNumbering};
+use crate::engine::{run_engine, EngineOptions, RunResult, SimError};
+use crate::graph::Graph;
+use crate::model::{BcastAlgorithm, PnAlgorithm};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One (graph, config, inputs) instance of a batch, under delivery model `D`.
+///
+/// Use the [`PnJob`] / [`BcastJob`] aliases to name the two models.
+pub struct Job<'a, A, D: Delivery<A>> {
+    /// Communication graph.
+    pub graph: &'a Graph,
+    /// Global configuration for this instance.
+    pub cfg: &'a D::Config,
+    /// Per-node inputs, indexed by node id.
+    pub inputs: &'a [D::Input],
+    /// Round limit for this instance.
+    pub max_rounds: u64,
+    _model: PhantomData<fn() -> (A, D)>,
+}
+
+impl<'a, A, D: Delivery<A>> Job<'a, A, D> {
+    /// Describes one instance.
+    pub fn new(
+        graph: &'a Graph,
+        cfg: &'a D::Config,
+        inputs: &'a [D::Input],
+        max_rounds: u64,
+    ) -> Self {
+        Job { graph, cfg, inputs, max_rounds, _model: PhantomData }
+    }
+}
+
+/// A port-numbering batch job.
+pub type PnJob<'a, A> = Job<'a, A, PortNumbering>;
+
+/// A broadcast batch job.
+pub type BcastJob<'a, A> = Job<'a, A, Broadcast>;
+
+/// Executes batches of independent instances on a fixed-size worker pool.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchRunner {
+    threads: usize,
+    frontier_skipping: bool,
+}
+
+impl BatchRunner {
+    /// A runner with `threads` pool workers (1 = run the batch inline).
+    pub fn new(threads: usize) -> Self {
+        BatchRunner { threads: threads.max(1), frontier_skipping: true }
+    }
+
+    /// Toggles halted-frontier skipping for the per-instance engines
+    /// (default on; results are bit-identical either way).
+    pub fn frontier_skipping(mut self, on: bool) -> Self {
+        self.frontier_skipping = on;
+        self
+    }
+
+    /// Runs every job to completion; `results[i]` corresponds to `jobs[i]`.
+    ///
+    /// Jobs are pulled off a shared counter, so stragglers do not serialise
+    /// the pool; each instance runs on a single-threaded engine.
+    pub fn run<A: Send + Sync, D: Delivery<A>>(
+        &self,
+        jobs: &[Job<'_, A, D>],
+    ) -> Vec<Result<RunResult<D::Output>, SimError>> {
+        let opts = EngineOptions { threads: 1, frontier_skipping: self.frontier_skipping };
+        let run_one = |job: &Job<'_, A, D>| {
+            run_engine::<A, D>(job.graph, job.cfg, job.inputs, job.max_rounds, opts)
+        };
+        let workers = self.threads.min(jobs.len().max(1));
+        if workers <= 1 {
+            return jobs.iter().map(run_one).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<Result<RunResult<D::Output>, SimError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let next = &next;
+            let run_one = &run_one;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            mine.push((i, run_one(&jobs[i])));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("worker panicked") {
+                    results[i] = Some(r);
+                }
+            }
+        });
+        results.into_iter().map(|r| r.expect("every job ran")).collect()
+    }
+}
+
+/// Runs many independent port-numbering instances across `threads` workers.
+pub fn run_pn_many<A: PnAlgorithm>(
+    jobs: &[PnJob<'_, A>],
+    threads: usize,
+) -> Vec<Result<RunResult<A::Output>, SimError>> {
+    BatchRunner::new(threads).run(jobs)
+}
+
+/// Runs many independent broadcast instances across `threads` workers.
+pub fn run_bcast_many<A: BcastAlgorithm>(
+    jobs: &[BcastJob<'_, A>],
+    threads: usize,
+) -> Vec<Result<RunResult<A::Output>, SimError>> {
+    BatchRunner::new(threads).run(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_pn;
+
+    /// Gossip the running maximum of inputs; halt at the config round.
+    struct MaxGossip {
+        best: u64,
+        budget: u64,
+    }
+
+    impl PnAlgorithm for MaxGossip {
+        type Msg = u64;
+        type Input = u64;
+        type Output = u64;
+        type Config = u64;
+
+        fn init(cfg: &u64, _degree: usize, input: &u64) -> Self {
+            MaxGossip { best: *input, budget: *cfg }
+        }
+        fn send(&self, _cfg: &u64, _round: u64, out: &mut [u64]) {
+            for o in out {
+                *o = self.best;
+            }
+        }
+        fn receive(&mut self, _cfg: &u64, round: u64, incoming: &[&u64]) -> Option<u64> {
+            for &&m in incoming {
+                self.best = self.best.max(m);
+            }
+            (round >= self.budget).then_some(self.best)
+        }
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn batch_matches_individual_runs() {
+        let graphs: Vec<Graph> = [4usize, 9, 17, 33, 3].iter().map(|&n| cycle(n)).collect();
+        let input_sets: Vec<Vec<u64>> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (0..g.n() as u64).map(|v| v * (i as u64 + 1)).collect())
+            .collect();
+        let cfg = 3u64;
+        let jobs: Vec<PnJob<'_, MaxGossip>> =
+            graphs.iter().zip(&input_sets).map(|(g, inp)| Job::new(g, &cfg, inp, 10)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let batch = run_pn_many(&jobs, threads);
+            assert_eq!(batch.len(), jobs.len());
+            for ((g, inp), res) in graphs.iter().zip(&input_sets).zip(batch) {
+                let solo = run_pn::<MaxGossip>(g, &cfg, inp, 10).unwrap();
+                let res = res.unwrap();
+                assert_eq!(res.outputs, solo.outputs, "threads={threads}");
+                assert_eq!(res.trace, solo.trace, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_instance_errors() {
+        let g_ok = cycle(4);
+        let g_slow = cycle(6);
+        let inputs_ok: Vec<u64> = (0..4).collect();
+        let inputs_slow: Vec<u64> = (0..6).collect();
+        let (fast, slow) = (1u64, 50u64);
+        let jobs: Vec<PnJob<'_, MaxGossip>> = vec![
+            Job::new(&g_ok, &fast, &inputs_ok, 10),
+            Job::new(&g_slow, &slow, &inputs_slow, 10), // hits the round limit
+        ];
+        let res = run_pn_many(&jobs, 2);
+        assert!(res[0].is_ok());
+        assert_eq!(
+            res[1].as_ref().unwrap_err(),
+            &SimError::RoundLimit { limit: 10, halted: 0, n: 6 }
+        );
+    }
+
+    #[test]
+    fn empty_batch() {
+        let jobs: Vec<PnJob<'_, MaxGossip>> = Vec::new();
+        assert!(run_pn_many(&jobs, 4).is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! The delivery abstraction: the *only* two differences between the paper's
+//! computation models, captured as a trait so the round engine exists once.
+//!
+//! Both models (§1.3) share the same synchronous two-phase round structure:
+//! every node produces its outgoing messages from its pre-round state, a
+//! barrier, then every node consumes the messages delivered to it. What
+//! differs is purely *where outgoing messages live* and *how incoming
+//! messages are gathered*:
+//!
+//! * **Port numbering** ([`PortNumbering`]): a node of degree d owns d buffer
+//!   slots (one per out-arc, in port order) and receives the reverse-arc
+//!   slots of its neighbours — port-aligned delivery.
+//! * **Broadcast** ([`Broadcast`]): a node owns one slot, fanned out along
+//!   every incident edge, and receives its neighbours' slots as a canonically
+//!   **sorted multiset** (enforced here, so no algorithm can depend on sender
+//!   identity).
+//!
+//! [`Delivery`] captures exactly those differences (slot layout, send,
+//! gather, and the per-model [`Trace`](crate::engine::Trace) bit accounting);
+//! [`Engine`](crate::engine::Engine) implements everything else — phase
+//! scaffolding, scoped-thread partitioning, halted-frontier skipping,
+//! instrumentation, and the fault-injection hooks — exactly once.
+//!
+//! The key structural property the engine relies on is that a contiguous
+//! range of nodes owns a contiguous range of buffer slots
+//! ([`Delivery::slot_span`] is monotone), so per-thread buffer chunks are
+//! disjoint `&mut` slices with no locks and no unsafe code.
+
+use crate::graph::Graph;
+use crate::model::{BcastAlgorithm, MessageSize, PnAlgorithm};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Delivery semantics of one computation model for algorithm `A`.
+///
+/// Implementors are zero-sized model markers ([`PortNumbering`],
+/// [`Broadcast`]); all methods are associated functions. The associated
+/// types re-export `A`'s own message/input/output/config types so the
+/// generic engine can name them without a shared algorithm supertrait.
+pub trait Delivery<A> {
+    /// Message type; `Default` is the "no content" message of halted nodes.
+    type Msg: Clone + Default + Send + Sync + MessageSize + 'static;
+    /// Per-node local input.
+    type Input: Clone + Sync;
+    /// Per-node output.
+    type Output: Clone + Send + Sync + Debug;
+    /// Global configuration known to all nodes.
+    type Config: Sync;
+
+    /// Creates the initial state of a node with `degree` ports.
+    fn init(cfg: &Self::Config, degree: usize, input: &Self::Input) -> A;
+
+    /// The contiguous range of delivery-buffer slots owned by the contiguous
+    /// node range `nodes` (port numbering: their out-arcs; broadcast: one
+    /// slot per node). Must be monotone — consecutive node ranges own
+    /// consecutive slot ranges — and tile the whole buffer over `0..n`.
+    fn slot_span(g: &Graph, nodes: Range<usize>) -> Range<usize>;
+
+    /// Writes the node's outgoing messages into its own slots. `out` is the
+    /// node's `slot_span`, pre-filled with `Msg::default()`.
+    fn send(state: &A, cfg: &Self::Config, round: u64, out: &mut [Self::Msg]);
+
+    /// Gathers node `v`'s incoming messages from the global buffer into
+    /// `scratch`, canonicalised as the model requires (broadcast sorts).
+    fn gather<'b>(g: &Graph, v: usize, buf: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>);
+
+    /// Delivers `incoming` to the node; returning `Some` halts it.
+    fn receive(
+        state: &mut A,
+        cfg: &Self::Config,
+        round: u64,
+        incoming: &[&Self::Msg],
+    ) -> Option<Self::Output>;
+
+    /// `(total_delivered_bits, max_single_message_bits)` accounted to node
+    /// `v`'s own slots this round. Must reproduce the historical per-model
+    /// accounting bit-exactly: port numbering counts each slot once;
+    /// broadcast counts the single slot `deg(v)` times for the total but
+    /// counts it toward the max even when `deg(v) == 0`.
+    fn slot_bits(g: &Graph, v: usize, slots: &[Self::Msg]) -> (u64, u64);
+
+    /// The same accounting for a halted node, whose slots all hold
+    /// `Msg::default()` of size `default_bits`. This is what lets the engine
+    /// skip halted nodes entirely while keeping [`Trace`](crate::engine::Trace)
+    /// counts identical to the all-nodes-send semantics.
+    fn halted_bits(g: &Graph, v: usize, default_bits: u64) -> (u64, u64);
+
+    /// [`slot_bits`](Delivery::slot_bits) summed over a whole *dense* chunk:
+    /// `slots` is exactly `slot_span(g, nodes)`. One tight pass for the
+    /// engine's fast path when no halted node interrupts the span; must
+    /// equal the per-node sum exactly.
+    fn chunk_bits(g: &Graph, nodes: Range<usize>, slots: &[Self::Msg]) -> (u64, u64);
+}
+
+/// Zero-sized marker: port-numbering-model delivery (see [`PnAlgorithm`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PortNumbering;
+
+impl<A: PnAlgorithm> Delivery<A> for PortNumbering {
+    type Msg = A::Msg;
+    type Input = A::Input;
+    type Output = A::Output;
+    type Config = A::Config;
+
+    #[inline]
+    fn init(cfg: &Self::Config, degree: usize, input: &Self::Input) -> A {
+        A::init(cfg, degree, input)
+    }
+
+    #[inline]
+    fn slot_span(g: &Graph, nodes: Range<usize>) -> Range<usize> {
+        g.arc_span(nodes)
+    }
+
+    #[inline]
+    fn send(state: &A, cfg: &Self::Config, round: u64, out: &mut [Self::Msg]) {
+        state.send(cfg, round, out);
+    }
+
+    #[inline]
+    fn gather<'b>(g: &Graph, v: usize, buf: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>) {
+        // Port-aligned: the message arriving on port p is what the neighbour
+        // wrote into the reverse arc of v's p-th out-arc.
+        for a in g.arc_range(v) {
+            scratch.push(&buf[g.rev(a)]);
+        }
+    }
+
+    #[inline]
+    fn receive(
+        state: &mut A,
+        cfg: &Self::Config,
+        round: u64,
+        incoming: &[&Self::Msg],
+    ) -> Option<Self::Output> {
+        state.receive(cfg, round, incoming)
+    }
+
+    #[inline]
+    fn slot_bits(_g: &Graph, _v: usize, slots: &[Self::Msg]) -> (u64, u64) {
+        let mut total = 0;
+        let mut max = 0;
+        for m in slots {
+            let b = m.approx_bits();
+            total += b;
+            max = max.max(b);
+        }
+        (total, max)
+    }
+
+    #[inline]
+    fn halted_bits(g: &Graph, v: usize, default_bits: u64) -> (u64, u64) {
+        let d = g.degree(v) as u64;
+        (d * default_bits, if d > 0 { default_bits } else { 0 })
+    }
+
+    #[inline]
+    fn chunk_bits(_g: &Graph, _nodes: Range<usize>, slots: &[Self::Msg]) -> (u64, u64) {
+        let mut total = 0;
+        let mut max = 0;
+        for m in slots {
+            let b = m.approx_bits();
+            total += b;
+            max = max.max(b);
+        }
+        (total, max)
+    }
+}
+
+/// Zero-sized marker: broadcast-model delivery (see [`BcastAlgorithm`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Broadcast;
+
+impl<A: BcastAlgorithm> Delivery<A> for Broadcast {
+    type Msg = A::Msg;
+    type Input = A::Input;
+    type Output = A::Output;
+    type Config = A::Config;
+
+    #[inline]
+    fn init(cfg: &Self::Config, degree: usize, input: &Self::Input) -> A {
+        A::init(cfg, degree, input)
+    }
+
+    #[inline]
+    fn slot_span(_g: &Graph, nodes: Range<usize>) -> Range<usize> {
+        nodes
+    }
+
+    #[inline]
+    fn send(state: &A, cfg: &Self::Config, round: u64, out: &mut [Self::Msg]) {
+        out[0] = state.send(cfg, round);
+    }
+
+    #[inline]
+    fn gather<'b>(g: &Graph, v: usize, buf: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>) {
+        scratch.extend(g.neighbors(v).map(|(_, u)| &buf[u]));
+        // Canonical multiset order: the algorithm cannot learn which
+        // neighbour sent which message.
+        scratch.sort();
+    }
+
+    #[inline]
+    fn receive(
+        state: &mut A,
+        cfg: &Self::Config,
+        round: u64,
+        incoming: &[&Self::Msg],
+    ) -> Option<Self::Output> {
+        state.receive(cfg, round, incoming)
+    }
+
+    #[inline]
+    fn slot_bits(g: &Graph, v: usize, slots: &[Self::Msg]) -> (u64, u64) {
+        // One broadcast, delivered along each incident edge; an isolated
+        // node's broadcast still counts toward the max (historical
+        // accounting, kept bit-identical).
+        let b = slots[0].approx_bits();
+        (b * g.degree(v) as u64, b)
+    }
+
+    #[inline]
+    fn halted_bits(g: &Graph, v: usize, default_bits: u64) -> (u64, u64) {
+        (default_bits * g.degree(v) as u64, default_bits)
+    }
+
+    #[inline]
+    fn chunk_bits(g: &Graph, nodes: Range<usize>, slots: &[Self::Msg]) -> (u64, u64) {
+        let mut total = 0;
+        let mut max = 0;
+        for (v, m) in nodes.zip(slots) {
+            let b = m.approx_bits();
+            total += b * g.degree(v) as u64;
+            max = max.max(b);
+        }
+        (total, max)
+    }
+}

@@ -1,27 +1,47 @@
-//! Synchronous round engines for both computation models.
+//! The single synchronous round core shared by both computation models.
 //!
 //! A round is executed in two phases, exactly as §1.3 prescribes: every node
 //! first produces its outgoing messages (from its state *before* the round),
-//! then every node consumes the messages delivered along its edges. The
-//! two-phase structure makes nodes trivially independent within a phase, so
-//! the parallel path partitions nodes into contiguous ranges and fans the
-//! phase out over scoped threads (CSR keeps each node's out-arc slots
-//! contiguous, so the per-range message buffers are disjoint `&mut` slices —
+//! then every node consumes the messages delivered to it. The two-phase
+//! structure makes nodes trivially independent within a phase, so the
+//! parallel path partitions the swept nodes into contiguous ranges and fans
+//! each phase out over scoped threads ([`Delivery::slot_span`] is monotone,
+//! so the per-range message buffers are disjoint `&mut` slices —
 //! Rayon-style data parallelism with no locks and no unsafe code).
 //!
-//! Determinism: the parallel engine produces bit-identical results to the
-//! sequential one (tested), because phases are barriers and no node reads
-//! another node's *current*-round state.
+//! There is exactly **one** engine, [`Engine`], generic over a
+//! [`Delivery`] model; [`PnEngine`] and [`BcastEngine`] are thin typed
+//! façades (type aliases) over it. Everything model-independent — phase
+//! scaffolding, thread partitioning, instrumentation, round accounting, and
+//! the fault-injection hooks ([`Engine::states`] / [`Engine::states_mut`]
+//! used by the self-stabilization experiments) — exists only here.
+//!
+//! **Halted-frontier skipping** (on by default, see [`EngineOptions`]): the
+//! engine maintains the sorted list of not-yet-halted nodes and sweeps only
+//! those, so per-round cost is O(active slots) instead of O(n + arcs). When
+//! a node halts, its `Msg::default()` slots are written once and its
+//! per-round [`Trace`] contribution is cached, keeping the message/bit
+//! accounting **bit-identical** to the model's all-nodes-send semantics
+//! (halted nodes conceptually keep sending empty default messages every
+//! round; property tests assert equality with skipping off).
+//!
+//! Determinism: for any thread count and either frontier mode the engine
+//! produces bit-identical outputs and traces (tested), because phases are
+//! barriers and no node reads another node's *current*-round state.
 
+use crate::delivery::{Broadcast, Delivery, PortNumbering};
 use crate::graph::Graph;
 use crate::model::{BcastAlgorithm, MessageSize, PnAlgorithm};
 use std::fmt;
+use std::marker::PhantomData;
 use std::ops::Range;
 
 /// Instrumentation collected by an engine run.
 ///
 /// `messages`/bit counts follow the model: every node sends on every incident
-/// edge in every round (halted nodes send the empty default message).
+/// edge in every round (halted nodes send the empty default message). This
+/// holds regardless of frontier skipping — skipped nodes' contributions are
+/// accounted from a cache instead of being recomputed.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
     /// Number of completed communication rounds.
@@ -79,6 +99,31 @@ pub struct RunResult<O> {
     pub trace: Trace,
 }
 
+/// Execution options for [`Engine::with_options`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Worker threads for the parallel phase path (1 = sequential).
+    pub threads: usize,
+    /// Skip halted nodes entirely (default `true`). Turning this off
+    /// restores the historical sweep-everything behaviour; results and
+    /// traces are bit-identical either way (property-tested), only the
+    /// per-round cost differs.
+    pub frontier_skipping: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions { threads: 1, frontier_skipping: true }
+    }
+}
+
+impl EngineOptions {
+    /// Options with the given thread count (frontier skipping on).
+    pub fn threads(threads: usize) -> Self {
+        EngineOptions { threads, ..Self::default() }
+    }
+}
+
 /// Splits `0..n` into at most `parts` contiguous non-empty ranges.
 pub(crate) fn partition(n: usize, parts: usize) -> Vec<Range<usize>> {
     let parts = parts.max(1).min(n.max(1));
@@ -97,61 +142,143 @@ pub(crate) fn partition(n: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// Splits `data` into consecutive `&mut` chunks with the given sizes.
-fn split_sizes<'a, T>(mut data: &'a mut [T], sizes: &[usize]) -> Vec<&'a mut [T]> {
-    let mut out = Vec::with_capacity(sizes.len());
-    for &s in sizes {
-        let (head, tail) = data.split_at_mut(s);
+/// Splits `data` into disjoint `&mut` chunks covering the given strictly
+/// increasing, non-overlapping index spans (gaps between spans are skipped).
+fn split_spans<'a, T>(mut data: &'a mut [T], spans: &[Range<usize>]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(spans.len());
+    let mut cursor = 0;
+    for span in spans {
+        let (_, rest) = data.split_at_mut(span.start - cursor);
+        let (head, rest) = rest.split_at_mut(span.len());
         out.push(head);
-        data = tail;
+        data = rest;
+        cursor = span.end;
     }
-    debug_assert!(data.is_empty());
     out
 }
 
-/// An in-flight port-numbering-model execution.
-///
-/// [`PnEngine::step`] advances one synchronous round; [`run_pn`] is the
-/// run-to-completion convenience wrapper. `threads > 1` enables the parallel
-/// path.
-pub struct PnEngine<'a, A: PnAlgorithm> {
-    graph: &'a Graph,
-    cfg: &'a A::Config,
-    states: Vec<A>,
-    outputs: Vec<Option<A::Output>>,
-    buf: Vec<A::Msg>,
-    halted: usize,
-    trace: Trace,
-    threads: usize,
+/// Receives one node: gathers its incoming slots from the delivery buffer,
+/// delivers them, and records a halt. Shared by the dense and sparse sweep
+/// paths of phase 2.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn receive_node<'b, A, D: Delivery<A>>(
+    g: &Graph,
+    cfg: &D::Config,
+    round: u64,
+    buf: &'b [D::Msg],
+    span_start: usize,
+    v: usize,
+    states: &mut [A],
+    outputs: &mut [Option<D::Output>],
+    scratch: &mut Vec<&'b D::Msg>,
+    newly: &mut Vec<u32>,
+) {
+    let i = v - span_start;
+    if outputs[i].is_some() {
+        return; // halted: output is fixed (frontier skipping off)
+    }
+    scratch.clear();
+    D::gather(g, v, buf, scratch);
+    if let Some(out) = D::receive(&mut states[i], cfg, round, scratch) {
+        outputs[i] = Some(out);
+        newly.push(v as u32);
+    }
 }
 
-impl<'a, A: PnAlgorithm> PnEngine<'a, A> {
-    /// Initialises every node. `inputs` is indexed by node id.
+/// An in-flight synchronous execution: the one round core, generic over the
+/// delivery model `D`.
+///
+/// [`Engine::step`] advances one synchronous round; [`run_pn`] /
+/// [`run_bcast`] (and the generic [`run_engine`]) are run-to-completion
+/// convenience wrappers. Use [`PnEngine`] / [`BcastEngine`] to name the two
+/// instantiations.
+pub struct Engine<'a, A, D: Delivery<A>> {
+    graph: &'a Graph,
+    cfg: &'a D::Config,
+    states: Vec<A>,
+    outputs: Vec<Option<D::Output>>,
+    buf: Vec<D::Msg>,
+    /// Node ids swept by the round loop, sorted ascending. With frontier
+    /// skipping this is exactly the active (not-yet-halted) frontier; with
+    /// it off the list stays `0..n` and halted nodes are skipped per node.
+    sweep: Vec<u32>,
+    halted: usize,
+    trace: Trace,
+    opts: EngineOptions,
+    /// Cached per-round `Trace` bits of all frontier-skipped halted nodes.
+    skipped_bits: u64,
+    /// Cached max-single-message contribution of skipped halted nodes.
+    skipped_max_bits: u64,
+    /// `approx_bits` of `D::Msg::default()`, computed once.
+    default_bits: u64,
+    /// Cached per-thread partition of the sweep list: ranges into `sweep`,
+    /// the node span each covers, and its buffer slot span. Recomputed only
+    /// when the sweep list changes (steady rounds allocate nothing here).
+    parts: Vec<Range<usize>>,
+    node_spans: Vec<Range<usize>>,
+    buf_spans: Vec<Range<usize>>,
+    spans_dirty: bool,
+    _model: PhantomData<fn() -> D>,
+}
+
+impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
+    /// Initialises every node. `inputs` is indexed by node id; `threads > 1`
+    /// enables the parallel path. Frontier skipping is on.
     pub fn new(
         graph: &'a Graph,
-        cfg: &'a A::Config,
-        inputs: &[A::Input],
+        cfg: &'a D::Config,
+        inputs: &[D::Input],
         threads: usize,
+    ) -> Result<Self, SimError> {
+        Self::with_options(graph, cfg, inputs, EngineOptions::threads(threads))
+    }
+
+    /// Initialises every node with explicit [`EngineOptions`].
+    pub fn with_options(
+        graph: &'a Graph,
+        cfg: &'a D::Config,
+        inputs: &[D::Input],
+        opts: EngineOptions,
     ) -> Result<Self, SimError> {
         if inputs.len() != graph.n() {
             return Err(SimError::InputLength { got: inputs.len(), want: graph.n() });
         }
-        let states = (0..graph.n()).map(|v| A::init(cfg, graph.degree(v), &inputs[v])).collect();
-        Ok(PnEngine {
+        // The sweep list stores node ids as u32 (matching the graph's CSR
+        // arc words); fail loudly rather than truncate on absurd n.
+        assert!(graph.n() <= u32::MAX as usize, "engine supports at most 2^32 - 1 nodes");
+        let states = (0..graph.n()).map(|v| D::init(cfg, graph.degree(v), &inputs[v])).collect();
+        let buf_len = D::slot_span(graph, 0..graph.n()).len();
+        Ok(Engine {
             graph,
             cfg,
             states,
             outputs: vec![None; graph.n()],
-            buf: (0..graph.arcs()).map(|_| A::Msg::default()).collect(),
+            buf: (0..buf_len).map(|_| D::Msg::default()).collect(),
+            sweep: (0..graph.n() as u32).collect(),
             halted: 0,
             trace: Trace::default(),
-            threads: threads.max(1),
+            opts: EngineOptions { threads: opts.threads.max(1), ..opts },
+            skipped_bits: 0,
+            skipped_max_bits: 0,
+            default_bits: D::Msg::default().approx_bits(),
+            parts: Vec::new(),
+            node_spans: Vec::new(),
+            buf_spans: Vec::new(),
+            spans_dirty: true,
+            _model: PhantomData,
         })
     }
 
     /// Number of nodes that have halted.
     pub fn halted(&self) -> usize {
         self.halted
+    }
+
+    /// Number of nodes the round loop still sweeps (the active frontier
+    /// when frontier skipping is on; `n` otherwise).
+    pub fn frontier_len(&self) -> usize {
+        self.sweep.len()
     }
 
     /// Completed rounds so far.
@@ -181,77 +308,205 @@ impl<'a, A: PnAlgorithm> PnEngine<'a, A> {
     pub fn step(&mut self) -> bool {
         let round = self.trace.rounds + 1;
         let g = self.graph;
-        let n = g.n();
-        let parts = partition(n, self.threads);
+        let cfg = self.cfg;
+        // Partition the sweep list (not 0..n): with a collapsed frontier the
+        // whole round costs O(active slots). The list is sorted, so each
+        // part owns a contiguous node span, hence a contiguous slot span.
+        if self.spans_dirty {
+            self.parts = partition(self.sweep.len(), self.opts.threads);
+            self.node_spans = self
+                .parts
+                .iter()
+                .map(|r| self.sweep[r.start] as usize..self.sweep[r.end - 1] as usize + 1)
+                .collect();
+            self.buf_spans = self.node_spans.iter().map(|s| D::slot_span(g, s.clone())).collect();
+            self.spans_dirty = false;
+        }
+        let parts = &self.parts;
+        let node_spans = &self.node_spans;
+        let buf_spans = &self.buf_spans;
 
-        // Phase 1: send. Each range owns the contiguous out-arc slice of its
-        // nodes.
-        let arc_sizes: Vec<usize> = parts
-            .iter()
-            .map(|r| g.arc_range(r.end.saturating_sub(1)).end - g.arc_range(r.start).start)
-            .collect();
-        {
-            let cfg = self.cfg;
+        // Phase 1: send, fused with message accounting over the same sweep.
+        let (bits, maxb) = {
             let states = &self.states;
             let outputs = &self.outputs;
-            let buf_chunks = split_sizes(&mut self.buf, &arc_sizes);
-            if parts.len() == 1 {
-                send_range(
-                    g,
-                    cfg,
-                    states,
-                    outputs,
-                    parts[0].clone(),
-                    buf_chunks.into_iter().next().unwrap(),
-                    round,
-                );
+            let sweep = &self.sweep;
+            let chunks = split_spans(&mut self.buf, buf_spans);
+            let send_part = |list: Range<usize>,
+                             nodes: Range<usize>,
+                             slots_base: usize,
+                             chunk: &mut [D::Msg]|
+             -> (u64, u64) {
+                if list.len() == nodes.len() {
+                    // Dense part — every node in the span is swept (no
+                    // halted gaps): whole-chunk clear and one tight
+                    // accounting pass instead of per-node slicing.
+                    for slot in chunk.iter_mut() {
+                        *slot = D::Msg::default();
+                    }
+                    for v in nodes.clone() {
+                        // A halted node (frontier skipping off) keeps
+                        // sending the defaults cleared just above.
+                        if outputs[v].is_none() {
+                            let slots = D::slot_span(g, v..v + 1);
+                            D::send(
+                                &states[v],
+                                cfg,
+                                round,
+                                &mut chunk[slots.start - slots_base..slots.end - slots_base],
+                            );
+                        }
+                    }
+                    return D::chunk_bits(g, nodes, chunk);
+                }
+                let mut total = 0u64;
+                let mut max = 0u64;
+                for &v in &sweep[list] {
+                    let v = v as usize;
+                    let slots = D::slot_span(g, v..v + 1);
+                    let own = &mut chunk[slots.start - slots_base..slots.end - slots_base];
+                    for slot in own.iter_mut() {
+                        *slot = D::Msg::default();
+                    }
+                    if outputs[v].is_none() {
+                        D::send(&states[v], cfg, round, own);
+                    }
+                    let (t, m) = D::slot_bits(g, v, own);
+                    total += t;
+                    max = max.max(m);
+                }
+                (total, max)
+            };
+            if parts.len() <= 1 {
+                match chunks.into_iter().next() {
+                    Some(chunk) => send_part(
+                        parts[0].clone(),
+                        node_spans[0].clone(),
+                        buf_spans[0].start,
+                        chunk,
+                    ),
+                    None => (0, 0),
+                }
             } else {
                 std::thread::scope(|s| {
-                    for (range, chunk) in parts.iter().cloned().zip(buf_chunks) {
-                        let states = &states;
-                        let outputs = &outputs;
-                        s.spawn(move || send_range(g, cfg, states, outputs, range, chunk, round));
+                    let send_part = &send_part;
+                    let handles: Vec<_> = parts
+                        .iter()
+                        .cloned()
+                        .zip(node_spans.iter().cloned())
+                        .zip(buf_spans.iter())
+                        .zip(chunks)
+                        .map(|(((list, nodes), bufs), chunk)| {
+                            s.spawn(move || send_part(list, nodes, bufs.start, chunk))
+                        })
+                        .collect();
+                    let mut total = 0;
+                    let mut max = 0;
+                    for h in handles {
+                        let (t, m) = h.join().expect("worker panicked");
+                        total += t;
+                        max = max.max(m);
                     }
-                });
+                    (total, max)
+                })
             }
-        }
-
-        // Instrumentation over the full buffer.
-        let (bits, maxb) = measure(&self.buf, &parts, self.graph, self.threads);
+        };
         self.trace.messages += g.arcs() as u64;
-        self.trace.total_bits += bits;
-        self.trace.max_message_bits = self.trace.max_message_bits.max(maxb);
+        self.trace.total_bits += bits + self.skipped_bits;
+        self.trace.max_message_bits =
+            self.trace.max_message_bits.max(maxb).max(self.skipped_max_bits);
 
         // Phase 2: receive.
-        {
-            let cfg = self.cfg;
+        let newly: Vec<u32> = {
             let buf = &self.buf;
-            let state_sizes: Vec<usize> = parts.iter().map(|r| r.len()).collect();
-            let state_chunks = split_sizes(&mut self.states, &state_sizes);
-            let out_chunks = split_sizes(&mut self.outputs, &state_sizes);
-            let newly: u64 = if parts.len() == 1 {
-                let (sc, oc) = (
-                    state_chunks.into_iter().next().unwrap(),
-                    out_chunks.into_iter().next().unwrap(),
-                );
-                recv_range::<A>(g, cfg, buf, parts[0].clone(), sc, oc, round)
-            } else {
-                std::thread::scope(|s| {
-                    let mut handles = Vec::new();
-                    for ((range, sc), oc) in parts.iter().cloned().zip(state_chunks).zip(out_chunks)
-                    {
-                        handles.push(
-                            s.spawn(move || recv_range::<A>(g, cfg, buf, range, sc, oc, round)),
+            let sweep = &self.sweep;
+            let state_chunks = split_spans(&mut self.states, node_spans);
+            let out_chunks = split_spans(&mut self.outputs, node_spans);
+            let recv_part = |list: Range<usize>,
+                             span: Range<usize>,
+                             states: &mut [A],
+                             outputs: &mut [Option<D::Output>]|
+             -> Vec<u32> {
+                let mut scratch: Vec<&D::Msg> = Vec::new();
+                let mut newly = Vec::new();
+                if list.len() == span.len() {
+                    // Dense part: iterate node ids directly.
+                    for v in span.clone() {
+                        receive_node::<A, D>(
+                            g,
+                            cfg,
+                            round,
+                            buf,
+                            span.start,
+                            v,
+                            states,
+                            outputs,
+                            &mut scratch,
+                            &mut newly,
                         );
                     }
-                    handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
-                })
+                } else {
+                    for &v in &sweep[list] {
+                        receive_node::<A, D>(
+                            g,
+                            cfg,
+                            round,
+                            buf,
+                            span.start,
+                            v as usize,
+                            states,
+                            outputs,
+                            &mut scratch,
+                            &mut newly,
+                        );
+                    }
+                }
+                newly
             };
-            self.halted += newly as usize;
+            if parts.len() <= 1 {
+                match state_chunks.into_iter().next().zip(out_chunks.into_iter().next()) {
+                    Some((sc, oc)) => recv_part(parts[0].clone(), node_spans[0].clone(), sc, oc),
+                    None => Vec::new(),
+                }
+            } else {
+                std::thread::scope(|s| {
+                    let recv_part = &recv_part;
+                    let handles: Vec<_> = parts
+                        .iter()
+                        .cloned()
+                        .zip(node_spans.iter().cloned())
+                        .zip(state_chunks)
+                        .zip(out_chunks)
+                        .map(|(((list, span), sc), oc)| {
+                            s.spawn(move || recv_part(list, span, sc, oc))
+                        })
+                        .collect();
+                    // Joined in part order: the concatenation stays sorted.
+                    handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+                })
+            }
+        };
+        self.halted += newly.len();
+
+        if self.opts.frontier_skipping && !newly.is_empty() {
+            // Write the halted nodes' default slots once — they are never
+            // touched again — and cache their per-round Trace contribution.
+            for &v in &newly {
+                let slots = D::slot_span(g, v as usize..v as usize + 1);
+                for slot in &mut self.buf[slots] {
+                    *slot = D::Msg::default();
+                }
+                let (t, m) = D::halted_bits(g, v as usize, self.default_bits);
+                self.skipped_bits += t;
+                self.skipped_max_bits = self.skipped_max_bits.max(m);
+            }
+            let outputs = &self.outputs;
+            self.sweep.retain(|&v| outputs[v as usize].is_none());
+            self.spans_dirty = true;
         }
 
         self.trace.rounds = round;
-        self.halted == n
+        self.halted == g.n()
     }
 
     /// Consumes the engine, returning outputs if all nodes have halted.
@@ -259,7 +514,7 @@ impl<'a, A: PnAlgorithm> PnEngine<'a, A> {
     /// The `Err` variant deliberately hands the whole engine back so a
     /// caller can keep stepping it; the size is irrelevant on this cold path.
     #[allow(clippy::result_large_err)]
-    pub fn finish(self) -> Result<RunResult<A::Output>, Self> {
+    pub fn finish(self) -> Result<RunResult<D::Output>, Self> {
         if self.halted == self.graph.n() {
             Ok(RunResult {
                 outputs: self.outputs.into_iter().map(|o| o.expect("halted")).collect(),
@@ -271,97 +526,31 @@ impl<'a, A: PnAlgorithm> PnEngine<'a, A> {
     }
 }
 
-fn send_range<A: PnAlgorithm>(
-    g: &Graph,
-    cfg: &A::Config,
-    states: &[A],
-    outputs: &[Option<A::Output>],
-    range: Range<usize>,
-    chunk: &mut [A::Msg],
-    round: u64,
-) {
-    let base = g.arc_range(range.start).start;
-    for slot in chunk.iter_mut() {
-        *slot = A::Msg::default();
-    }
-    for v in range {
-        if outputs[v].is_some() {
-            continue; // halted: default messages already in place
-        }
-        let r = g.arc_range(v);
-        states[v].send(cfg, round, &mut chunk[r.start - base..r.end - base]);
-    }
-}
+/// An in-flight port-numbering-model execution: the generic [`Engine`]
+/// instantiated with [`PortNumbering`] delivery.
+pub type PnEngine<'a, A> = Engine<'a, A, PortNumbering>;
 
-fn recv_range<A: PnAlgorithm>(
-    g: &Graph,
-    cfg: &A::Config,
-    buf: &[A::Msg],
-    range: Range<usize>,
-    states: &mut [A],
-    outputs: &mut [Option<A::Output>],
-    round: u64,
-) -> u64 {
-    let base = range.start;
-    let mut scratch: Vec<&A::Msg> = Vec::new();
-    let mut newly_halted = 0;
-    for v in range {
-        if outputs[v - base].is_some() {
-            continue;
-        }
-        scratch.clear();
-        for a in g.arc_range(v) {
-            scratch.push(&buf[g.rev(a)]);
-        }
-        if let Some(out) = states[v - base].receive(cfg, round, &scratch) {
-            outputs[v - base] = Some(out);
-            newly_halted += 1;
-        }
-    }
-    newly_halted
-}
+/// An in-flight broadcast-model execution: the generic [`Engine`]
+/// instantiated with [`Broadcast`] delivery. Incoming messages are delivered
+/// as a canonically sorted multiset.
+pub type BcastEngine<'a, A> = Engine<'a, A, Broadcast>;
 
-fn measure<M: MessageSize + Sync>(
-    buf: &[M],
-    parts: &[Range<usize>],
-    g: &Graph,
-    threads: usize,
-) -> (u64, u64) {
-    if threads <= 1 || parts.len() <= 1 {
-        let mut total = 0;
-        let mut max = 0;
-        for m in buf {
-            let b = m.approx_bits();
-            total += b;
-            max = max.max(b);
+/// Runs an algorithm to completion under delivery model `D` with explicit
+/// [`EngineOptions`] — the generic core behind [`run_pn`] / [`run_bcast`].
+pub fn run_engine<A: Send + Sync, D: Delivery<A>>(
+    graph: &Graph,
+    cfg: &D::Config,
+    inputs: &[D::Input],
+    max_rounds: u64,
+    opts: EngineOptions,
+) -> Result<RunResult<D::Output>, SimError> {
+    let mut engine = Engine::<A, D>::with_options(graph, cfg, inputs, opts)?;
+    for _ in 0..max_rounds {
+        if engine.step() {
+            return Ok(engine.finish().ok().expect("all halted"));
         }
-        (total, max)
-    } else {
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for r in parts {
-                let slice = &buf[g.arc_range(r.start).start..g.arc_range(r.end - 1).end];
-                handles.push(s.spawn(move || {
-                    let mut total = 0u64;
-                    let mut max = 0u64;
-                    for m in slice {
-                        let b = m.approx_bits();
-                        total += b;
-                        max = max.max(b);
-                    }
-                    (total, max)
-                }));
-            }
-            let mut total = 0;
-            let mut max = 0;
-            for h in handles {
-                let (t, mx) = h.join().expect("worker panicked");
-                total += t;
-                max = max.max(mx);
-            }
-            (total, max)
-        })
     }
+    Err(SimError::RoundLimit { limit: max_rounds, halted: engine.halted(), n: graph.n() })
 }
 
 /// Runs a port-numbering algorithm to completion.
@@ -371,7 +560,7 @@ pub fn run_pn<A: PnAlgorithm>(
     inputs: &[A::Input],
     max_rounds: u64,
 ) -> Result<RunResult<A::Output>, SimError> {
-    run_pn_threads::<A>(graph, cfg, inputs, max_rounds, 1)
+    run_engine::<A, PortNumbering>(graph, cfg, inputs, max_rounds, EngineOptions::default())
 }
 
 /// Runs a port-numbering algorithm to completion on `threads` threads.
@@ -382,190 +571,7 @@ pub fn run_pn_threads<A: PnAlgorithm>(
     max_rounds: u64,
     threads: usize,
 ) -> Result<RunResult<A::Output>, SimError> {
-    let mut engine = PnEngine::<A>::new(graph, cfg, inputs, threads)?;
-    for _ in 0..max_rounds {
-        if engine.step() {
-            return Ok(engine.finish().ok().expect("all halted"));
-        }
-    }
-    Err(SimError::RoundLimit { limit: max_rounds, halted: engine.halted(), n: graph.n() })
-}
-
-/// An in-flight broadcast-model execution (see [`PnEngine`] for the driving
-/// protocol). Incoming messages are delivered as a canonically sorted
-/// multiset.
-pub struct BcastEngine<'a, A: BcastAlgorithm> {
-    graph: &'a Graph,
-    cfg: &'a A::Config,
-    states: Vec<A>,
-    outputs: Vec<Option<A::Output>>,
-    buf: Vec<A::Msg>,
-    halted: usize,
-    trace: Trace,
-    threads: usize,
-}
-
-impl<'a, A: BcastAlgorithm> BcastEngine<'a, A> {
-    /// Initialises every node. `inputs` is indexed by node id.
-    pub fn new(
-        graph: &'a Graph,
-        cfg: &'a A::Config,
-        inputs: &[A::Input],
-        threads: usize,
-    ) -> Result<Self, SimError> {
-        if inputs.len() != graph.n() {
-            return Err(SimError::InputLength { got: inputs.len(), want: graph.n() });
-        }
-        let states = (0..graph.n()).map(|v| A::init(cfg, graph.degree(v), &inputs[v])).collect();
-        Ok(BcastEngine {
-            graph,
-            cfg,
-            states,
-            outputs: vec![None; graph.n()],
-            buf: (0..graph.n()).map(|_| A::Msg::default()).collect(),
-            halted: 0,
-            trace: Trace::default(),
-            threads: threads.max(1),
-        })
-    }
-
-    /// Number of halted nodes.
-    pub fn halted(&self) -> usize {
-        self.halted
-    }
-
-    /// Completed rounds so far.
-    pub fn round(&self) -> u64 {
-        self.trace.rounds
-    }
-
-    /// Read access to node states (instrumentation only).
-    pub fn states(&self) -> &[A] {
-        &self.states
-    }
-
-    /// Instrumentation so far.
-    pub fn trace(&self) -> &Trace {
-        &self.trace
-    }
-
-    /// Runs one synchronous round; returns `true` when every node has halted.
-    pub fn step(&mut self) -> bool {
-        let round = self.trace.rounds + 1;
-        let g = self.graph;
-        let n = g.n();
-        let parts = partition(n, self.threads);
-
-        // Phase 1: send (one message per node).
-        {
-            let cfg = self.cfg;
-            let states = &self.states;
-            let outputs = &self.outputs;
-            let sizes: Vec<usize> = parts.iter().map(|r| r.len()).collect();
-            let chunks = split_sizes(&mut self.buf, &sizes);
-            let do_range = |range: Range<usize>, chunk: &mut [A::Msg]| {
-                for v in range.clone() {
-                    chunk[v - range.start] = if outputs[v].is_some() {
-                        A::Msg::default()
-                    } else {
-                        states[v].send(cfg, round)
-                    };
-                }
-            };
-            if parts.len() == 1 {
-                do_range(parts[0].clone(), chunks.into_iter().next().unwrap());
-            } else {
-                std::thread::scope(|s| {
-                    for (range, chunk) in parts.iter().cloned().zip(chunks) {
-                        let do_range = &do_range;
-                        s.spawn(move || do_range(range, chunk));
-                    }
-                });
-            }
-        }
-
-        // Instrumentation: each node's broadcast is delivered along each
-        // incident edge.
-        {
-            let mut total = 0u64;
-            let mut max = 0u64;
-            for (v, m) in self.buf.iter().enumerate() {
-                let b = m.approx_bits();
-                total += b * g.degree(v) as u64;
-                max = max.max(b);
-            }
-            self.trace.messages += g.arcs() as u64;
-            self.trace.total_bits += total;
-            self.trace.max_message_bits = self.trace.max_message_bits.max(max);
-        }
-
-        // Phase 2: receive sorted multisets.
-        {
-            let cfg = self.cfg;
-            let buf = &self.buf;
-            let sizes: Vec<usize> = parts.iter().map(|r| r.len()).collect();
-            let state_chunks = split_sizes(&mut self.states, &sizes);
-            let out_chunks = split_sizes(&mut self.outputs, &sizes);
-            let do_range =
-                |range: Range<usize>, states: &mut [A], outputs: &mut [Option<A::Output>]| -> u64 {
-                    let base = range.start;
-                    let mut scratch: Vec<&A::Msg> = Vec::new();
-                    let mut newly = 0;
-                    for v in range {
-                        if outputs[v - base].is_some() {
-                            continue;
-                        }
-                        scratch.clear();
-                        scratch.extend(g.neighbors(v).map(|(_, u)| &buf[u]));
-                        // Canonical multiset order: the algorithm cannot learn
-                        // which neighbour sent which message.
-                        scratch.sort();
-                        if let Some(out) = states[v - base].receive(cfg, round, &scratch) {
-                            outputs[v - base] = Some(out);
-                            newly += 1;
-                        }
-                    }
-                    newly
-                };
-            let newly: u64 = if parts.len() == 1 {
-                let (sc, oc) = (
-                    state_chunks.into_iter().next().unwrap(),
-                    out_chunks.into_iter().next().unwrap(),
-                );
-                do_range(parts[0].clone(), sc, oc)
-            } else {
-                std::thread::scope(|s| {
-                    let mut handles = Vec::new();
-                    for ((range, sc), oc) in parts.iter().cloned().zip(state_chunks).zip(out_chunks)
-                    {
-                        let do_range = &do_range;
-                        handles.push(s.spawn(move || do_range(range, sc, oc)));
-                    }
-                    handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
-                })
-            };
-            self.halted += newly as usize;
-        }
-
-        self.trace.rounds = round;
-        self.halted == n
-    }
-
-    /// Consumes the engine, returning outputs if all nodes have halted.
-    ///
-    /// The `Err` variant deliberately hands the whole engine back so a
-    /// caller can keep stepping it; the size is irrelevant on this cold path.
-    #[allow(clippy::result_large_err)]
-    pub fn finish(self) -> Result<RunResult<A::Output>, Self> {
-        if self.halted == self.graph.n() {
-            Ok(RunResult {
-                outputs: self.outputs.into_iter().map(|o| o.expect("halted")).collect(),
-                trace: self.trace,
-            })
-        } else {
-            Err(self)
-        }
-    }
+    run_engine::<A, PortNumbering>(graph, cfg, inputs, max_rounds, EngineOptions::threads(threads))
 }
 
 /// Runs a broadcast algorithm to completion.
@@ -575,7 +581,7 @@ pub fn run_bcast<A: BcastAlgorithm>(
     inputs: &[A::Input],
     max_rounds: u64,
 ) -> Result<RunResult<A::Output>, SimError> {
-    run_bcast_threads::<A>(graph, cfg, inputs, max_rounds, 1)
+    run_engine::<A, Broadcast>(graph, cfg, inputs, max_rounds, EngineOptions::default())
 }
 
 /// Runs a broadcast algorithm to completion on `threads` threads.
@@ -586,13 +592,7 @@ pub fn run_bcast_threads<A: BcastAlgorithm>(
     max_rounds: u64,
     threads: usize,
 ) -> Result<RunResult<A::Output>, SimError> {
-    let mut engine = BcastEngine::<A>::new(graph, cfg, inputs, threads)?;
-    for _ in 0..max_rounds {
-        if engine.step() {
-            return Ok(engine.finish().ok().expect("all halted"));
-        }
-    }
-    Err(SimError::RoundLimit { limit: max_rounds, halted: engine.halted(), n: graph.n() })
+    run_engine::<A, Broadcast>(graph, cfg, inputs, max_rounds, EngineOptions::threads(threads))
 }
 
 #[cfg(test)]
@@ -673,6 +673,81 @@ mod tests {
         }
     }
 
+    /// PN algorithm with a *staggered* halting schedule: node halts once its
+    /// running maximum has been stable for `budget` rounds would be complex;
+    /// instead, halt at round `input` (so the frontier shrinks every round).
+    struct Staggered {
+        halt_at: u64,
+        acc: u64,
+    }
+
+    impl PnAlgorithm for Staggered {
+        type Msg = u64;
+        type Input = u64;
+        type Output = u64;
+        type Config = ();
+
+        fn init(_cfg: &(), degree: usize, input: &u64) -> Self {
+            Staggered { halt_at: *input, acc: degree as u64 }
+        }
+        fn send(&self, _cfg: &(), round: u64, out: &mut [u64]) {
+            for (p, o) in out.iter_mut().enumerate() {
+                *o = self.acc.wrapping_add(round).wrapping_add(p as u64);
+            }
+        }
+        fn receive(&mut self, _cfg: &(), round: u64, incoming: &[&u64]) -> Option<u64> {
+            for &&m in incoming {
+                self.acc = self.acc.rotate_left(5).wrapping_add(m);
+            }
+            (round >= self.halt_at).then_some(self.acc)
+        }
+    }
+
+    #[test]
+    fn frontier_skipping_matches_full_sweep() {
+        let n = 64;
+        let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        // Halting rounds spread over 1..=8.
+        let inputs: Vec<u64> = (0..n as u64).map(|v| v % 8 + 1).collect();
+        let mut reference: Option<RunResult<u64>> = None;
+        for frontier_skipping in [false, true] {
+            for threads in [1usize, 2, 4, 8] {
+                let opts = EngineOptions { threads, frontier_skipping };
+                let res =
+                    run_engine::<Staggered, PortNumbering>(&g, &(), &inputs, 20, opts).unwrap();
+                match &reference {
+                    None => reference = Some(res),
+                    Some(base) => {
+                        assert_eq!(
+                            res.outputs, base.outputs,
+                            "skip={frontier_skipping} t={threads}"
+                        );
+                        assert_eq!(res.trace, base.trace, "skip={frontier_skipping} t={threads}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_shrinks_and_trace_counts_skipped_nodes() {
+        let g = star(4);
+        // Leaves halt at round 1, the hub at round 3.
+        let inputs = vec![3u64, 1, 1, 1, 1];
+        let mut engine = PnEngine::<Staggered>::new(&g, &(), &inputs, 1).unwrap();
+        assert_eq!(engine.frontier_len(), 5);
+        engine.step();
+        assert_eq!(engine.frontier_len(), 1); // only the hub remains
+        engine.step();
+        engine.step();
+        assert_eq!(engine.frontier_len(), 0);
+        let res = engine.finish().ok().expect("halted");
+        // All-nodes-send semantics: arcs × rounds messages, 64 bits each.
+        assert_eq!(res.trace.messages, 3 * g.arcs() as u64);
+        assert_eq!(res.trace.total_bits, 3 * g.arcs() as u64 * 64);
+    }
+
     /// Broadcast test algorithm: nodes exchange degree multisets; output is
     /// the sorted multiset of neighbour degrees (tests multiset delivery).
     struct DegreeCensus {
@@ -749,9 +824,41 @@ mod tests {
     }
 
     #[test]
+    fn split_spans_skips_gaps() {
+        let mut data: Vec<u32> = (0..10).collect();
+        let chunks = split_spans(&mut data, &[1..3, 5..6, 8..10]);
+        let views: Vec<Vec<u32>> = chunks.into_iter().map(|c| c.to_vec()).collect();
+        assert_eq!(views, vec![vec![1, 2], vec![5], vec![8, 9]]);
+        assert!(split_spans(&mut data, &[]).is_empty());
+    }
+
+    #[test]
     fn isolated_nodes_halt() {
         let g = Graph::from_edges(3, &[]).unwrap();
         let res = run_pn::<MaxDegreeProbe>(&g, &1, &[(); 3], 2).unwrap();
         assert_eq!(res.outputs, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn stepping_a_fully_halted_network_keeps_accounting() {
+        // After everyone halts, extra steps still count default messages —
+        // with and without frontier skipping, identically.
+        let g = star(3);
+        let inputs = vec![1u64; 4];
+        let mut a = PnEngine::<Staggered>::new(&g, &(), &inputs, 1).unwrap();
+        let mut b = PnEngine::<Staggered>::with_options(
+            &g,
+            &(),
+            &inputs,
+            EngineOptions { threads: 1, frontier_skipping: false },
+        )
+        .unwrap();
+        for _ in 0..4 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(a.trace().messages, 4 * g.arcs() as u64);
+        assert_eq!(a.trace().total_bits, 4 * g.arcs() as u64 * 64);
     }
 }

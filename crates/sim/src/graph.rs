@@ -192,6 +192,16 @@ impl Graph {
         self.arc_start[v]..self.arc_start[v + 1]
     }
 
+    /// The combined out-arc range of the contiguous node range `nodes`:
+    /// `arc_span(a..b)` covers exactly the arcs of nodes `a, a+1, …, b−1`,
+    /// in node order. Empty node ranges yield empty arc ranges, and
+    /// `arc_span(a..b).len()` is the sum of the degrees in `a..b` — the
+    /// invariant the engine's per-thread buffer slicing relies on.
+    pub fn arc_span(&self, nodes: std::ops::Range<usize>) -> std::ops::Range<usize> {
+        debug_assert!(nodes.start <= nodes.end && nodes.end <= self.n());
+        self.arc_start[nodes.start]..self.arc_start[nodes.end]
+    }
+
     /// Head (target) of an arc.
     pub fn head(&self, arc: usize) -> usize {
         self.arc_head[arc] as usize
@@ -336,6 +346,37 @@ mod tests {
                 assert_eq!(g.tail(a), v);
             }
         }
+    }
+
+    #[test]
+    fn arc_span_matches_arc_ranges() {
+        // Star: degrees (3, 1, 1, 1) — deliberately non-uniform.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        for a in 0..=g.n() {
+            for b in a..=g.n() {
+                let span = g.arc_span(a..b);
+                let expect: usize = (a..b).map(|v| g.degree(v)).sum();
+                assert_eq!(span.len(), expect, "span {a}..{b}");
+                if a < b {
+                    assert_eq!(span.start, g.arc_range(a).start);
+                    assert_eq!(span.end, g.arc_range(b - 1).end);
+                } else {
+                    assert!(span.is_empty());
+                }
+            }
+        }
+        // Full span covers every arc exactly once.
+        assert_eq!(g.arc_span(0..g.n()), 0..g.arcs());
+        // Consecutive spans tile.
+        assert_eq!(g.arc_span(0..2).end, g.arc_span(2..4).start);
+    }
+
+    #[test]
+    fn arc_span_empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert!(g.arc_span(0..0).is_empty());
+        let g = Graph::from_edges(3, &[]).unwrap();
+        assert!(g.arc_span(0..3).is_empty());
     }
 
     #[test]

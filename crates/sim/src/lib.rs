@@ -6,30 +6,54 @@
 //! * [`graph::Graph`] — simple undirected communication graphs in CSR layout,
 //!   where adjacency-list order *is* the port numbering;
 //! * [`model::PnAlgorithm`] / [`model::BcastAlgorithm`] — the port-numbering
-//!   and broadcast models (the engine sorts incoming broadcast messages, so
-//!   multiset semantics are enforced rather than assumed);
-//! * [`engine`] — sequential and multi-threaded synchronous round engines
-//!   with instrumentation (rounds, message counts, message bits);
+//!   and broadcast models, as algorithm traits;
+//! * [`delivery::Delivery`] — the **delivery abstraction**: the only two
+//!   differences between the models (per-port message vectors with
+//!   port-aligned delivery vs. one broadcast received as a canonically
+//!   sorted multiset), captured as a trait with zero-sized markers
+//!   [`delivery::PortNumbering`] and [`delivery::Broadcast`];
+//! * [`engine::Engine`] — the **single** generic round core. [`PnEngine`]
+//!   and [`BcastEngine`] are thin typed façades (type aliases) over it, so
+//!   the send/receive phase scaffolding, scoped-thread partitioning,
+//!   instrumentation and the fault-injection hooks exist exactly once;
+//! * [`batch::BatchRunner`] — batched multi-instance execution: many
+//!   independent (graph, config, inputs) instances across one worker pool —
+//!   the "serve many requests" entry point;
 //! * [`cover`] — k-fold covering lifts, turning the §7 symmetry theorems into
 //!   executable invariants.
 //!
-//! The parallel path uses scoped threads over contiguous node ranges (CSR
-//! keeps each range's message slots a disjoint `&mut` slice) and is
-//! bit-identical to the sequential path.
+//! ## Frontier invariant
+//!
+//! The engine skips halted nodes (`EngineOptions::frontier_skipping`, on by
+//! default): per-round cost is O(active slots), not O(n + arcs), because a
+//! halted node's `Msg::default()` slots are written once at halt time and
+//! its per-round [`Trace`] contribution is cached. The **`Trace` semantics
+//! are unchanged**: message and bit counts still follow the model's
+//! all-nodes-send accounting (halted nodes conceptually keep sending empty
+//! default messages), and property tests assert bit-identical outputs and
+//! traces across thread counts and both frontier modes.
+//!
+//! The parallel path uses scoped threads over contiguous node ranges (the
+//! monotone `Delivery::slot_span` keeps each range's message slots a
+//! disjoint `&mut` slice) and is bit-identical to the sequential path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bipartite;
 pub mod cover;
+pub mod delivery;
 pub mod engine;
 pub mod graph;
 pub mod model;
 
+pub use batch::{run_bcast_many, run_pn_many, BatchRunner, BcastJob, Job, PnJob};
 pub use bipartite::{SetCoverError, SetCoverInstance};
+pub use delivery::{Broadcast, Delivery, PortNumbering};
 pub use engine::{
-    run_bcast, run_bcast_threads, run_pn, run_pn_threads, BcastEngine, PnEngine, RunResult,
-    SimError, Trace,
+    run_bcast, run_bcast_threads, run_engine, run_pn, run_pn_threads, BcastEngine, Engine,
+    EngineOptions, PnEngine, RunResult, SimError, Trace,
 };
 pub use graph::{Graph, GraphError};
 pub use model::{BcastAlgorithm, MessageSize, PnAlgorithm};

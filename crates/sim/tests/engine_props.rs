@@ -1,10 +1,13 @@
-//! Property tests for the simulator: engine determinism across thread
-//! counts, broadcast sender-obliviousness under arbitrary port permutations,
-//! lift correctness on random graphs, and instrumentation accounting.
+//! Property tests for the simulator: the unified engine is bit-identical —
+//! outputs *and* traces — to a naive seed-semantics reference across thread
+//! counts and frontier-skipping modes for both delivery models; broadcast is
+//! sender-oblivious under arbitrary port permutations; lifts project; and
+//! instrumentation accounting matches the all-nodes-send model.
 
 use anonet_sim::cover::{check_lift_outputs, lift};
 use anonet_sim::{
-    run_bcast, run_pn, run_pn_threads, BcastAlgorithm, Graph, MessageSize, PnAlgorithm,
+    run_bcast, run_engine, run_pn, run_pn_threads, BcastAlgorithm, Broadcast, EngineOptions, Graph,
+    MessageSize, PnAlgorithm, PortNumbering, RunResult, Trace,
 };
 use proptest::prelude::*;
 
@@ -70,8 +73,200 @@ impl BcastAlgorithm for Census {
     }
 }
 
+/// PN hash with *staggered halting*: node v halts at round
+/// `(input % cfg) + 1`, so the active frontier shrinks round by round —
+/// exactly the shape frontier skipping must get right.
+struct StaggerHash {
+    h: u64,
+    halt_at: u64,
+}
+
+impl PnAlgorithm for StaggerHash {
+    type Msg = u64;
+    type Input = u64;
+    type Output = u64;
+    type Config = u64; // halting-round spread
+
+    fn init(cfg: &u64, degree: usize, input: &u64) -> Self {
+        StaggerHash { h: *input ^ (degree as u64).wrapping_mul(0x9E37), halt_at: input % cfg + 1 }
+    }
+    fn send(&self, _cfg: &u64, round: u64, out: &mut [u64]) {
+        for (p, m) in out.iter_mut().enumerate() {
+            *m = self.h.wrapping_add(round).wrapping_add(p as u64);
+        }
+    }
+    fn receive(&mut self, _cfg: &u64, round: u64, incoming: &[&u64]) -> Option<u64> {
+        for (p, &&m) in incoming.iter().enumerate() {
+            self.h = self.h.rotate_left(7).wrapping_mul(0x100000001B3).wrapping_add(m ^ p as u64);
+        }
+        (round >= self.halt_at).then_some(self.h)
+    }
+}
+
+/// Broadcast census with the same staggered halting schedule.
+struct StaggerCensus {
+    h: u64,
+    halt_at: u64,
+}
+
+impl BcastAlgorithm for StaggerCensus {
+    type Msg = u64;
+    type Input = u64;
+    type Output = u64;
+    type Config = u64;
+
+    fn init(cfg: &u64, degree: usize, input: &u64) -> Self {
+        StaggerCensus {
+            h: input.wrapping_mul(31).wrapping_add(degree as u64),
+            halt_at: input % cfg + 1,
+        }
+    }
+    fn send(&self, _cfg: &u64, round: u64) -> u64 {
+        self.h.wrapping_add(round)
+    }
+    fn receive(&mut self, _cfg: &u64, round: u64, incoming: &[&u64]) -> Option<u64> {
+        for &&m in incoming {
+            self.h = self.h.rotate_left(9).wrapping_add(m);
+        }
+        (round >= self.halt_at).then_some(self.h)
+    }
+}
+
+/// Naive reference simulator with the seed engine's exact semantics —
+/// single-threaded, sweeps *every* node *every* round, measures the whole
+/// buffer. The oracle the unified engine must match bit for bit.
+fn reference_pn<A: PnAlgorithm>(
+    g: &Graph,
+    cfg: &A::Config,
+    inputs: &[A::Input],
+    max_rounds: u64,
+) -> RunResult<A::Output> {
+    let n = g.n();
+    let mut states: Vec<A> = (0..n).map(|v| A::init(cfg, g.degree(v), &inputs[v])).collect();
+    let mut outputs: Vec<Option<A::Output>> = vec![None; n];
+    let mut buf: Vec<A::Msg> = (0..g.arcs()).map(|_| A::Msg::default()).collect();
+    let mut trace = Trace::default();
+    for round in 1..=max_rounds {
+        for slot in buf.iter_mut() {
+            *slot = A::Msg::default();
+        }
+        for v in 0..n {
+            if outputs[v].is_none() {
+                states[v].send(cfg, round, &mut buf[g.arc_range(v)]);
+            }
+        }
+        for m in &buf {
+            let b = m.approx_bits();
+            trace.total_bits += b;
+            trace.max_message_bits = trace.max_message_bits.max(b);
+        }
+        trace.messages += g.arcs() as u64;
+        for v in 0..n {
+            if outputs[v].is_some() {
+                continue;
+            }
+            let refs: Vec<&A::Msg> = g.arc_range(v).map(|a| &buf[g.rev(a)]).collect();
+            outputs[v] = states[v].receive(cfg, round, &refs);
+        }
+        trace.rounds = round;
+        if outputs.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    RunResult { outputs: outputs.into_iter().map(|o| o.expect("halted")).collect(), trace }
+}
+
+/// Broadcast twin of [`reference_pn`].
+fn reference_bcast<A: BcastAlgorithm>(
+    g: &Graph,
+    cfg: &A::Config,
+    inputs: &[A::Input],
+    max_rounds: u64,
+) -> RunResult<A::Output> {
+    let n = g.n();
+    let mut states: Vec<A> = (0..n).map(|v| A::init(cfg, g.degree(v), &inputs[v])).collect();
+    let mut outputs: Vec<Option<A::Output>> = vec![None; n];
+    let mut buf: Vec<A::Msg> = (0..n).map(|_| A::Msg::default()).collect();
+    let mut trace = Trace::default();
+    for round in 1..=max_rounds {
+        for (v, slot) in buf.iter_mut().enumerate() {
+            *slot =
+                if outputs[v].is_some() { A::Msg::default() } else { states[v].send(cfg, round) };
+        }
+        for (v, m) in buf.iter().enumerate() {
+            let b = m.approx_bits();
+            trace.total_bits += b * g.degree(v) as u64;
+            trace.max_message_bits = trace.max_message_bits.max(b);
+        }
+        trace.messages += g.arcs() as u64;
+        for v in 0..n {
+            if outputs[v].is_some() {
+                continue;
+            }
+            let mut multiset: Vec<&A::Msg> = g.neighbors(v).map(|(_, u)| &buf[u]).collect();
+            multiset.sort();
+            if let Some(out) = states[v].receive(cfg, round, &multiset) {
+                outputs[v] = Some(out);
+            }
+        }
+        trace.rounds = round;
+        if outputs.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    RunResult { outputs: outputs.into_iter().map(|o| o.expect("halted")).collect(), trace }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Tentpole acceptance: the unified engine — any thread count, frontier
+    /// skipping on or off — is bit-identical (outputs and Trace) to the
+    /// seed-semantics reference, in the port-numbering model.
+    #[test]
+    fn pn_engine_bit_identical_to_reference(
+        n in 2usize..40,
+        p in 0.05f64..0.5,
+        seed in any::<u64>(),
+        spread in 1u64..7,
+    ) {
+        let g = seeded_gnp(n, p, seed);
+        let inputs: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(seed | 1)).collect();
+        let limit = spread + 2;
+        let base = reference_pn::<StaggerHash>(&g, &spread, &inputs, limit);
+        for threads in [1usize, 2, 4, 8] {
+            for frontier_skipping in [false, true] {
+                let opts = EngineOptions { threads, frontier_skipping };
+                let res = run_engine::<StaggerHash, PortNumbering>(&g, &spread, &inputs, limit, opts)
+                    .unwrap();
+                prop_assert_eq!(&res.outputs, &base.outputs, "t={} skip={}", threads, frontier_skipping);
+                prop_assert_eq!(&res.trace, &base.trace, "t={} skip={}", threads, frontier_skipping);
+            }
+        }
+    }
+
+    /// Same acceptance in the broadcast model.
+    #[test]
+    fn bcast_engine_bit_identical_to_reference(
+        n in 2usize..30,
+        p in 0.05f64..0.6,
+        seed in any::<u64>(),
+        spread in 1u64..6,
+    ) {
+        let g = seeded_gnp(n, p, seed);
+        let inputs: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul((seed >> 1) | 1)).collect();
+        let limit = spread + 2;
+        let base = reference_bcast::<StaggerCensus>(&g, &spread, &inputs, limit);
+        for threads in [1usize, 2, 4, 8] {
+            for frontier_skipping in [false, true] {
+                let opts = EngineOptions { threads, frontier_skipping };
+                let res = run_engine::<StaggerCensus, Broadcast>(&g, &spread, &inputs, limit, opts)
+                    .unwrap();
+                prop_assert_eq!(&res.outputs, &base.outputs, "t={} skip={}", threads, frontier_skipping);
+                prop_assert_eq!(&res.trace, &base.trace, "t={} skip={}", threads, frontier_skipping);
+            }
+        }
+    }
 
     #[test]
     fn pn_parallel_equals_sequential(

@@ -146,6 +146,34 @@ fn value_types_agree_end_to_end() {
 }
 
 #[test]
+fn batched_runner_matches_sequential_pipeline() {
+    use anonet::core::vc_pn::{run_edge_packing_many, VcInstance};
+    use anonet::sim::Graph;
+
+    // A mixed fleet of instances served through one pool must reproduce the
+    // one-at-a-time results (outputs, covers, traces) exactly.
+    let cases: Vec<(Graph, Vec<u64>)> = (0..6u64)
+        .map(|seed| {
+            let g = family::gnp_capped(14, 0.3, 4, seed);
+            let w = WeightSpec::Uniform(32).draw_many(14, seed + 7);
+            (g, w)
+        })
+        .collect();
+    let instances: Vec<VcInstance<'_>> = cases.iter().map(|(g, w)| VcInstance::new(g, w)).collect();
+    for threads in [1usize, 3] {
+        let batch = run_edge_packing_many::<BigRat>(&instances, threads);
+        for ((g, w), run) in cases.iter().zip(batch) {
+            let run = run.unwrap();
+            let solo = run_edge_packing::<BigRat>(g, w).unwrap();
+            assert_eq!(run.cover, solo.cover, "threads={threads}");
+            assert_eq!(run.trace, solo.trace, "threads={threads}");
+            assert!(is_vertex_cover(g, &run.cover));
+            certify_vertex_cover(g, w, &run.packing, &run.cover).unwrap();
+        }
+    }
+}
+
+#[test]
 fn umbrella_reexports_are_usable() {
     // The re-export surface compiles and the basic types interoperate.
     let g = anonet::sim::Graph::from_edges(2, &[(0, 1)]).unwrap();
