@@ -14,7 +14,8 @@
 
 use anonet_bench::{halting_inputs, HaltingGossip};
 use anonet_gen::family;
-use anonet_sim::{BatchRunner, EngineOptions, Graph, Job, PnEngine, PortNumbering};
+use anonet_runtime::{run_async_pn, DelayModel, NetworkConfig};
+use anonet_sim::{run_pn, BatchRunner, EngineOptions, Graph, Job, PnEngine, PortNumbering};
 use std::time::Instant;
 
 /// One measured workload.
@@ -104,9 +105,59 @@ fn main() {
         samples.push(s);
     }
 
+    // Asynchronous-runtime workloads: event-loop throughput (events/sec)
+    // and the α-synchronizer's wall-clock overhead vs the synchronous
+    // engine on the same fixed-seed workload. One row per network regime.
+    struct RtSample {
+        name: &'static str,
+        events: u64,
+        ns_per_event: f64,
+        sync_overhead: f64,
+    }
+    let g1k = family::random_regular(1_000, 8, 7);
+    let rt_inputs = halting_inputs(1_000, |_| 10);
+    let sync_wall = {
+        let mut best = f64::MAX;
+        run_pn::<HaltingGossip>(&g1k, &(), &rt_inputs, 12).expect("sync run");
+        for _ in 0..5 {
+            let t = Instant::now();
+            run_pn::<HaltingGossip>(&g1k, &(), &rt_inputs, 12).expect("sync run");
+            best = best.min(t.elapsed().as_nanos() as f64);
+        }
+        best
+    };
+    let mut rt_samples: Vec<RtSample> = Vec::new();
+    for (name, net) in [
+        ("rt_ideal_n1k_d8", NetworkConfig::ideal()),
+        (
+            "rt_lossy2pct_n1k_d8",
+            NetworkConfig::ideal()
+                .with_delays(DelayModel::Uniform { lo: 0, hi: 16 })
+                .with_loss(0.02, 24)
+                .non_fifo(),
+        ),
+    ] {
+        let mut events = 0;
+        let mut best = f64::MAX;
+        run_async_pn::<HaltingGossip>(&g1k, &(), &rt_inputs, 12, &net).expect("async run");
+        for _ in 0..5 {
+            let t = Instant::now();
+            let res =
+                run_async_pn::<HaltingGossip>(&g1k, &(), &rt_inputs, 12, &net).expect("async run");
+            best = best.min(t.elapsed().as_nanos() as f64);
+            events = res.trace.events;
+        }
+        rt_samples.push(RtSample {
+            name,
+            events,
+            ns_per_event: best / events.max(1) as f64,
+            sync_overhead: best / sync_wall,
+        });
+    }
+
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json =
-        String::from("{\n  \"schema\": \"anonet-bench-engine/1\",\n  \"workloads\": [\n");
+        String::from("{\n  \"schema\": \"anonet-bench-engine/2\",\n  \"workloads\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"rounds\": {}, \"ns_per_round\": {:.1}, \"rounds_per_sec\": {:.1}}}{}\n",
@@ -115,6 +166,19 @@ fn main() {
             s.ns_per_round,
             s.rounds_per_sec(),
             if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"runtime_workloads\": [\n");
+    for (i, s) in rt_samples.iter().enumerate() {
+        let per_sec = if s.ns_per_event > 0.0 { 1e9 / s.ns_per_event } else { 0.0 };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {}, \"ns_per_event\": {:.1}, \"events_per_sec\": {:.1}, \"sync_overhead_x\": {:.2}}}{}\n",
+            s.name,
+            s.events,
+            s.ns_per_event,
+            per_sec,
+            s.sync_overhead,
+            if i + 1 < rt_samples.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -566,10 +566,21 @@ pub fn run_edge_packing_with<V: PackingValue>(
     Ok(assemble_vc_run(g, res))
 }
 
-/// Folds per-node outputs into the per-edge packing and the cover.
-fn assemble_vc_run<V: PackingValue>(g: &Graph, res: RunResult<VcOutput<V>>) -> VcRun<V> {
+/// Folds per-node §3 outputs into the cover and the per-edge packing,
+/// asserting that the two endpoint copies of every edge value agree. This is
+/// the one place raw `VcOutput`s become a `(cover, packing)` pair — the
+/// synchronous entry points and the asynchronous-runtime consumers (which
+/// hold raw outputs) both funnel through it.
+///
+/// # Panics
+/// Panics if the endpoint copies of some `y(e)` disagree (cannot happen in a
+/// fault-free §3 run — an internal consistency assertion).
+pub fn fold_vc_outputs<V: PackingValue>(
+    g: &Graph,
+    outputs: &[VcOutput<V>],
+) -> (Vec<bool>, EdgePacking<V>) {
     let mut y = vec![V::zero(); g.m()];
-    for (v, out) in res.outputs.iter().enumerate() {
+    for (v, out) in outputs.iter().enumerate() {
         for (p, val) in out.y.iter().enumerate() {
             let e = g.edge_of(g.arc(v, p));
             if v < g.head(g.arc(v, p)) {
@@ -579,8 +590,12 @@ fn assemble_vc_run<V: PackingValue>(g: &Graph, res: RunResult<VcOutput<V>>) -> V
             }
         }
     }
-    let packing = EdgePacking { y };
-    let cover = res.outputs.iter().map(|o| o.in_cover).collect();
+    (outputs.iter().map(|o| o.in_cover).collect(), EdgePacking { y })
+}
+
+/// Folds per-node outputs into the per-edge packing and the cover.
+fn assemble_vc_run<V: PackingValue>(g: &Graph, res: RunResult<VcOutput<V>>) -> VcRun<V> {
+    let (cover, packing) = fold_vc_outputs(g, &res.outputs);
     VcRun { packing, cover, trace: res.trace }
 }
 

@@ -84,6 +84,23 @@ impl Rng {
         self.f64() < p
     }
 
+    /// Geometric draw with mean `mean` (0 for `mean == 0`): the number of
+    /// failures before the first success of a Bernoulli(1/(mean+1)) trial,
+    /// via inverse transform — the discrete analogue of an exponential
+    /// holding time. Used for latency/holding-time sampling in simulated
+    /// networks; capped at `64 * (mean + 1)` so a pathological uniform draw
+    /// cannot produce an absurd outlier.
+    pub fn geometric(&mut self, mean: u64) -> u64 {
+        if mean == 0 {
+            return 0;
+        }
+        let p = 1.0 / (mean as f64 + 1.0);
+        // U in (0, 1]: avoid ln(0).
+        let u = 1.0 - self.f64();
+        let draw = (u.ln() / (1.0 - p).ln()).floor();
+        (draw as u64).min(64u64.saturating_mul(mean.saturating_add(1)))
+    }
+
     /// In-place Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, data: &mut [T]) {
         for i in (1..data.len()).rev() {
@@ -179,6 +196,21 @@ mod tests {
         let mut sorted = p.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn geometric_mean_and_bounds() {
+        let mut r = Rng::new(21);
+        assert_eq!(r.geometric(0), 0);
+        let mean = 8u64;
+        let mut sum = 0u64;
+        for _ in 0..2000 {
+            let v = r.geometric(mean);
+            assert!(v <= 64 * (mean + 1));
+            sum += v;
+        }
+        let avg = sum as f64 / 2000.0;
+        assert!((avg - mean as f64).abs() < 1.0, "empirical mean {avg} far from {mean}");
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Network scenario configuration: per-link latency distributions, jitter,
+//! FIFO/non-FIFO links, probabilistic loss with retransmission, and
+//! crash/restart churn — all driven by one explicit seed, so a
+//! [`NetworkConfig`] names a *bit-reproducible* asynchronous execution.
+
+use anonet_gen::Rng;
+use anonet_selfstab::FaultPlan;
+
+/// Per-message link latency, in virtual ticks.
+///
+/// Every variant is sampled from the runtime's seeded RNG in event-loop
+/// order, so a given `(NetworkConfig, graph, inputs)` triple always produces
+/// the same delays.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DelayModel {
+    /// Every message arrives in the same tick it was sent. Together with
+    /// lossless FIFO links this is the regime in which the runtime is
+    /// property-tested bit-identical to the synchronous engine.
+    Zero,
+    /// Every message takes exactly `ticks`.
+    Constant(u64),
+    /// Uniform per-message latency in `lo..=hi` (pure jitter).
+    Uniform {
+        /// Minimum latency.
+        lo: u64,
+        /// Maximum latency (inclusive).
+        hi: u64,
+    },
+    /// Geometric per-message latency with the given mean — the discrete
+    /// analogue of exponential service times (see [`Rng::geometric`]).
+    Exponential {
+        /// Mean latency in ticks.
+        mean: u64,
+    },
+    /// Heterogeneous links: each directed arc gets a *base* latency sampled
+    /// once from `lo..=hi` at construction, plus per-message jitter in
+    /// `0..=jitter`. This is the "per-link latency distribution" knob: two
+    /// messages on the same link share the base, different links differ.
+    PerLink {
+        /// Minimum per-link base latency.
+        lo: u64,
+        /// Maximum per-link base latency (inclusive).
+        hi: u64,
+        /// Per-message jitter bound (inclusive).
+        jitter: u64,
+    },
+}
+
+impl DelayModel {
+    /// Samples the base latency of one directed link (0 unless [`PerLink`]).
+    ///
+    /// [`PerLink`]: DelayModel::PerLink
+    pub(crate) fn sample_link_base(&self, rng: &mut Rng) -> u64 {
+        match self {
+            DelayModel::PerLink { lo, hi, .. } => rng.range_u64(*lo, *hi),
+            _ => 0,
+        }
+    }
+
+    /// Samples one message's latency on a link with the given base.
+    pub(crate) fn sample(&self, base: u64, rng: &mut Rng) -> u64 {
+        match self {
+            DelayModel::Zero => 0,
+            DelayModel::Constant(t) => *t,
+            DelayModel::Uniform { lo, hi } => rng.range_u64(*lo, *hi),
+            DelayModel::Exponential { mean } => rng.geometric(*mean),
+            DelayModel::PerLink { jitter, .. } => {
+                base + if *jitter > 0 { rng.range_u64(0, *jitter) } else { 0 }
+            }
+        }
+    }
+
+    /// Whether this model can reorder two messages on the *same* link (only
+    /// relevant with [`NetworkConfig::non_fifo`]; constant-latency models
+    /// never reorder regardless).
+    pub fn can_reorder(&self) -> bool {
+        !matches!(self, DelayModel::Zero | DelayModel::Constant(_))
+    }
+}
+
+/// Probabilistic message loss plus the retransmission policy that recovers
+/// from it.
+///
+/// Loss applies independently to every transmission — payload *and*
+/// acknowledgement — so the synchronizer's retransmit-until-acked loop is
+/// exercised in both directions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LossModel {
+    /// Probability that any single transmission is dropped, in `[0, 1)`.
+    pub drop_prob: f64,
+    /// Retransmission timeout in ticks (≥ 1): a node resends all its
+    /// unacknowledged messages every `rto` ticks until they are acked.
+    pub rto: u64,
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel { drop_prob: 0.0, rto: 16 }
+    }
+}
+
+/// Crash/restart churn scripted by a [`FaultPlan`] — the *same* fault
+/// scripting type the self-stabilization experiments use, so one plan
+/// describes "when and how many nodes fail" for both fault models.
+///
+/// Interpretation: at virtual time `round_ticks · r` for every round `r` in
+/// `plan.rounds`, `⌈n · plan.fraction⌉` victim nodes (chosen exactly as
+/// [`FaultPlan::victims`] chooses memory-corruption victims) **crash**; each
+/// restarts `downtime` ticks later. The runtime models crash-recovery with
+/// stable storage: a crashed node drops every arrival unacknowledged (its
+/// neighbours' retransmission timers recover the messages after the
+/// restart), and its own algorithm state survives the crash.
+#[derive(Clone, Debug)]
+pub struct ChurnPlan {
+    /// When and how many nodes crash (see [`FaultPlan`]); the plan's `seed`
+    /// drives victim selection independently of the network seed.
+    pub plan: FaultPlan,
+    /// Ticks per scripted "round" — converts the plan's round numbers into
+    /// virtual crash times (must be ≥ 1).
+    pub round_ticks: u64,
+    /// How long a crashed node stays down, in ticks (must be ≥ 1).
+    pub downtime: u64,
+}
+
+/// One asynchronous network scenario: delays, loss, churn, link ordering,
+/// and the seed that makes the whole run bit-reproducible.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Per-message link latency model.
+    pub delays: DelayModel,
+    /// Loss probability and retransmission timeout.
+    pub loss: LossModel,
+    /// Optional crash/restart churn script.
+    pub churn: Option<ChurnPlan>,
+    /// Enforce per-link FIFO delivery: a message never overtakes an earlier
+    /// message on the same directed link (arrival times are clamped to be
+    /// non-decreasing per link). With `false`, jittery delay models may
+    /// reorder messages and the synchronizer's round tags do the sorting.
+    pub fifo: bool,
+    /// Seed for delay sampling, loss coin flips, and link-base assignment.
+    pub seed: u64,
+    /// Safety valve: abort with [`AsyncError::EventLimit`] after this many
+    /// processed events (default `u64::MAX`, i.e. unlimited).
+    ///
+    /// [`AsyncError::EventLimit`]: crate::runtime::AsyncError::EventLimit
+    pub max_events: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            delays: DelayModel::Zero,
+            loss: LossModel::default(),
+            churn: None,
+            fifo: true,
+            seed: 0,
+            max_events: u64::MAX,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// The ideal network: zero delay, no loss, no churn, FIFO links. In this
+    /// regime the runtime is bit-identical to the synchronous engine
+    /// (property-tested).
+    pub fn ideal() -> Self {
+        NetworkConfig::default()
+    }
+
+    /// Replaces the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the delay model (builder style).
+    pub fn with_delays(mut self, delays: DelayModel) -> Self {
+        self.delays = delays;
+        self
+    }
+
+    /// Sets loss probability and retransmission timeout (builder style).
+    pub fn with_loss(mut self, drop_prob: f64, rto: u64) -> Self {
+        assert!((0.0..1.0).contains(&drop_prob), "drop_prob must be in [0, 1)");
+        assert!(rto >= 1, "rto must be at least 1 tick");
+        self.loss = LossModel { drop_prob, rto };
+        self
+    }
+
+    /// Attaches a churn script (builder style).
+    pub fn with_churn(mut self, churn: ChurnPlan) -> Self {
+        assert!(churn.round_ticks >= 1, "round_ticks must be at least 1");
+        assert!(churn.downtime >= 1, "downtime must be at least 1");
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Allows per-link reordering (builder style).
+    pub fn non_fifo(mut self) -> Self {
+        self.fifo = false;
+        self
+    }
+
+    /// Caps the number of processed events (builder style).
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Whether any mechanism can lose a transmission, i.e. whether
+    /// retransmission timers are needed at all. The ideal fast path skips
+    /// timer events entirely when this is `false`.
+    pub(crate) fn needs_timers(&self) -> bool {
+        self.loss.drop_prob > 0.0 || self.churn.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_default() {
+        let c = NetworkConfig::ideal();
+        assert_eq!(c.delays, DelayModel::Zero);
+        assert_eq!(c.loss.drop_prob, 0.0);
+        assert!(c.churn.is_none());
+        assert!(c.fifo);
+        assert!(!c.needs_timers());
+    }
+
+    #[test]
+    fn delay_sampling_respects_bounds() {
+        let mut rng = Rng::new(3);
+        let m = DelayModel::Uniform { lo: 2, hi: 9 };
+        for _ in 0..200 {
+            let d = m.sample(0, &mut rng);
+            assert!((2..=9).contains(&d));
+        }
+        let pl = DelayModel::PerLink { lo: 10, hi: 20, jitter: 5 };
+        let base = pl.sample_link_base(&mut rng);
+        assert!((10..=20).contains(&base));
+        for _ in 0..200 {
+            let d = pl.sample(base, &mut rng);
+            assert!((base..=base + 5).contains(&d));
+        }
+        assert_eq!(DelayModel::Zero.sample(0, &mut rng), 0);
+        assert_eq!(DelayModel::Constant(7).sample(0, &mut rng), 7);
+    }
+
+    #[test]
+    fn reorder_classification() {
+        assert!(!DelayModel::Zero.can_reorder());
+        assert!(!DelayModel::Constant(4).can_reorder());
+        assert!(DelayModel::Uniform { lo: 0, hi: 3 }.can_reorder());
+        assert!(DelayModel::Exponential { mean: 5 }.can_reorder());
+        assert!(DelayModel::PerLink { lo: 1, hi: 2, jitter: 1 }.can_reorder());
+    }
+
+    #[test]
+    fn needs_timers_under_loss_or_churn() {
+        assert!(NetworkConfig::ideal().with_loss(0.1, 8).needs_timers());
+        let churn = ChurnPlan {
+            plan: FaultPlan { rounds: vec![2], fraction: 0.3, seed: 5 },
+            round_ticks: 10,
+            downtime: 7,
+        };
+        assert!(NetworkConfig::ideal().with_churn(churn).needs_timers());
+    }
+}

@@ -1,0 +1,132 @@
+//! The seeded discrete-event queue: a binary heap ordered by
+//! `(virtual time, insertion sequence)`.
+//!
+//! The sequence number breaks ties deterministically — two events scheduled
+//! for the same tick fire in the order they were pushed — so the entire
+//! event trace is a pure function of the inputs and the
+//! [`NetworkConfig`](crate::config::NetworkConfig) seed. Nothing in the
+//! queue depends on hash maps, pointer order, or wall-clock time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What travels on a link: a round-tagged payload or a synchronizer ack.
+#[derive(Clone, Debug)]
+pub(crate) enum Payload<M> {
+    /// An algorithm message for the given (1-based) round.
+    Data {
+        /// Synchronizer round tag.
+        round: u64,
+        /// The model message.
+        msg: M,
+    },
+    /// Acknowledgement of the receiver's round-`round` data message.
+    Ack {
+        /// Round tag being acknowledged.
+        round: u64,
+    },
+}
+
+/// One scheduled event.
+#[derive(Clone, Debug)]
+pub(crate) enum EventKind<M> {
+    /// A payload arrives at `node` on local port `port`.
+    Arrival { node: u32, port: u32, payload: Payload<M> },
+    /// `node`'s retransmission timer fires; stale if `gen` no longer matches.
+    Timeout { node: u32, gen: u64 },
+    /// `node` crashes (churn).
+    Crash { node: u32 },
+    /// `node` restarts (churn).
+    Restart { node: u32 },
+}
+
+/// An event with its firing time and tie-breaking sequence number.
+#[derive(Clone, Debug)]
+pub(crate) struct Event<M> {
+    pub time: u64,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+// Order by (time, seq) only; seq is unique per queue so the order is total
+// and deterministic. Reversed so `BinaryHeap` (a max-heap) pops earliest.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The deterministic event queue.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `kind` at absolute virtual time `time`.
+    pub fn push(&mut self, time: u64, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pops the earliest event (ties in push order).
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Events currently scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(q: &mut EventQueue<u32>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push((e.time, e.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_by_time_then_insertion_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(5, EventKind::Crash { node: 0 });
+        q.push(1, EventKind::Crash { node: 1 });
+        q.push(5, EventKind::Crash { node: 2 });
+        q.push(0, EventKind::Crash { node: 3 });
+        assert_eq!(q.len(), 4);
+        assert_eq!(kinds(&mut q), vec![(0, 3), (1, 1), (5, 0), (5, 2)]);
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_and_monotone() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for _ in 0..10 {
+            q.push(7, EventKind::Timeout { node: 0, gen: 0 });
+        }
+        let seqs: Vec<u64> = kinds(&mut q).into_iter().map(|(_, s)| s).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,67 @@
+//! Named network scenarios: ready-made [`NetworkConfig`]s for the regimes
+//! the experiments and benchmarks exercise, so "run §3 over a flaky WAN"
+//! is one function call away. Every scenario is parameterised by a seed and
+//! nothing else — the rest of the configuration is part of the scenario's
+//! definition, which keeps experiment scripts comparable across PRs.
+
+use crate::config::{ChurnPlan, DelayModel, NetworkConfig};
+use anonet_selfstab::FaultPlan;
+
+/// Zero delay, no loss, FIFO: the regime in which the runtime is
+/// property-tested bit-identical to the synchronous engine.
+pub fn ideal() -> NetworkConfig {
+    NetworkConfig::ideal()
+}
+
+/// A fast homogeneous cluster: constant 2-tick links, lossless, FIFO.
+pub fn datacenter(seed: u64) -> NetworkConfig {
+    NetworkConfig::ideal().with_delays(DelayModel::Constant(2)).with_seed(seed)
+}
+
+/// A heterogeneous wide-area network: per-link base latency 20..=120 ticks
+/// plus 10 ticks of per-message jitter, non-FIFO, lossless.
+pub fn wan(seed: u64) -> NetworkConfig {
+    NetworkConfig::ideal()
+        .with_delays(DelayModel::PerLink { lo: 20, hi: 120, jitter: 10 })
+        .non_fifo()
+        .with_seed(seed)
+}
+
+/// A lossy radio-like network: geometric latency (mean 8), 5% loss on every
+/// transmission, retransmit every 32 ticks, non-FIFO.
+pub fn lossy_radio(seed: u64) -> NetworkConfig {
+    NetworkConfig::ideal()
+        .with_delays(DelayModel::Exponential { mean: 8 })
+        .with_loss(0.05, 32)
+        .non_fifo()
+        .with_seed(seed)
+}
+
+/// [`lossy_radio`] plus crash/restart churn: at scripted rounds `2` and `5`
+/// (scaled by 64 ticks per round), 20% of nodes crash for 96 ticks. The
+/// [`FaultPlan`] is the same scripting type the self-stabilization
+/// experiments use.
+pub fn churny_radio(seed: u64) -> NetworkConfig {
+    lossy_radio(seed).with_churn(ChurnPlan {
+        plan: FaultPlan { rounds: vec![2, 5], fraction: 0.2, seed: seed ^ 0x5EED },
+        round_ticks: 64,
+        downtime: 96,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_well_formed() {
+        assert!(!ideal().needs_timers());
+        assert!(!datacenter(1).needs_timers());
+        assert!(!wan(2).needs_timers());
+        assert!(wan(2).delays.can_reorder());
+        assert!(lossy_radio(3).needs_timers());
+        let churny = churny_radio(4);
+        assert!(churny.churn.is_some());
+        assert_eq!(churny.loss.rto, 32);
+    }
+}

@@ -29,6 +29,24 @@ impl FaultPlan {
     pub fn last_fault_round(&self) -> u64 {
         self.rounds.iter().copied().max().unwrap_or(0)
     }
+
+    /// Selects one strike's victims from `n` nodes: `⌈n · fraction⌉` distinct
+    /// nodes (clamped to 1..=n), drawn as a prefix of a random permutation.
+    /// This is the *single* victim-selection rule — [`strike`] uses it for
+    /// memory corruption and `anonet-runtime` reuses it for crash/restart
+    /// churn, so a `FaultPlan` scripts both fault models identically.
+    pub fn victims(&self, n: usize, rng: &mut Rng) -> Vec<usize> {
+        select_victims(n, self.fraction, rng)
+    }
+}
+
+/// The victim-selection rule behind [`FaultPlan::victims`] and [`strike`]:
+/// a `⌈n · fraction⌉`-prefix (clamped to 1..=n) of a random permutation.
+fn select_victims(n: usize, fraction: f64, rng: &mut Rng) -> Vec<usize> {
+    let count = ((n as f64 * fraction).ceil() as usize).clamp(1, n);
+    let mut perm = rng.permutation(n);
+    perm.truncate(count);
+    perm
 }
 
 /// Scrambles the layered state of one node: random layer swaps and
@@ -68,11 +86,9 @@ where
     A::Input: Clone + Send + Sync,
     A::Output: PartialEq,
 {
-    let n = nodes.len();
-    let victims = ((n as f64 * fraction).ceil() as usize).clamp(1, n);
-    let perm = rng.permutation(n);
-    for &v in perm.iter().take(victims) {
+    let victims = select_victims(nodes.len(), fraction, rng);
+    for &v in &victims {
         scramble_node(&mut nodes[v], rng);
     }
-    victims
+    victims.len()
 }

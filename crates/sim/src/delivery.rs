@@ -64,6 +64,15 @@ pub trait Delivery<A> {
     /// `scratch`, canonicalised as the model requires (broadcast sorts).
     fn gather<'b>(g: &Graph, v: usize, buf: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>);
 
+    /// Gathers one round's incoming messages from a node's **per-port inbox**
+    /// (`inbox[p]` holds the message that arrived on port `p`), canonicalised
+    /// exactly like [`gather`](Delivery::gather). This is what an
+    /// event-driven executor needs: `anonet-runtime` buffers arrivals per
+    /// port instead of in a global slot buffer, and delegating the
+    /// canonicalisation here keeps the model semantics (port alignment vs.
+    /// sorted multiset) defined in exactly one place.
+    fn gather_local<'b>(inbox: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>);
+
     /// Delivers `incoming` to the node; returning `Some` halts it.
     fn receive(
         state: &mut A,
@@ -102,22 +111,22 @@ impl<A: PnAlgorithm> Delivery<A> for PortNumbering {
     type Output = A::Output;
     type Config = A::Config;
 
-    #[inline]
+    #[inline(always)]
     fn init(cfg: &Self::Config, degree: usize, input: &Self::Input) -> A {
         A::init(cfg, degree, input)
     }
 
-    #[inline]
+    #[inline(always)]
     fn slot_span(g: &Graph, nodes: Range<usize>) -> Range<usize> {
         g.arc_span(nodes)
     }
 
-    #[inline]
+    #[inline(always)]
     fn send(state: &A, cfg: &Self::Config, round: u64, out: &mut [Self::Msg]) {
         state.send(cfg, round, out);
     }
 
-    #[inline]
+    #[inline(always)]
     fn gather<'b>(g: &Graph, v: usize, buf: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>) {
         // Port-aligned: the message arriving on port p is what the neighbour
         // wrote into the reverse arc of v's p-th out-arc.
@@ -126,7 +135,13 @@ impl<A: PnAlgorithm> Delivery<A> for PortNumbering {
         }
     }
 
-    #[inline]
+    #[inline(always)]
+    fn gather_local<'b>(inbox: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>) {
+        // Port-aligned: the inbox is already indexed by port.
+        scratch.extend(inbox.iter());
+    }
+
+    #[inline(always)]
     fn receive(
         state: &mut A,
         cfg: &Self::Config,
@@ -177,22 +192,22 @@ impl<A: BcastAlgorithm> Delivery<A> for Broadcast {
     type Output = A::Output;
     type Config = A::Config;
 
-    #[inline]
+    #[inline(always)]
     fn init(cfg: &Self::Config, degree: usize, input: &Self::Input) -> A {
         A::init(cfg, degree, input)
     }
 
-    #[inline]
+    #[inline(always)]
     fn slot_span(_g: &Graph, nodes: Range<usize>) -> Range<usize> {
         nodes
     }
 
-    #[inline]
+    #[inline(always)]
     fn send(state: &A, cfg: &Self::Config, round: u64, out: &mut [Self::Msg]) {
         out[0] = state.send(cfg, round);
     }
 
-    #[inline]
+    #[inline(always)]
     fn gather<'b>(g: &Graph, v: usize, buf: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>) {
         scratch.extend(g.neighbors(v).map(|(_, u)| &buf[u]));
         // Canonical multiset order: the algorithm cannot learn which
@@ -200,7 +215,14 @@ impl<A: BcastAlgorithm> Delivery<A> for Broadcast {
         scratch.sort();
     }
 
-    #[inline]
+    #[inline(always)]
+    fn gather_local<'b>(inbox: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>) {
+        scratch.extend(inbox.iter());
+        // Same canonical multiset order as `gather`.
+        scratch.sort();
+    }
+
+    #[inline(always)]
     fn receive(
         state: &mut A,
         cfg: &Self::Config,

@@ -161,7 +161,7 @@ fn split_spans<'a, T>(mut data: &'a mut [T], spans: &[Range<usize>]) -> Vec<&'a 
 /// delivers them, and records a halt. Shared by the dense and sparse sweep
 /// paths of phase 2.
 #[allow(clippy::too_many_arguments)]
-#[inline]
+#[inline(always)]
 fn receive_node<'b, A, D: Delivery<A>>(
     g: &Graph,
     cfg: &D::Config,

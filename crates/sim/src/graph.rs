@@ -157,21 +157,25 @@ impl Graph {
     }
 
     /// Number of nodes.
+    #[inline]
     pub fn n(&self) -> usize {
         self.arc_start.len() - 1
     }
 
     /// Number of undirected edges.
+    #[inline]
     pub fn m(&self) -> usize {
         self.edges.len()
     }
 
     /// Number of directed arcs (2m).
+    #[inline]
     pub fn arcs(&self) -> usize {
         self.arc_head.len()
     }
 
     /// Degree of node `v`.
+    #[inline]
     pub fn degree(&self, v: usize) -> usize {
         self.arc_start[v + 1] - self.arc_start[v]
     }
@@ -182,12 +186,14 @@ impl Graph {
     }
 
     /// The arc id of node `v`'s port `p`.
+    #[inline]
     pub fn arc(&self, v: usize, p: usize) -> usize {
         debug_assert!(p < self.degree(v));
         self.arc_start[v] + p
     }
 
     /// The arc range of node `v` (its out-arcs, in port order).
+    #[inline]
     pub fn arc_range(&self, v: usize) -> std::ops::Range<usize> {
         self.arc_start[v]..self.arc_start[v + 1]
     }
@@ -197,43 +203,51 @@ impl Graph {
     /// in node order. Empty node ranges yield empty arc ranges, and
     /// `arc_span(a..b).len()` is the sum of the degrees in `a..b` — the
     /// invariant the engine's per-thread buffer slicing relies on.
+    #[inline]
     pub fn arc_span(&self, nodes: std::ops::Range<usize>) -> std::ops::Range<usize> {
         debug_assert!(nodes.start <= nodes.end && nodes.end <= self.n());
         self.arc_start[nodes.start]..self.arc_start[nodes.end]
     }
 
     /// Head (target) of an arc.
+    #[inline]
     pub fn head(&self, arc: usize) -> usize {
         self.arc_head[arc] as usize
     }
 
     /// Source of an arc.
+    #[inline]
     pub fn tail(&self, arc: usize) -> usize {
         self.head(self.rev(arc))
     }
 
     /// The reverse arc.
+    #[inline]
     pub fn rev(&self, arc: usize) -> usize {
         self.arc_rev[arc] as usize
     }
 
     /// Undirected edge id of an arc.
+    #[inline]
     pub fn edge_of(&self, arc: usize) -> usize {
         self.arc_edge[arc] as usize
     }
 
     /// Endpoints `(min, max)` of undirected edge `e`.
+    #[inline]
     pub fn edge(&self, e: usize) -> (usize, usize) {
         let (u, v) = self.edges[e];
         (u as usize, v as usize)
     }
 
     /// Port number of an arc at its source.
+    #[inline]
     pub fn port_of(&self, arc: usize) -> usize {
         arc - self.arc_start[self.tail(arc)]
     }
 
     /// Iterates `(port, neighbour)` pairs of node `v`.
+    #[inline]
     pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
         self.arc_range(v).map(move |a| (a - self.arc_start[v], self.head(a)))
     }

@@ -1,0 +1,85 @@
+//! Asynchronous network demo: the *same* §3 edge-packing program — byte for
+//! byte, no modification — runs over progressively nastier simulated
+//! networks: an ideal synchronous-equivalent fabric, a heterogeneous WAN, a
+//! lossy radio mesh, and a lossy mesh with crash/restart churn. The
+//! α-synchronizer guarantees the outputs are bit-identical in every case;
+//! what changes is the wire cost, which the runtime accounts in full
+//! (retransmissions, drops, acks, round tags).
+//!
+//! Run with: `cargo run --example async_network`
+
+use anonet::bigmath::BigRat;
+use anonet::core::certify::certify_vertex_cover;
+use anonet::core::vc_pn::{fold_vc_outputs, EdgePackingNode, VcConfig, VcOutput};
+use anonet::gen::{family, Rng};
+use anonet::runtime::{run_async_engine, scenario, AsyncTrace, NetworkConfig};
+use anonet::sim::PortNumbering;
+
+fn main() {
+    // A field deployment: 40 sensors, random 4-regular radio links.
+    let graph = family::random_regular(40, 4, 2024);
+    let mut rng = Rng::new(7);
+    let weights: Vec<u64> = (0..graph.n()).map(|_| rng.range_u64(1, 9)).collect();
+    let cfg = VcConfig::new(graph.max_degree(), *weights.iter().max().unwrap());
+
+    let scenarios: Vec<(&str, NetworkConfig)> = vec![
+        ("ideal (sync-equivalent)", scenario::ideal()),
+        ("datacenter", scenario::datacenter(1)),
+        ("wan (per-link latency, non-FIFO)", scenario::wan(2)),
+        ("lossy radio (5% loss)", scenario::lossy_radio(3)),
+        ("churny radio (loss + crashes)", scenario::churny_radio(4)),
+    ];
+
+    println!("§3 edge packing on {:?}, schedule = {} rounds\n", graph, cfg.total_rounds());
+    println!(
+        "| scenario | virtual time | events | retx | dropped | sync overhead | cover w | ratio |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+
+    let mut reference: Option<Vec<VcOutput<BigRat>>> = None;
+    for (name, net) in scenarios {
+        let res = run_async_engine::<EdgePackingNode<BigRat>, PortNumbering>(
+            &graph,
+            &cfg,
+            &weights,
+            cfg.total_rounds(),
+            &net,
+        )
+        .expect("the synchronizer always terminates on a retransmitting network");
+
+        // Same program, same outputs — on every network.
+        match &reference {
+            None => reference = Some(res.outputs.clone()),
+            Some(base) => assert_eq!(&res.outputs, base, "outputs must be network-independent"),
+        }
+
+        let (cover, packing) = fold_vc_outputs(&graph, &res.outputs);
+        let cert = certify_vertex_cover(&graph, &weights, &packing, &cover)
+            .expect("§3 guarantees hold under asynchrony");
+        let t = &res.trace;
+        println!(
+            "| {} | {} ticks | {} | {} | {} | {} | {} | ≤ {:.3} |",
+            name,
+            t.virtual_time,
+            t.events,
+            t.retransmissions,
+            t.dropped_data + t.dropped_acks,
+            overhead(t),
+            cert.cover_weight,
+            cert.certified_ratio(),
+        );
+    }
+
+    println!(
+        "\nEvery scenario produced the bit-identical cover: asynchrony, loss and churn\n\
+         change *when* messages arrive, never what the anonymous nodes compute."
+    );
+}
+
+/// Synchronizer wire overhead (tags + acks) relative to payload bits.
+fn overhead(t: &AsyncTrace) -> String {
+    if t.payload_bits == 0 {
+        return "n/a".into();
+    }
+    format!("{:.2}x", t.sync_overhead_bits() as f64 / t.payload_bits as f64)
+}

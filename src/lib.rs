@@ -4,5 +4,6 @@ pub use anonet_bigmath as bigmath;
 pub use anonet_core as core;
 pub use anonet_exact as exact;
 pub use anonet_gen as gen;
+pub use anonet_runtime as runtime;
 pub use anonet_selfstab as selfstab;
 pub use anonet_sim as sim;
