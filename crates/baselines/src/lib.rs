@@ -30,5 +30,5 @@ pub mod rand_matching;
 pub use central::{bar_yehuda_even, greedy_edge_packing, greedy_maximal_matching};
 pub use id_forest::run_id_edge_packing;
 pub use kvy_eps::run_kvy;
-pub use ps3::{run_ps3, run_ps3_with};
+pub use ps3::{run_ps3, run_ps3_scratch, run_ps3_with};
 pub use rand_matching::run_rand_matching;

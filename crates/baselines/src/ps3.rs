@@ -8,7 +8,10 @@
 //! accepts the first proposal it sees (minimum port on ties). A node joins
 //! the cover iff either of its roles is matched.
 
-use anonet_sim::{run_pn, Graph, MessageSize, PnAlgorithm, SimError, Trace};
+use anonet_sim::{
+    run_engine_scratch, EngineOptions, EngineScratch, Graph, MessageSize, PnAlgorithm,
+    PortNumbering, SimError, Trace,
+};
 
 /// Messages of the PS algorithm.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -127,8 +130,25 @@ pub fn run_ps3(g: &Graph) -> Result<PsRun, SimError> {
 
 /// Runs with an explicit global Δ.
 pub fn run_ps3_with(g: &Graph, delta: usize) -> Result<PsRun, SimError> {
+    run_ps3_scratch(g, delta, &mut EngineScratch::new())
+}
+
+/// [`run_ps3_with`] reusing engine allocations across calls — the
+/// repeated-short-run entry point (results bit-identical to [`run_ps3`]).
+pub fn run_ps3_scratch(
+    g: &Graph,
+    delta: usize,
+    scratch: &mut EngineScratch<PsNode, PortNumbering>,
+) -> Result<PsRun, SimError> {
     let cfg = PsConfig { delta: delta.max(1) };
-    let res = run_pn::<PsNode>(g, &cfg, &vec![(); g.n()], cfg.total_rounds())?;
+    let res = run_engine_scratch::<PsNode, PortNumbering>(
+        g,
+        &cfg,
+        &vec![(); g.n()],
+        cfg.total_rounds(),
+        EngineOptions::default(),
+        scratch,
+    )?;
     Ok(PsRun { cover: res.outputs, trace: res.trace })
 }
 

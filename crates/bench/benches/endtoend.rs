@@ -2,7 +2,7 @@
 //! instances, with both exact value types, plus the main baselines — the
 //! wall-clock counterpart of the round-count experiments.
 
-use anonet_baselines::{run_id_edge_packing, run_ps3};
+use anonet_baselines::{run_id_edge_packing, run_ps3, run_ps3_scratch};
 use anonet_bigmath::{BigRat, Rat128};
 use anonet_core::sc_bcast::run_fractional_packing;
 use anonet_core::vc_bcast::run_vc_broadcast;
@@ -27,6 +27,13 @@ fn bench_vc(c: &mut Criterion) {
         b.iter(|| run_id_edge_packing::<BigRat>(black_box(&g), black_box(&w), &ids, 64).unwrap())
     });
     group.bench_function("ps3_n64_d4", |b| b.iter(|| run_ps3(black_box(&g)).unwrap()));
+    // The same microbench with engine allocations reused across iterations —
+    // the short-run regime the `EngineScratch` path targets.
+    let mut scratch = anonet_sim::EngineScratch::new();
+    let delta = g.max_degree();
+    group.bench_function("ps3_n64_d4_scratch", |b| {
+        b.iter(|| run_ps3_scratch(black_box(&g), delta, &mut scratch).unwrap())
+    });
     group.finish();
 }
 

@@ -13,10 +13,12 @@
 //! fresh one per run as an artifact.
 
 use anonet_bench::{halting_inputs, HaltingGossip};
-use anonet_gen::family;
+use anonet_gen::{family, WeightSpec};
 use anonet_runtime::{run_async_pn, DelayModel, NetworkConfig};
+use anonet_service::loadgen::{drive, synthesize, DriveConfig, FamilyKind, LoopMode, WorkloadSpec};
+use anonet_service::{Problem, Server, ServiceConfig};
 use anonet_sim::{run_pn, BatchRunner, EngineOptions, Graph, Job, PnEngine, PortNumbering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One measured workload.
 struct Sample {
@@ -155,9 +157,62 @@ fn main() {
         });
     }
 
+    // Service-throughput workloads: a loopback server with a closed-loop
+    // client pool driving §3 requests over the real wire protocol. The cold
+    // row bypasses the cache (pure compute path); the hot row requests the
+    // same 32-instance pool 4× with caching on, so ~3/4 of instances hit.
+    struct SvcSample {
+        name: &'static str,
+        requests: u64,
+        req_per_sec: f64,
+        cache_hit_rate: f64,
+    }
+    let mut svc_samples: Vec<SvcSample> = Vec::new();
+    {
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServiceConfig { workers: 2, threads_per_job: 1, ..ServiceConfig::default() },
+        )
+        .expect("bind loopback");
+        let spec = WorkloadSpec {
+            problem: Problem::VcPn,
+            family: FamilyKind::Regular,
+            n: 48,
+            degree: 4,
+            instances: 32,
+            weights: WeightSpec::Uniform(1 << 10),
+            seed: 5,
+        };
+        let blobs = synthesize(&spec);
+        let mk = |requests: usize, no_cache: bool| DriveConfig {
+            addr: server.local_addr().to_string(),
+            concurrency: 4,
+            requests,
+            batch: 1,
+            mode: LoopMode::Closed,
+            no_cache,
+            scenario: None,
+            connect_timeout: Duration::from_secs(5),
+        };
+        for (name, requests, no_cache) in
+            [("svc_vc_pn_x32_cold", 32usize, true), ("svc_vc_pn_x32_r4_hot", 128, false)]
+        {
+            let report = drive(Problem::VcPn, &blobs, &mk(requests, no_cache)).expect("drive");
+            assert_eq!(report.ok, requests as u64, "every request must succeed");
+            assert_eq!(report.certified_instances, report.solved_instances);
+            svc_samples.push(SvcSample {
+                name,
+                requests: report.ok,
+                req_per_sec: report.throughput(),
+                cache_hit_rate: report.cache_hit_rate(),
+            });
+        }
+        server.shutdown();
+    }
+
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json =
-        String::from("{\n  \"schema\": \"anonet-bench-engine/2\",\n  \"workloads\": [\n");
+        String::from("{\n  \"schema\": \"anonet-bench-engine/3\",\n  \"workloads\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"rounds\": {}, \"ns_per_round\": {:.1}, \"rounds_per_sec\": {:.1}}}{}\n",
@@ -179,6 +234,17 @@ fn main() {
             per_sec,
             s.sync_overhead,
             if i + 1 < rt_samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"service_workloads\": [\n");
+    for (i, s) in svc_samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"requests\": {}, \"req_per_sec\": {:.1}, \"cache_hit_rate\": {:.3}}}{}\n",
+            s.name,
+            s.requests,
+            s.req_per_sec,
+            s.cache_hit_rate,
+            if i + 1 < svc_samples.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -13,7 +13,9 @@
 //! * [`trivial`] — the folklore k-approximation for set cover (§2, §6);
 //! * [`packing`], [`certify`] — dual objects and machine-checkable
 //!   approximation certificates;
-//! * [`encode`] — Lemma 2 colour encodings and Cole–Vishkin primitives.
+//! * [`encode`] — Lemma 2 colour encodings and Cole–Vishkin primitives;
+//! * [`canon`] — canonical instance byte encodings, stable FNV digests, and
+//!   certificate serialization (the service layer's wire substrate).
 //!
 //! All algorithms are deterministic, anonymous (no node identifiers), and
 //! generic over the exact numeric type [`anonet_bigmath::PackingValue`].
@@ -21,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod certify;
 pub mod encode;
 pub mod packing;

@@ -598,6 +598,65 @@ fn assemble_sc_run<V: PackingValue>(
     ScRun { packing: FractionalPacking { y }, cover, trace: res.trace }
 }
 
+/// One §4 instance of a batched run with explicit global bounds (f, k, W) —
+/// the bounds every anonymous node is told, which fix the round schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct ScInstance<'a> {
+    /// The bipartite set-cover instance.
+    pub inst: &'a SetCoverInstance,
+    /// Maximum element frequency bound f.
+    pub f: usize,
+    /// Maximum subset size bound k.
+    pub k: usize,
+    /// Maximum weight bound W.
+    pub max_weight: u64,
+}
+
+impl<'a> ScInstance<'a> {
+    /// An instance with bounds derived from the instance itself.
+    pub fn new(inst: &'a SetCoverInstance) -> Self {
+        ScInstance {
+            inst,
+            f: inst.f().max(1),
+            k: inst.k().max(1),
+            max_weight: inst.max_weight().max(1),
+        }
+    }
+
+    /// An instance with explicit global bounds (f, k, W).
+    pub fn with_bounds(inst: &'a SetCoverInstance, f: usize, k: usize, max_weight: u64) -> Self {
+        ScInstance { inst, f, k, max_weight }
+    }
+}
+
+/// Runs the §4 algorithm on many independent instances with explicit
+/// per-instance bounds across one pool of `threads` workers. `results[i]`
+/// corresponds to `instances[i]`.
+pub fn run_fractional_packing_many_with<V: PackingValue>(
+    instances: &[ScInstance<'_>],
+    threads: usize,
+) -> Vec<Result<ScRun<V>, SimError>> {
+    let cfgs: Vec<ScConfig> =
+        instances.iter().map(|i| ScConfig::new(i.f, i.k, i.max_weight)).collect();
+    let input_sets: Vec<Vec<Option<u64>>> = instances
+        .iter()
+        .map(|i| {
+            (0..i.inst.graph.n()).map(|v| i.inst.is_subset(v).then(|| i.inst.weights[v])).collect()
+        })
+        .collect();
+    let jobs: Vec<BcastJob<'_, ScNode<V>>> = instances
+        .iter()
+        .zip(&cfgs)
+        .zip(&input_sets)
+        .map(|((i, cfg), inputs)| BcastJob::new(&i.inst.graph, cfg, inputs, cfg.total_rounds()))
+        .collect();
+    run_bcast_many(&jobs, threads)
+        .into_iter()
+        .zip(instances)
+        .map(|(res, i)| res.map(|r| assemble_sc_run(i.inst, r)))
+        .collect()
+}
+
 /// Runs the §4 algorithm on many independent instances (bounds derived per
 /// instance) across one pool of `threads` workers. `results[i]` corresponds
 /// to `instances[i]`.
@@ -605,25 +664,6 @@ pub fn run_fractional_packing_many<V: PackingValue>(
     instances: &[SetCoverInstance],
     threads: usize,
 ) -> Vec<Result<ScRun<V>, SimError>> {
-    let cfgs: Vec<ScConfig> = instances
-        .iter()
-        .map(|inst| ScConfig::new(inst.f().max(1), inst.k().max(1), inst.max_weight().max(1)))
-        .collect();
-    let input_sets: Vec<Vec<Option<u64>>> = instances
-        .iter()
-        .map(|inst| {
-            (0..inst.graph.n()).map(|v| inst.is_subset(v).then(|| inst.weights[v])).collect()
-        })
-        .collect();
-    let jobs: Vec<BcastJob<'_, ScNode<V>>> = instances
-        .iter()
-        .zip(&cfgs)
-        .zip(&input_sets)
-        .map(|((inst, cfg), inputs)| BcastJob::new(&inst.graph, cfg, inputs, cfg.total_rounds()))
-        .collect();
-    run_bcast_many(&jobs, threads)
-        .into_iter()
-        .zip(instances)
-        .map(|(res, inst)| res.map(|r| assemble_sc_run(inst, r)))
-        .collect()
+    let refs: Vec<ScInstance<'_>> = instances.iter().map(ScInstance::new).collect();
+    run_fractional_packing_many_with(&refs, threads)
 }

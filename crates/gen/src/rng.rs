@@ -214,6 +214,62 @@ mod tests {
     }
 
     #[test]
+    fn geometric_p_one_is_always_zero() {
+        // mean = 0 ⇔ success probability p = 1: zero failures, always.
+        let mut r = Rng::new(1);
+        for _ in 0..1000 {
+            assert_eq!(r.geometric(0), 0);
+        }
+    }
+
+    #[test]
+    fn geometric_tiny_p_respects_cap_without_overflow() {
+        // Very small p (astronomical means): no panic, no overflow, and the
+        // saturating cap 64·(mean+1) holds even where the product saturates.
+        let mut r = Rng::new(2);
+        for mean in [u64::MAX, u64::MAX / 2, 1 << 62, 1 << 40] {
+            for _ in 0..50 {
+                let v = r.geometric(mean);
+                assert!(v <= 64u64.saturating_mul(mean.saturating_add(1)), "mean={mean}");
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_tail_bounds() {
+        // The tail is genuinely geometric: P(X > 3·mean) ≈ (1-p)^{3·mean}
+        // ≈ e^{-3} ≈ 5%. Check the tail exists but is small, and that the
+        // hard cap is never exceeded.
+        let mut r = Rng::new(3);
+        let mean = 16u64;
+        let n = 4000;
+        let mut tail = 0usize;
+        for _ in 0..n {
+            let v = r.geometric(mean);
+            assert!(v <= 64 * (mean + 1));
+            if v > 3 * mean {
+                tail += 1;
+            }
+        }
+        let frac = tail as f64 / n as f64;
+        assert!(frac > 0.005, "tail too thin: {frac}");
+        assert!(frac < 0.12, "tail too fat: {frac}");
+    }
+
+    #[test]
+    fn geometric_deterministic_by_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(77);
+            (0..100).map(|_| r.geometric(5)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(77);
+            (0..100).map(|_| r.geometric(5)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn fork_streams_differ() {
         let mut r = Rng::new(17);
         let mut a = r.fork();

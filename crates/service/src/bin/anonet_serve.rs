@@ -1,0 +1,45 @@
+//! `anonet-serve`: run the solver service until killed.
+//!
+//! ```sh
+//! anonet-serve --addr 127.0.0.1:7411 --workers 4 --queue-cap 64 \
+//!              --cache-cap 1024 --threads-per-job 1
+//! ```
+
+use anonet_service::{Server, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: anonet-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
+         \x20                 [--cache-cap N] [--threads-per-job N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut cfg = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = val(),
+            "--workers" => cfg.workers = val().parse().unwrap_or_else(|_| usage()),
+            "--queue-cap" => cfg.queue_cap = val().parse().unwrap_or_else(|_| usage()),
+            "--cache-cap" => cfg.cache_cap = val().parse().unwrap_or_else(|_| usage()),
+            "--threads-per-job" => cfg.threads_per_job = val().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let server = Server::start(&addr, cfg).unwrap_or_else(|e| {
+        eprintln!("anonet-serve: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "anonet-service listening on {} (workers {}, queue {}, cache {})",
+        server.local_addr(),
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.cache_cap
+    );
+    server.join();
+}

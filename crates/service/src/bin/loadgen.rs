@@ -1,0 +1,167 @@
+//! `loadgen`: synthesize a request stream from `anonet-gen` families and
+//! drive a running `anonet-serve`, reporting throughput and latency
+//! percentiles — or do a single verified round-trip with `--once`.
+//!
+//! ```sh
+//! loadgen --addr 127.0.0.1:7411 --problem vc-pn --family regular \
+//!         --n 64 --degree 4 --instances 16 --requests 128 \
+//!         --concurrency 4 --assert-certified
+//! loadgen --addr 127.0.0.1:7411 --once --assert-certified
+//! loadgen --addr 127.0.0.1:7411 --stats
+//! ```
+
+use anonet_gen::WeightSpec;
+use anonet_service::loadgen::{drive, synthesize, DriveConfig, FamilyKind, LoopMode, WorkloadSpec};
+use anonet_service::{Client, InstanceResult, Problem, SolveRequest, SolveResponse};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--problem vc-pn|vc-bcast|set-cover]\n\
+         \x20             [--family cycle|regular|gnp|tree] [--n N] [--degree D]\n\
+         \x20             [--instances K] [--requests N] [--batch B] [--concurrency C]\n\
+         \x20             [--open RATE] [--weights unit|uniform:W|loguniform:W] [--seed S]\n\
+         \x20             [--no-cache] [--assert-certified] [--once] [--stats]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_weights(s: &str) -> WeightSpec {
+    match s.split_once(':') {
+        None if s == "unit" => WeightSpec::Unit,
+        Some(("uniform", w)) => WeightSpec::Uniform(w.parse().unwrap_or_else(|_| usage())),
+        Some(("loguniform", w)) => WeightSpec::LogUniform(w.parse().unwrap_or_else(|_| usage())),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let mut spec = WorkloadSpec {
+        problem: Problem::VcPn,
+        family: FamilyKind::Regular,
+        n: 64,
+        degree: 4,
+        instances: 16,
+        weights: WeightSpec::Uniform(64),
+        seed: 1,
+    };
+    let mut cfg = DriveConfig::default();
+    let (mut once, mut stats_only, mut assert_certified) = (false, false, false);
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => cfg.addr = val(),
+            "--problem" => {
+                spec.problem = match val().as_str() {
+                    "vc-pn" => Problem::VcPn,
+                    "vc-bcast" => Problem::VcBcast,
+                    "set-cover" => Problem::SetCover,
+                    _ => usage(),
+                }
+            }
+            "--family" => {
+                spec.family = match val().as_str() {
+                    "cycle" => FamilyKind::Cycle,
+                    "regular" => FamilyKind::Regular,
+                    "gnp" => FamilyKind::Gnp,
+                    "tree" => FamilyKind::Tree,
+                    _ => usage(),
+                }
+            }
+            "--n" => spec.n = val().parse().unwrap_or_else(|_| usage()),
+            "--degree" => spec.degree = val().parse().unwrap_or_else(|_| usage()),
+            "--instances" => spec.instances = val().parse().unwrap_or_else(|_| usage()),
+            "--weights" => spec.weights = parse_weights(&val()),
+            "--seed" => spec.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--requests" => cfg.requests = val().parse().unwrap_or_else(|_| usage()),
+            "--batch" => cfg.batch = val().parse().unwrap_or_else(|_| usage()),
+            "--concurrency" => cfg.concurrency = val().parse().unwrap_or_else(|_| usage()),
+            "--open" => {
+                cfg.mode = LoopMode::Open { rate: val().parse().unwrap_or_else(|_| usage()) }
+            }
+            "--no-cache" => cfg.no_cache = true,
+            "--assert-certified" => assert_certified = true,
+            "--once" => once = true,
+            "--stats" => stats_only = true,
+            _ => usage(),
+        }
+    }
+
+    if spec.instances == 0 || cfg.batch == 0 {
+        fail("--instances and --batch must be at least 1");
+    }
+    if let LoopMode::Open { rate } = cfg.mode {
+        if !rate.is_finite() || rate <= 0.0 {
+            fail("--open RATE must be a positive number");
+        }
+    }
+
+    if stats_only {
+        let mut c = Client::connect_retry(cfg.addr.as_str(), Duration::from_secs(5))
+            .unwrap_or_else(|e| fail(&format!("connect {}: {e}", cfg.addr)));
+        let s = c.stats().unwrap_or_else(|e| fail(&format!("stats: {e}")));
+        println!("{s:#?}");
+        return;
+    }
+
+    let blobs = synthesize(&spec);
+    if once {
+        run_once(&cfg, spec.problem, &blobs[0], assert_certified);
+        return;
+    }
+
+    let report =
+        drive(spec.problem, &blobs, &cfg).unwrap_or_else(|e| fail(&format!("loadgen drive: {e}")));
+    println!("{}", report.render());
+    if assert_certified {
+        if report.errors > 0 || report.certified_instances != report.solved_instances {
+            fail(&format!(
+                "certification check failed: {} errors, {}/{} certified",
+                report.errors, report.certified_instances, report.solved_instances
+            ));
+        }
+        if report.solved_instances == 0 {
+            fail("certification check failed: nothing solved");
+        }
+        println!("all {} solved instances carried verifying certificates", report.solved_instances);
+    }
+}
+
+fn run_once(cfg: &DriveConfig, problem: Problem, blob: &[u8], assert_certified: bool) {
+    let mut c = Client::connect_retry(cfg.addr.as_str(), Duration::from_secs(5))
+        .unwrap_or_else(|e| fail(&format!("connect {}: {e}", cfg.addr)));
+    let mut req = SolveRequest::new(problem, vec![blob.to_vec()]);
+    if cfg.no_cache {
+        req = req.no_cache();
+    }
+    let resp = c.solve(&req).unwrap_or_else(|e| fail(&format!("solve: {e}")));
+    match resp {
+        SolveResponse::Ok(results) => match &results[0] {
+            InstanceResult::Solved(s) => {
+                let cert_ok = anonet_core::canon::certificate_bound_holds(&s.certificate);
+                println!(
+                    "solved: |cover bitmap| = {}, in cover = {}, cached = {}, \
+                     certified ratio = {:.4} (factor {}), rounds = {}, cert check = {}",
+                    s.cover.len(),
+                    s.cover.iter().filter(|&&b| b).count(),
+                    s.from_cache,
+                    s.certificate.certified_ratio(),
+                    s.certificate.factor,
+                    s.trace.rounds,
+                    if cert_ok { "ok" } else { "FAILED" },
+                );
+                if assert_certified && !cert_ok {
+                    fail("certificate bound violated");
+                }
+            }
+            InstanceResult::Error(e) => fail(&format!("instance error: {e}")),
+        },
+        other => fail(&format!("unexpected response: {other:?}")),
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}");
+    std::process::exit(1)
+}

@@ -1,0 +1,230 @@
+//! An LRU result cache keyed by canonical instance bytes.
+//!
+//! The cache maps the full cache key (problem + execution mode + canonical
+//! instance blob, see `SolveRequest::cache_key`) to the pre-encoded result
+//! body, so a hit is a byte copy — no recomputation, no re-encoding. Keys
+//! are compared by their full bytes (the FNV digest is only a reporting
+//! convenience elsewhere), so hash collisions cannot serve a wrong result.
+//!
+//! The implementation is a classic slab-backed intrusive doubly linked list
+//! plus a `HashMap` from key to slot: `get`, `insert` and eviction are all
+//! O(1) (amortised). Hit/miss/eviction counters live here and are reported
+//! through the service's stats endpoint.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: Vec<u8>,
+    value: Vec<u8>,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used cache with counters.
+pub struct LruCache {
+    cap: usize,
+    map: HashMap<Vec<u8>, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl LruCache {
+    /// A cache holding at most `cap` entries (`cap == 0` disables caching:
+    /// every lookup misses and inserts are dropped).
+    pub fn new(cap: usize) -> LruCache {
+        LruCache {
+            cap,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` counters since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks `key` up, marking the entry most-recently-used on a hit.
+    /// Counts a hit or a miss.
+    pub fn get(&mut self, key: &[u8]) -> Option<&[u8]> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                self.unlink(i);
+                self.push_front(i);
+                Some(&self.slots[i].value[..])
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used entry
+    /// when at capacity.
+    pub fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        if self.map.len() >= self.cap {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            let old = std::mem::take(&mut self.slots[lru].key);
+            self.map.remove(&old);
+            self.free.push(lru);
+            self.evictions += 1;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot { key: key.clone(), value, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.slots.push(Slot { key: key.clone(), value, prev: NIL, next: NIL });
+                self.slots.len() - 1
+            }
+        };
+        self.push_front(i);
+        self.map.insert(key, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(b: u8) -> Vec<u8> {
+        vec![b; 4]
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let mut c = LruCache::new(4);
+        assert_eq!(c.get(&k(1)), None);
+        c.insert(k(1), vec![10]);
+        assert_eq!(c.get(&k(1)), Some(&[10][..]));
+        assert_eq!(c.counters(), (1, 1, 0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(3);
+        c.insert(k(1), vec![1]);
+        c.insert(k(2), vec![2]);
+        c.insert(k(3), vec![3]);
+        // Touch 1 so 2 becomes the LRU.
+        assert!(c.get(&k(1)).is_some());
+        c.insert(k(4), vec![4]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&k(2)), None, "LRU entry evicted");
+        assert!(c.get(&k(1)).is_some());
+        assert!(c.get(&k(3)).is_some());
+        assert!(c.get(&k(4)).is_some());
+        let (_, _, evictions) = c.counters();
+        assert_eq!(evictions, 1);
+    }
+
+    #[test]
+    fn eviction_order_is_exact() {
+        let mut c = LruCache::new(2);
+        for i in 0..10u8 {
+            c.insert(k(i), vec![i]);
+        }
+        // Only the two most recent survive.
+        assert!(c.get(&k(8)).is_some());
+        assert!(c.get(&k(9)).is_some());
+        for i in 0..8u8 {
+            assert_eq!(c.get(&k(i)), None, "entry {i}");
+        }
+        assert_eq!(c.counters().2, 8);
+    }
+
+    #[test]
+    fn replace_updates_value_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert(k(1), vec![1]);
+        c.insert(k(1), vec![9]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&k(1)), Some(&[9][..]));
+        assert_eq!(c.counters().2, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.insert(k(1), vec![1]);
+        assert_eq!(c.get(&k(1)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut c = LruCache::new(1);
+        for i in 0..100u8 {
+            c.insert(k(i), vec![i]);
+        }
+        // One live slot, the rest recycled through the free list.
+        assert_eq!(c.len(), 1);
+        assert!(c.slots.len() <= 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! Client library: a blocking TCP connection speaking the service's wire
+//! protocol, plus request-building conveniences over `anonet_core::canon`.
+
+use crate::wire::{
+    self, Problem, SolveRequest, SolveResponse, StatsSnapshot, MSG_SOLVE_RESPONSE,
+    MSG_STATS_RESPONSE,
+};
+use anonet_core::canon::{self, ByteReader};
+use anonet_core::vc_pn::VcInstance;
+use anonet_sim::SetCoverInstance;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A blocking client connection. One request is in flight at a time
+/// (request/response protocol); open several clients for concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Connects, retrying until `timeout` elapses — for racing a freshly
+    /// spawned server process (CI smoke jobs).
+    pub fn connect_retry(addr: impl ToSocketAddrs + Copy, timeout: Duration) -> io::Result<Client> {
+        let start = Instant::now();
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= timeout => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, payload: &[u8]) -> io::Result<Vec<u8>> {
+        wire::write_frame(&mut self.stream, payload)?;
+        wire::read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+
+    /// Sends a solve request and waits for the response.
+    pub fn solve(&mut self, req: &SolveRequest) -> io::Result<SolveResponse> {
+        let reply = self.roundtrip(&wire::encode_solve_request(req))?;
+        let mut r = ByteReader::new(&reply);
+        let t = wire::read_header(&mut r)?;
+        if t != MSG_SOLVE_RESPONSE {
+            return Err(wire::WireError::BadMessageType(t).into());
+        }
+        Ok(wire::decode_solve_response(&mut r)?)
+    }
+
+    /// Fetches the server's statistics counters.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        let reply = self.roundtrip(&wire::encode_stats_request())?;
+        let mut r = ByteReader::new(&reply);
+        let t = wire::read_header(&mut r)?;
+        if t != MSG_STATS_RESPONSE {
+            return Err(wire::WireError::BadMessageType(t).into());
+        }
+        Ok(wire::decode_stats_response(&mut r)?)
+    }
+}
+
+/// Builds a VC request (for [`Problem::VcPn`] or [`Problem::VcBcast`]) from
+/// borrowed instances, canonically encoding each.
+pub fn vc_request(problem: Problem, instances: &[VcInstance<'_>]) -> SolveRequest {
+    assert!(matches!(problem, Problem::VcPn | Problem::VcBcast), "use sc_request for set cover");
+    let blobs = instances
+        .iter()
+        .map(|i| canon::encode_vc(i.graph, i.weights, i.delta, i.max_weight))
+        .collect();
+    SolveRequest::new(problem, blobs)
+}
+
+/// Builds a set-cover request from borrowed instances (bounds derived from
+/// each instance), canonically encoding each.
+pub fn sc_request(instances: &[&SetCoverInstance]) -> SolveRequest {
+    let blobs = instances
+        .iter()
+        .map(|inst| {
+            canon::encode_sc(inst, inst.f().max(1), inst.k().max(1), inst.max_weight().max(1))
+        })
+        .collect();
+    SolveRequest::new(Problem::SetCover, blobs)
+}

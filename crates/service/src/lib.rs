@@ -1,0 +1,68 @@
+//! # anonet-service
+//!
+//! A long-lived, multithreaded solver service for the paper's covering
+//! problems — the layer that turns the one-shot reproduction binaries into
+//! a request/response system: clients submit canonically encoded instances
+//! over TCP and receive certified assignments back.
+//!
+//! The pieces:
+//!
+//! * [`wire`] — the length-prefixed, versioned binary protocol (full byte
+//!   layout in the module docs). Requests name a problem
+//!   (VC-PN §3 / VC-broadcast §5 / set cover §4), an execution mode (sync
+//!   engine or an `anonet-runtime` scenario), and carry one or more
+//!   canonical instance blobs from `anonet_core::canon`; responses carry
+//!   the cover assignment, the exact Bar-Yehuda–Even [`Certificate`]
+//!   (re-checkable at the edge: `w(C) ≤ factor · Σy`), and engine/runtime
+//!   trace statistics — or a structured error;
+//! * [`server`] — accept loop, bounded job queue with backpressure (a full
+//!   queue answers `Busy` + retry-after instead of blocking), and a worker
+//!   pool that funnels each request's instances through the
+//!   `anonet_sim::batch::BatchRunner`-backed `_many` entry points, so
+//!   responses are bit-identical to direct batch runs;
+//! * [`cache`] — an LRU result cache keyed by the canonical instance + mode
+//!   bytes, with hit/miss/eviction counters surfaced through the stats
+//!   endpoint;
+//! * [`client`] — a blocking client plus request-building helpers;
+//! * [`loadgen`] — workload synthesis from `anonet-gen` families and an
+//!   open/closed-loop driver reporting throughput and latency percentiles.
+//!
+//! Everything is `std`-only — no external dependencies, in keeping with the
+//! fully offline workspace.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use anonet_service::{client, server, wire};
+//! use anonet_core::vc_pn::VcInstance;
+//! use anonet_gen::family;
+//!
+//! let srv = server::Server::start("127.0.0.1:0", server::ServiceConfig::default()).unwrap();
+//! let g = family::petersen();
+//! let w = vec![3u64; 10];
+//! let req = client::vc_request(wire::Problem::VcPn, &[VcInstance::new(&g, &w)]);
+//! let mut c = client::Client::connect(srv.local_addr()).unwrap();
+//! match c.solve(&req).unwrap() {
+//!     wire::SolveResponse::Ok(results) => println!("{results:?}"),
+//!     other => println!("{other:?}"),
+//! }
+//! srv.shutdown();
+//! ```
+//!
+//! [`Certificate`]: anonet_core::certify::Certificate
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use server::{Server, ServiceConfig};
+pub use wire::{
+    ExecMode, InstanceResult, Problem, Scenario, SolveRequest, SolveResponse, Solved,
+    StatsSnapshot, WireTrace,
+};

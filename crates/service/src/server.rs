@@ -1,0 +1,500 @@
+//! The solver service: a TCP accept loop, a bounded job queue with
+//! backpressure, a worker pool funnelling jobs through the batch runner,
+//! and the LRU result cache.
+//!
+//! ## Request lifecycle
+//!
+//! A connection thread reads one frame, parses it, and **tries** to enqueue
+//! the job. If the queue is at capacity the client immediately receives a
+//! `Busy` response with a retry-after hint — the server never blocks a
+//! client on a full queue. Otherwise the job waits for a worker, which
+//! probes the result cache per instance (key = problem + mode + canonical
+//! blob), batch-executes the misses through the `_many` entry points of
+//! `anonet-core` (which funnel through `anonet_sim::batch::BatchRunner`),
+//! certifies every result, caches the encoded bodies, and replies. Responses
+//! are therefore **bit-identical to direct batch-runner runs** of the same
+//! instances — the loopback integration test asserts it.
+//!
+//! ## Execution modes
+//!
+//! Synchronous requests run on the lockstep engine. Asynchronous requests
+//! (VC-PN only) run each instance on the `anonet-runtime` discrete-event
+//! executor under a named scenario; by the synchronizer guarantee the
+//! assignment is bit-identical to the synchronous one, and the response
+//! carries the `AsyncTrace` summary instead of the engine `Trace`.
+
+use crate::cache::LruCache;
+use crate::wire::{
+    self, ExecMode, Problem, Scenario, SolveRequest, SolveResponse, StatsSnapshot, WireTrace,
+    FLAG_NO_CACHE, MSG_SOLVE_REQUEST, MSG_STATS_REQUEST,
+};
+use anonet_bigmath::BigRat;
+use anonet_core::canon::{self, ByteReader};
+use anonet_core::certify::{certify_set_cover, certify_vertex_cover, Certificate};
+use anonet_core::sc_bcast::{run_fractional_packing_many_with, ScInstance};
+use anonet_core::vc_bcast::run_vc_broadcast_many;
+use anonet_core::vc_pn::{
+    fold_vc_outputs, run_edge_packing_many, EdgePackingNode, VcConfig, VcInstance,
+};
+use anonet_runtime::{run_async_pn, scenario, AsyncTrace, NetworkConfig};
+use anonet_sim::Trace;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Service configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the job queue. `0` is allowed and means
+    /// nothing drains — useful for deterministic backpressure tests.
+    pub workers: usize,
+    /// Maximum queued jobs before requests are rejected with `Busy`.
+    pub queue_cap: usize,
+    /// Result-cache capacity in entries (`0` disables caching).
+    pub cache_cap: usize,
+    /// Batch-runner pool width each worker uses for one request's instances.
+    pub threads_per_job: usize,
+    /// Backoff hint carried in `Busy` responses, in milliseconds.
+    pub retry_after_ms: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_cap: 64,
+            cache_cap: 1024,
+            threads_per_job: 1,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+struct Job {
+    req: SolveRequest,
+    reply: mpsc::Sender<Vec<u8>>,
+}
+
+#[derive(Default)]
+struct Counters {
+    served_ok: AtomicU64,
+    rejected_busy: AtomicU64,
+    malformed: AtomicU64,
+    exec_errors: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    cache: Mutex<LruCache>,
+    counters: Counters,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Enqueues a request or returns the encoded `Busy` payload.
+    fn submit(&self, req: SolveRequest) -> Result<mpsc::Receiver<Vec<u8>>, Vec<u8>> {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        if self.stop.load(Ordering::Relaxed) || q.len() >= self.cfg.queue_cap {
+            self.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            return Err(wire::encode_solve_response(&SolveResponse::Busy {
+                retry_after_ms: self.cfg.retry_after_ms,
+                queue_len: q.len() as u32,
+            }));
+        }
+        let (tx, rx) = mpsc::channel();
+        q.push_back(Job { req, reply: tx });
+        drop(q);
+        self.cv.notify_one();
+        Ok(rx)
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let (cache_hits, cache_misses, cache_evictions, cache_len) = {
+            let cache = self.cache.lock().expect("cache poisoned");
+            let (h, m, e) = cache.counters();
+            (h, m, e, cache.len() as u64)
+        };
+        StatsSnapshot {
+            served_ok: self.counters.served_ok.load(Ordering::Relaxed),
+            rejected_busy: self.counters.rejected_busy.load(Ordering::Relaxed),
+            malformed: self.counters.malformed.load(Ordering::Relaxed),
+            exec_errors: self.counters.exec_errors.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            cache_len,
+            queue_len: self.queue.lock().expect("queue poisoned").len() as u64,
+            workers: self.cfg.workers as u64,
+        }
+    }
+}
+
+fn sync_trace(t: &Trace) -> WireTrace {
+    WireTrace {
+        is_async: false,
+        rounds: t.rounds,
+        messages: t.messages,
+        bits: t.total_bits,
+        max_message_bits: t.max_message_bits,
+        ..WireTrace::default()
+    }
+}
+
+fn async_trace(t: &AsyncTrace) -> WireTrace {
+    WireTrace {
+        is_async: true,
+        rounds: t.rounds,
+        messages: t.messages,
+        bits: t.payload_bits,
+        max_message_bits: t.max_message_bits,
+        events: t.events,
+        virtual_time: t.virtual_time,
+        retransmissions: t.retransmissions,
+        dropped_data: t.dropped_data,
+    }
+}
+
+fn scenario_config(s: Scenario, seed: u64) -> NetworkConfig {
+    match s {
+        Scenario::Ideal => scenario::ideal(),
+        Scenario::Datacenter => scenario::datacenter(seed),
+        Scenario::Wan => scenario::wan(seed),
+        Scenario::LossyRadio => scenario::lossy_radio(seed),
+        Scenario::ChurnyRadio => scenario::churny_radio(seed),
+    }
+}
+
+/// Per-instance outcome on the server side: `(from_cache, body)` or an
+/// error message. `body` is `wire::encode_solved_body` output.
+type InstanceOutcome = Result<(bool, Vec<u8>), String>;
+
+/// Executes one request end to end, returning the response payload.
+fn execute(shared: &Shared, req: &SolveRequest) -> Vec<u8> {
+    // Async execution is wired up for the §3 PN algorithm (whose certified
+    // ≤2·OPT guarantee survives every scenario); the broadcast-model
+    // problems stay sync-only for now.
+    if matches!(req.mode, ExecMode::Async(..)) && req.problem != Problem::VcPn {
+        return wire::encode_solve_response(&SolveResponse::Unsupported(format!(
+            "async execution supports VC-PN only, not {:?}",
+            req.problem
+        )));
+    }
+
+    let k = req.instances.len();
+    let mut outcomes: Vec<Option<InstanceOutcome>> = (0..k).map(|_| None).collect();
+    let use_cache = req.flags & FLAG_NO_CACHE == 0 && shared.cfg.cache_cap > 0;
+    // Keys copy the canonical blobs, so build them only when the cache is in
+    // play — the no-cache path stays allocation-free here.
+    let keys: Vec<Vec<u8>> =
+        if use_cache { (0..k).map(|i| req.cache_key(i)).collect() } else { Vec::new() };
+    if use_cache {
+        let mut cache = shared.cache.lock().expect("cache poisoned");
+        for i in 0..k {
+            if let Some(body) = cache.get(&keys[i]) {
+                outcomes[i] = Some(Ok((true, body.to_vec())));
+            }
+        }
+    }
+
+    let missing: Vec<usize> = (0..k).filter(|&i| outcomes[i].is_none()).collect();
+    if !missing.is_empty() {
+        let computed = compute(shared, req, &missing);
+        if use_cache {
+            let mut cache = shared.cache.lock().expect("cache poisoned");
+            for (&i, outcome) in missing.iter().zip(computed.iter()) {
+                if let Ok((_, body)) = outcome {
+                    cache.insert(keys[i].clone(), body.clone());
+                }
+            }
+        }
+        for (&i, outcome) in missing.iter().zip(computed) {
+            outcomes[i] = Some(outcome);
+        }
+    }
+
+    let results: Vec<InstanceOutcome> =
+        outcomes.into_iter().map(|o| o.expect("every instance resolved")).collect();
+    let errors = results.iter().filter(|r| r.is_err()).count() as u64;
+    if errors > 0 {
+        shared.counters.exec_errors.fetch_add(errors, Ordering::Relaxed);
+    }
+    shared.counters.served_ok.fetch_add(1, Ordering::Relaxed);
+    wire::encode_solve_response_raw(&results)
+}
+
+/// Runs the not-cached instances `missing` (indices into `req.instances`),
+/// returning one outcome per index in order.
+fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<InstanceOutcome> {
+    let threads = shared.cfg.threads_per_job.max(1);
+    match req.problem {
+        Problem::VcPn => {
+            let decoded: Vec<Result<canon::OwnedVcInstance, String>> = missing
+                .iter()
+                .map(|&i| canon::decode_vc(&req.instances[i]).map_err(|e| e.to_string()))
+                .collect();
+            match req.mode {
+                ExecMode::Sync => {
+                    let good: Vec<&canon::OwnedVcInstance> =
+                        decoded.iter().filter_map(|d| d.as_ref().ok()).collect();
+                    let insts: Vec<VcInstance<'_>> = good
+                        .iter()
+                        .map(|d| {
+                            VcInstance::with_bounds(&d.graph, &d.weights, d.delta, d.max_weight)
+                        })
+                        .collect();
+                    let mut runs = run_edge_packing_many::<BigRat>(&insts, threads).into_iter();
+                    decoded
+                        .iter()
+                        .map(|dec| {
+                            let d = dec.as_ref().map_err(|e| e.clone())?;
+                            let run = runs.next().expect("one run per good instance");
+                            let vc = run.map_err(|e| format!("execution failed: {e}"))?;
+                            let cert =
+                                certify_vertex_cover(&d.graph, &d.weights, &vc.packing, &vc.cover)
+                                    .map_err(|e| format!("certification failed: {e}"))?;
+                            Ok((
+                                false,
+                                wire::encode_solved_body(&vc.cover, &cert, &sync_trace(&vc.trace)),
+                            ))
+                        })
+                        .collect()
+                }
+                ExecMode::Async(s, seed) => decoded
+                    .iter()
+                    .map(|dec| {
+                        let d = dec.as_ref().map_err(|e| e.clone())?;
+                        let cfg = VcConfig::new(d.delta, d.max_weight);
+                        let net = scenario_config(s, seed);
+                        let res = run_async_pn::<EdgePackingNode<BigRat>>(
+                            &d.graph,
+                            &cfg,
+                            &d.weights,
+                            cfg.total_rounds(),
+                            &net,
+                        )
+                        .map_err(|e| format!("async execution failed: {e}"))?;
+                        let (cover, packing) = fold_vc_outputs(&d.graph, &res.outputs);
+                        let cert = certify_vertex_cover(&d.graph, &d.weights, &packing, &cover)
+                            .map_err(|e| format!("certification failed: {e}"))?;
+                        Ok((
+                            false,
+                            wire::encode_solved_body(&cover, &cert, &async_trace(&res.trace)),
+                        ))
+                    })
+                    .collect(),
+            }
+        }
+        Problem::VcBcast => {
+            let decoded: Vec<Result<canon::OwnedVcInstance, String>> = missing
+                .iter()
+                .map(|&i| canon::decode_vc(&req.instances[i]).map_err(|e| e.to_string()))
+                .collect();
+            let good: Vec<&canon::OwnedVcInstance> =
+                decoded.iter().filter_map(|d| d.as_ref().ok()).collect();
+            let insts: Vec<VcInstance<'_>> = good
+                .iter()
+                .map(|d| VcInstance::with_bounds(&d.graph, &d.weights, d.delta, d.max_weight))
+                .collect();
+            let mut runs = run_vc_broadcast_many::<BigRat>(&insts, threads).into_iter();
+            decoded
+                .iter()
+                .map(|dec| {
+                    let d = dec.as_ref().map_err(|e| e.clone())?;
+                    let run = runs.next().expect("one run per good instance");
+                    let vc = run.map_err(|e| format!("execution failed: {e}"))?;
+                    // §5 outputs do not carry the full packing; the maximality
+                    // witness is `all_saturated` (Theorem 2) and the cover +
+                    // ratio bound are checked directly.
+                    let cover_weight: u64 =
+                        (0..d.graph.n()).filter(|&v| vc.cover[v]).map(|v| d.weights[v]).sum();
+                    let covers = d.graph.edge_iter().all(|(_, u, v)| vc.cover[u] || vc.cover[v]);
+                    let cert =
+                        Certificate { cover_weight, dual_value: vc.dual_value.clone(), factor: 2 };
+                    if !vc.all_saturated || !covers || !canon::certificate_bound_holds(&cert) {
+                        return Err("certification failed: §5 invariants violated".into());
+                    }
+                    Ok((false, wire::encode_solved_body(&vc.cover, &cert, &sync_trace(&vc.trace))))
+                })
+                .collect()
+        }
+        Problem::SetCover => {
+            let decoded: Vec<Result<canon::OwnedScInstance, String>> = missing
+                .iter()
+                .map(|&i| canon::decode_sc(&req.instances[i]).map_err(|e| e.to_string()))
+                .collect();
+            let good: Vec<&canon::OwnedScInstance> =
+                decoded.iter().filter_map(|d| d.as_ref().ok()).collect();
+            let insts: Vec<ScInstance<'_>> = good
+                .iter()
+                .map(|d| ScInstance::with_bounds(&d.inst, d.f, d.k, d.max_weight))
+                .collect();
+            let mut runs = run_fractional_packing_many_with::<BigRat>(&insts, threads).into_iter();
+            decoded
+                .iter()
+                .map(|dec| {
+                    let d = dec.as_ref().map_err(|e| e.clone())?;
+                    let run = runs.next().expect("one run per good instance");
+                    let sc = run.map_err(|e| format!("execution failed: {e}"))?;
+                    let cert = certify_set_cover(&d.inst, &sc.packing, &sc.cover)
+                        .map_err(|e| format!("certification failed: {e}"))?;
+                    Ok((false, wire::encode_solved_body(&sc.cover, &cert, &sync_trace(&sc.trace))))
+                })
+                .collect()
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                q = shared.cv.wait(q).expect("queue poisoned");
+            }
+        };
+        let payload = execute(&shared, &job.req);
+        // The client may have gone away; that is its problem, not ours.
+        let _ = job.reply.send(payload);
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            _ => return, // clean close or broken transport
+        };
+        let mut r = ByteReader::new(&payload);
+        let reply = match wire::read_header(&mut r) {
+            Ok(MSG_SOLVE_REQUEST) => match wire::decode_solve_request(&mut r) {
+                Ok(req) => match shared.submit(req) {
+                    Ok(rx) => match rx.recv() {
+                        Ok(p) => p,
+                        Err(_) => return, // service shut down mid-flight
+                    },
+                    Err(busy) => busy,
+                },
+                Err(e) => {
+                    shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    wire::encode_solve_response(&SolveResponse::Malformed(e.to_string()))
+                }
+            },
+            Ok(MSG_STATS_REQUEST) => wire::encode_stats_response(&shared.snapshot()),
+            Ok(t) => {
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                wire::encode_solve_response(&SolveResponse::Malformed(format!(
+                    "unexpected message type {t}"
+                )))
+            }
+            Err(e) => {
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                wire::encode_solve_response(&SolveResponse::Malformed(e.to_string()))
+            }
+        };
+        if wire::write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// A running solver service bound to a TCP address.
+///
+/// Dropping the server (or calling [`Server::shutdown`]) stops the accept
+/// loop, drains the queue, and joins the workers. Use `"127.0.0.1:0"` to
+/// bind an ephemeral port and read it back with [`Server::local_addr`].
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` and starts the accept loop and worker pool.
+    pub fn start(addr: &str, cfg: ServiceConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            cache: Mutex::new(LruCache::new(cfg.cache_cap)),
+            counters: Counters::default(),
+            stop: AtomicBool::new(false),
+        });
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shared.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        let shared = Arc::clone(&shared);
+                        std::thread::spawn(move || handle_conn(stream, shared));
+                    }
+                }
+            })
+        };
+        Ok(Server { shared, local_addr, accept: Some(accept), workers })
+    }
+
+    /// The bound address (resolves `:0` ephemeral binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time statistics snapshot (also served over the wire).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Blocks until the accept loop exits — "serve forever" for the CLI.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops accepting, drains queued jobs, joins the workers.
+    pub fn shutdown(mut self) {
+        self.stop_impl();
+    }
+
+    fn stop_impl(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_impl();
+    }
+}

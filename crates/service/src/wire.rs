@@ -1,0 +1,778 @@
+//! The binary wire protocol: framing, message encoding, message decoding.
+//!
+//! ## Framing
+//!
+//! Every message travels as one **frame**: a `u32` little-endian payload
+//! length followed by that many payload bytes. Payloads larger than
+//! [`MAX_FRAME`] are rejected (a malicious length prefix must not trigger a
+//! huge allocation).
+//!
+//! ## Payload layout
+//!
+//! All integers are little-endian; `blob` means a `u32` length prefix
+//! followed by that many raw bytes.
+//!
+//! ```text
+//! header     := magic "ANSV" (4 bytes) | version: u16 (= 1) | msg_type: u8
+//! msg_type   := 1 solve request | 2 solve response
+//!             | 3 stats request | 4 stats response
+//!
+//! solve req  := header | problem: u8 | mode: u8 | seed: u64 | flags: u8
+//!             | count: u32 | count × instance blob
+//! problem    := 0 VC-PN (§3) | 1 VC-broadcast (§5) | 2 set cover (§4)
+//! mode       := 0 synchronous engine
+//!             | 1..=5 asynchronous runtime scenario
+//!               (1 ideal, 2 datacenter, 3 wan, 4 lossy_radio, 5 churny_radio)
+//! seed       := scenario seed for asynchronous modes (0 for sync)
+//! flags      := bit 0: bypass the result cache
+//! instance   := canonical blob from `anonet_core::canon`
+//!               (`encode_vc` for VC problems, `encode_sc` for set cover)
+//!
+//! solve resp := header | status: u8 | status body
+//! status     := 0 ok | 1 busy (backpressure) | 2 malformed | 3 unsupported
+//! ok         := count: u32 | count × result
+//! busy       := retry_after_ms: u32 | queue_len: u32
+//! malformed / unsupported := message blob (UTF-8)
+//!
+//! result     := 0: u8 | error message blob            (per-instance error)
+//!             | 1: u8 | from_cache: u8
+//!               | n: u32 | ceil(n/8) cover bitmap bytes (bit v = node v /
+//!                 subset v in the cover; LSB-first within each byte)
+//!               | certificate blob (`canon::encode_certificate`)
+//!               | trace_kind: u8 (0 sync, 1 async) | 8 × u64:
+//!                 rounds, messages, bits, max_message_bits,
+//!                 events, virtual_time, retransmissions, dropped_data
+//!                 (the last four are 0 for sync traces)
+//!
+//! stats resp := header | 10 × u64:
+//!               served_ok, rejected_busy, malformed, exec_errors,
+//!               cache_hits, cache_misses, cache_evictions, cache_len,
+//!               queue_len, workers
+//! ```
+//!
+//! The per-instance `result` bytes after the `from_cache` flag are exactly
+//! what the server's result cache stores, so a cache hit is a byte copy.
+
+use anonet_bigmath::BigRat;
+use anonet_core::canon::{ByteReader, ByteWriter, CanonError};
+use anonet_core::certify::Certificate;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening every payload.
+pub const MAGIC: [u8; 4] = *b"ANSV";
+/// Protocol version this build speaks.
+pub const VERSION: u16 = 1;
+/// Maximum accepted frame payload, in bytes (defensive bound).
+pub const MAX_FRAME: usize = 1 << 28;
+
+/// Message type tags.
+pub const MSG_SOLVE_REQUEST: u8 = 1;
+/// Solve response tag.
+pub const MSG_SOLVE_RESPONSE: u8 = 2;
+/// Stats request tag.
+pub const MSG_STATS_REQUEST: u8 = 3;
+/// Stats response tag.
+pub const MSG_STATS_RESPONSE: u8 = 4;
+
+/// Which covering problem a request asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Problem {
+    /// §3 maximal edge packing / 2-approximate vertex cover (PN model).
+    VcPn,
+    /// §5 vertex cover through the broadcast-model simulation.
+    VcBcast,
+    /// §4 f-approximate set cover (broadcast model).
+    SetCover,
+}
+
+impl Problem {
+    /// Wire byte.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Problem::VcPn => 0,
+            Problem::VcBcast => 1,
+            Problem::SetCover => 2,
+        }
+    }
+
+    /// Parses the wire byte.
+    pub fn from_u8(v: u8) -> Option<Problem> {
+        match v {
+            0 => Some(Problem::VcPn),
+            1 => Some(Problem::VcBcast),
+            2 => Some(Problem::SetCover),
+            _ => None,
+        }
+    }
+}
+
+/// How the server should execute the request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// The synchronous engine through the batch pool.
+    Sync,
+    /// The asynchronous runtime under a named scenario (see
+    /// `anonet_runtime::scenario`); the `u64` is the scenario seed.
+    Async(Scenario, u64),
+}
+
+/// Named asynchronous network scenarios, mirroring
+/// `anonet_runtime::scenario`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Zero delay, lossless, FIFO.
+    Ideal,
+    /// Constant 2-tick links.
+    Datacenter,
+    /// Heterogeneous latency, reordering links.
+    Wan,
+    /// Geometric latency with 5% loss.
+    LossyRadio,
+    /// `LossyRadio` plus crash/restart churn.
+    ChurnyRadio,
+}
+
+impl Scenario {
+    /// Wire byte (the `mode` field; 0 is reserved for sync).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Scenario::Ideal => 1,
+            Scenario::Datacenter => 2,
+            Scenario::Wan => 3,
+            Scenario::LossyRadio => 4,
+            Scenario::ChurnyRadio => 5,
+        }
+    }
+
+    /// Parses the wire byte.
+    pub fn from_u8(v: u8) -> Option<Scenario> {
+        match v {
+            1 => Some(Scenario::Ideal),
+            2 => Some(Scenario::Datacenter),
+            3 => Some(Scenario::Wan),
+            4 => Some(Scenario::LossyRadio),
+            5 => Some(Scenario::ChurnyRadio),
+            _ => None,
+        }
+    }
+}
+
+/// Request flag: bypass the result cache for this request.
+pub const FLAG_NO_CACHE: u8 = 1;
+
+/// A decoded solve request.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// The problem kind all instances in this request share.
+    pub problem: Problem,
+    /// Execution mode (sync engine or async scenario).
+    pub mode: ExecMode,
+    /// Request flags ([`FLAG_NO_CACHE`]).
+    pub flags: u8,
+    /// Canonical instance blobs (`anonet_core::canon`).
+    pub instances: Vec<Vec<u8>>,
+}
+
+impl SolveRequest {
+    /// A synchronous request over canonical instance blobs.
+    pub fn new(problem: Problem, instances: Vec<Vec<u8>>) -> SolveRequest {
+        SolveRequest { problem, mode: ExecMode::Sync, flags: 0, instances }
+    }
+
+    /// Switches to asynchronous execution under `scenario` with `seed`.
+    pub fn with_scenario(mut self, scenario: Scenario, seed: u64) -> SolveRequest {
+        self.mode = ExecMode::Async(scenario, seed);
+        self
+    }
+
+    /// Bypasses the result cache.
+    pub fn no_cache(mut self) -> SolveRequest {
+        self.flags |= FLAG_NO_CACHE;
+        self
+    }
+
+    /// The cache key of instance `i`: problem byte, mode byte, seed and the
+    /// canonical blob — everything that determines the response bytes.
+    pub fn cache_key(&self, i: usize) -> Vec<u8> {
+        let (mode, seed) = match self.mode {
+            ExecMode::Sync => (0u8, 0u64),
+            ExecMode::Async(s, seed) => (s.to_u8(), seed),
+        };
+        let mut w = ByteWriter::new();
+        w.put_u8(self.problem.to_u8());
+        w.put_u8(mode);
+        w.put_u64(seed);
+        w.put_bytes(&self.instances[i]);
+        w.into_bytes()
+    }
+}
+
+/// Execution statistics carried with every solved instance — the sync
+/// engine's `Trace` or a summary of the async runtime's `AsyncTrace`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireTrace {
+    /// True if this came from the asynchronous runtime.
+    pub is_async: bool,
+    /// Completed rounds.
+    pub rounds: u64,
+    /// Messages (sync: arcs × rounds; async: unique receipts).
+    pub messages: u64,
+    /// Payload bits.
+    pub bits: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: u64,
+    /// Async only: events processed by the event loop.
+    pub events: u64,
+    /// Async only: virtual completion time in ticks.
+    pub virtual_time: u64,
+    /// Async only: retransmissions.
+    pub retransmissions: u64,
+    /// Async only: data transmissions lost.
+    pub dropped_data: u64,
+}
+
+/// One instance's outcome inside an `Ok` response.
+#[derive(Clone, Debug)]
+pub enum InstanceResult {
+    /// The instance failed to decode or execute (message is human-readable).
+    Error(String),
+    /// The instance was solved (possibly from cache).
+    Solved(Solved),
+}
+
+/// A solved instance: assignment, certificate and execution stats.
+#[derive(Clone, Debug)]
+pub struct Solved {
+    /// True if the result was served from the LRU cache.
+    pub from_cache: bool,
+    /// Cover membership by node id (vertex cover) or subset id (set cover).
+    pub cover: Vec<bool>,
+    /// The Bar-Yehuda–Even approximation certificate, exact.
+    pub certificate: Certificate<BigRat>,
+    /// Execution statistics.
+    pub trace: WireTrace,
+}
+
+/// A decoded solve response.
+#[derive(Clone, Debug)]
+pub enum SolveResponse {
+    /// Per-instance results, same order as the request.
+    Ok(Vec<InstanceResult>),
+    /// The job queue is full — retry after the hinted delay.
+    Busy {
+        /// Suggested client backoff, in milliseconds.
+        retry_after_ms: u32,
+        /// Queue length observed at rejection time.
+        queue_len: u32,
+    },
+    /// The request could not be parsed.
+    Malformed(String),
+    /// The problem/mode combination is not supported.
+    Unsupported(String),
+}
+
+/// A decoded stats response: the service's counters at a point in time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests answered with an `Ok` response.
+    pub served_ok: u64,
+    /// Requests rejected with `Busy` (queue full).
+    pub rejected_busy: u64,
+    /// Frames that failed to parse.
+    pub malformed: u64,
+    /// Per-instance decode/execution errors inside `Ok` responses.
+    pub exec_errors: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache evictions.
+    pub cache_evictions: u64,
+    /// Entries currently cached.
+    pub cache_len: u64,
+    /// Jobs currently queued.
+    pub queue_len: u64,
+    /// Worker threads configured.
+    pub workers: u64,
+}
+
+/// Errors raised while decoding a payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload shorter than announced content.
+    Truncated,
+    /// Bad magic bytes.
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion(u16),
+    /// Unknown or unexpected message type.
+    BadMessageType(u8),
+    /// A field held an invalid value.
+    Invalid(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::BadMagic => write!(f, "bad magic (expected \"ANSV\")"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadMessageType(t) => write!(f, "unexpected message type {t}"),
+            WireError::Invalid(m) => write!(f, "invalid payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CanonError> for WireError {
+    fn from(e: CanonError) -> WireError {
+        match e {
+            CanonError::Truncated => WireError::Truncated,
+            other => WireError::Invalid(other.to_string()),
+        }
+    }
+}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed the connection cleanly
+/// at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A writer pre-seeded with the protocol header.
+fn header(msg_type: u8) -> ByteWriter {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_bytes(&VERSION.to_le_bytes());
+    w.put_u8(msg_type);
+    w
+}
+
+/// Checks the header, returning the message type.
+pub fn read_header(r: &mut ByteReader<'_>) -> Result<u8, WireError> {
+    let magic = r.get_bytes(4).map_err(|_| WireError::Truncated)?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let lo = r.get_u8().map_err(|_| WireError::Truncated)?;
+    let hi = r.get_u8().map_err(|_| WireError::Truncated)?;
+    let version = u16::from_le_bytes([lo, hi]);
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    r.get_u8().map_err(|_| WireError::Truncated)
+}
+
+/// Encodes a solve request payload.
+pub fn encode_solve_request(req: &SolveRequest) -> Vec<u8> {
+    let mut w = header(MSG_SOLVE_REQUEST);
+    w.put_u8(req.problem.to_u8());
+    let (mode, seed) = match req.mode {
+        ExecMode::Sync => (0u8, 0u64),
+        ExecMode::Async(s, seed) => (s.to_u8(), seed),
+    };
+    w.put_u8(mode);
+    w.put_u64(seed);
+    w.put_u8(req.flags);
+    w.put_u32(req.instances.len() as u32);
+    for blob in &req.instances {
+        w.put_blob(blob);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a solve request body (header already consumed).
+pub fn decode_solve_request(r: &mut ByteReader<'_>) -> Result<SolveRequest, WireError> {
+    let problem = Problem::from_u8(r.get_u8()?)
+        .ok_or_else(|| WireError::Invalid("unknown problem kind".into()))?;
+    let mode_byte = r.get_u8()?;
+    let seed = r.get_u64()?;
+    let mode = if mode_byte == 0 {
+        ExecMode::Sync
+    } else {
+        let s = Scenario::from_u8(mode_byte)
+            .ok_or_else(|| WireError::Invalid(format!("unknown exec mode {mode_byte}")))?;
+        ExecMode::Async(s, seed)
+    };
+    let flags = r.get_u8()?;
+    let count = r.get_u32()? as usize;
+    let mut instances = Vec::new();
+    for _ in 0..count {
+        instances.push(r.get_blob()?.to_vec());
+    }
+    if instances.is_empty() {
+        return Err(WireError::Invalid("request carries no instances".into()));
+    }
+    Ok(SolveRequest { problem, mode, flags, instances })
+}
+
+/// Encodes the body of one solved instance **after** the `from_cache` flag —
+/// exactly the bytes the result cache stores.
+pub fn encode_solved_body(
+    cover: &[bool],
+    certificate: &Certificate<BigRat>,
+    trace: &WireTrace,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(cover.len() as u32);
+    let mut byte = 0u8;
+    for (i, &b) in cover.iter().enumerate() {
+        if b {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            w.put_u8(byte);
+            byte = 0;
+        }
+    }
+    if cover.len() % 8 != 0 {
+        w.put_u8(byte);
+    }
+    w.put_blob(&anonet_core::canon::encode_certificate(certificate));
+    w.put_u8(u8::from(trace.is_async));
+    for v in [
+        trace.rounds,
+        trace.messages,
+        trace.bits,
+        trace.max_message_bits,
+        trace.events,
+        trace.virtual_time,
+        trace.retransmissions,
+        trace.dropped_data,
+    ] {
+        w.put_u64(v);
+    }
+    w.into_bytes()
+}
+
+fn decode_solved_body(r: &mut ByteReader<'_>, from_cache: bool) -> Result<Solved, WireError> {
+    let n = r.get_u32()? as usize;
+    let bytes = r.get_bytes(n.div_ceil(8))?;
+    let cover = (0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect();
+    let certificate = anonet_core::canon::decode_certificate(r.get_blob()?)?;
+    let is_async = r.get_u8()? != 0;
+    let mut vals = [0u64; 8];
+    for v in vals.iter_mut() {
+        *v = r.get_u64()?;
+    }
+    let trace = WireTrace {
+        is_async,
+        rounds: vals[0],
+        messages: vals[1],
+        bits: vals[2],
+        max_message_bits: vals[3],
+        events: vals[4],
+        virtual_time: vals[5],
+        retransmissions: vals[6],
+        dropped_data: vals[7],
+    };
+    Ok(Solved { from_cache, cover, certificate, trace })
+}
+
+/// Encodes a solve response payload.
+pub fn encode_solve_response(resp: &SolveResponse) -> Vec<u8> {
+    let mut w = header(MSG_SOLVE_RESPONSE);
+    match resp {
+        SolveResponse::Ok(results) => {
+            w.put_u8(0);
+            w.put_u32(results.len() as u32);
+            for res in results {
+                match res {
+                    InstanceResult::Error(msg) => {
+                        w.put_u8(0);
+                        w.put_blob(msg.as_bytes());
+                    }
+                    InstanceResult::Solved(s) => {
+                        w.put_u8(1);
+                        w.put_u8(u8::from(s.from_cache));
+                        w.put_bytes(&encode_solved_body(&s.cover, &s.certificate, &s.trace));
+                    }
+                }
+            }
+        }
+        SolveResponse::Busy { retry_after_ms, queue_len } => {
+            w.put_u8(1);
+            w.put_u32(*retry_after_ms);
+            w.put_u32(*queue_len);
+        }
+        SolveResponse::Malformed(msg) => {
+            w.put_u8(2);
+            w.put_blob(msg.as_bytes());
+        }
+        SolveResponse::Unsupported(msg) => {
+            w.put_u8(3);
+            w.put_blob(msg.as_bytes());
+        }
+    }
+    w.into_bytes()
+}
+
+/// Builds an `Ok` response payload directly from pre-encoded per-instance
+/// results (`(from_cache, body_bytes)` with `body` from
+/// [`encode_solved_body`], or an error message) — the server-side fast path
+/// that avoids re-encoding cached bodies.
+pub fn encode_solve_response_raw(results: &[Result<(bool, Vec<u8>), String>]) -> Vec<u8> {
+    let mut w = header(MSG_SOLVE_RESPONSE);
+    w.put_u8(0);
+    w.put_u32(results.len() as u32);
+    for res in results {
+        match res {
+            Err(msg) => {
+                w.put_u8(0);
+                w.put_blob(msg.as_bytes());
+            }
+            Ok((from_cache, body)) => {
+                w.put_u8(1);
+                w.put_u8(u8::from(*from_cache));
+                w.put_bytes(body);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a solve response body (header already consumed).
+pub fn decode_solve_response(r: &mut ByteReader<'_>) -> Result<SolveResponse, WireError> {
+    let status = r.get_u8()?;
+    match status {
+        0 => {
+            let count = r.get_u32()? as usize;
+            let mut results = Vec::new();
+            for _ in 0..count {
+                let tag = r.get_u8()?;
+                results.push(match tag {
+                    0 => InstanceResult::Error(String::from_utf8_lossy(r.get_blob()?).into_owned()),
+                    1 => {
+                        let from_cache = r.get_u8()? != 0;
+                        InstanceResult::Solved(decode_solved_body(r, from_cache)?)
+                    }
+                    other => return Err(WireError::Invalid(format!("bad result tag {other}"))),
+                });
+            }
+            Ok(SolveResponse::Ok(results))
+        }
+        1 => Ok(SolveResponse::Busy { retry_after_ms: r.get_u32()?, queue_len: r.get_u32()? }),
+        2 => Ok(SolveResponse::Malformed(String::from_utf8_lossy(r.get_blob()?).into_owned())),
+        3 => Ok(SolveResponse::Unsupported(String::from_utf8_lossy(r.get_blob()?).into_owned())),
+        other => Err(WireError::Invalid(format!("bad response status {other}"))),
+    }
+}
+
+/// Encodes a stats request payload.
+pub fn encode_stats_request() -> Vec<u8> {
+    header(MSG_STATS_REQUEST).into_bytes()
+}
+
+/// Encodes a stats response payload.
+pub fn encode_stats_response(s: &StatsSnapshot) -> Vec<u8> {
+    let mut w = header(MSG_STATS_RESPONSE);
+    for v in [
+        s.served_ok,
+        s.rejected_busy,
+        s.malformed,
+        s.exec_errors,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions,
+        s.cache_len,
+        s.queue_len,
+        s.workers,
+    ] {
+        w.put_u64(v);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a stats response body (header already consumed).
+pub fn decode_stats_response(r: &mut ByteReader<'_>) -> Result<StatsSnapshot, WireError> {
+    let mut vals = [0u64; 10];
+    for v in vals.iter_mut() {
+        *v = r.get_u64()?;
+    }
+    Ok(StatsSnapshot {
+        served_ok: vals[0],
+        rejected_busy: vals[1],
+        malformed: vals[2],
+        exec_errors: vals[3],
+        cache_hits: vals[4],
+        cache_misses: vals[5],
+        cache_evictions: vals[6],
+        cache_len: vals[7],
+        queue_len: vals[8],
+        workers: vals[9],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn frame_rejects_absurd_length() {
+        let buf = (u32::MAX).to_le_bytes().to_vec();
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn solve_request_roundtrip() {
+        let req = SolveRequest::new(Problem::SetCover, vec![vec![1, 2, 3], vec![4]])
+            .with_scenario(Scenario::Wan, 99)
+            .no_cache();
+        let payload = encode_solve_request(&req);
+        let mut r = ByteReader::new(&payload);
+        assert_eq!(read_header(&mut r).unwrap(), MSG_SOLVE_REQUEST);
+        let dec = decode_solve_request(&mut r).unwrap();
+        assert_eq!(dec.problem, Problem::SetCover);
+        assert_eq!(dec.mode, ExecMode::Async(Scenario::Wan, 99));
+        assert_eq!(dec.flags, FLAG_NO_CACHE);
+        assert_eq!(dec.instances, req.instances);
+    }
+
+    #[test]
+    fn cache_key_separates_mode_and_blob() {
+        let blob = vec![7u8; 16];
+        let sync = SolveRequest::new(Problem::VcPn, vec![blob.clone()]);
+        let asy =
+            SolveRequest::new(Problem::VcPn, vec![blob.clone()]).with_scenario(Scenario::Ideal, 1);
+        let asy2 =
+            SolveRequest::new(Problem::VcPn, vec![blob.clone()]).with_scenario(Scenario::Ideal, 2);
+        let other = SolveRequest::new(Problem::VcBcast, vec![blob]);
+        assert_ne!(sync.cache_key(0), asy.cache_key(0));
+        assert_ne!(asy.cache_key(0), asy2.cache_key(0));
+        assert_ne!(sync.cache_key(0), other.cache_key(0));
+    }
+
+    #[test]
+    fn solve_response_roundtrip() {
+        let cert =
+            Certificate { cover_weight: 10, dual_value: BigRat::from_frac(21, 4), factor: 2 };
+        let trace = WireTrace { rounds: 7, messages: 10, bits: 80, ..WireTrace::default() };
+        let resp = SolveResponse::Ok(vec![
+            InstanceResult::Solved(Solved {
+                from_cache: true,
+                cover: vec![true, false, true, true, false, false, false, false, true],
+                certificate: cert.clone(),
+                trace: trace.clone(),
+            }),
+            InstanceResult::Error("nope".into()),
+        ]);
+        let payload = encode_solve_response(&resp);
+        let mut r = ByteReader::new(&payload);
+        assert_eq!(read_header(&mut r).unwrap(), MSG_SOLVE_RESPONSE);
+        match decode_solve_response(&mut r).unwrap() {
+            SolveResponse::Ok(results) => {
+                match &results[0] {
+                    InstanceResult::Solved(s) => {
+                        assert!(s.from_cache);
+                        assert_eq!(
+                            s.cover,
+                            vec![true, false, true, true, false, false, false, false, true]
+                        );
+                        assert_eq!(s.certificate.dual_value, cert.dual_value);
+                        assert_eq!(s.trace, trace);
+                    }
+                    other => panic!("expected solved, got {other:?}"),
+                }
+                assert!(matches!(&results[1], InstanceResult::Error(m) if m == "nope"));
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_and_error_responses_roundtrip() {
+        for resp in [
+            SolveResponse::Busy { retry_after_ms: 50, queue_len: 9 },
+            SolveResponse::Malformed("bad".into()),
+            SolveResponse::Unsupported("no".into()),
+        ] {
+            let payload = encode_solve_response(&resp);
+            let mut r = ByteReader::new(&payload);
+            read_header(&mut r).unwrap();
+            let dec = decode_solve_response(&mut r).unwrap();
+            match (&resp, &dec) {
+                (
+                    SolveResponse::Busy { retry_after_ms: a, queue_len: b },
+                    SolveResponse::Busy { retry_after_ms: c, queue_len: d },
+                ) => assert_eq!((a, b), (c, d)),
+                (SolveResponse::Malformed(a), SolveResponse::Malformed(b)) => assert_eq!(a, b),
+                (SolveResponse::Unsupported(a), SolveResponse::Unsupported(b)) => {
+                    assert_eq!(a, b)
+                }
+                other => panic!("mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let s = StatsSnapshot {
+            served_ok: 1,
+            rejected_busy: 2,
+            malformed: 3,
+            exec_errors: 4,
+            cache_hits: 5,
+            cache_misses: 6,
+            cache_evictions: 7,
+            cache_len: 8,
+            queue_len: 9,
+            workers: 10,
+        };
+        let payload = encode_stats_response(&s);
+        let mut r = ByteReader::new(&payload);
+        assert_eq!(read_header(&mut r).unwrap(), MSG_STATS_RESPONSE);
+        assert_eq!(decode_stats_response(&mut r).unwrap(), s);
+    }
+
+    #[test]
+    fn header_rejects_garbage() {
+        let mut r = ByteReader::new(b"XXXX\x01\x00\x01");
+        assert_eq!(read_header(&mut r).unwrap_err(), WireError::BadMagic);
+        let mut r = ByteReader::new(b"ANSV\x63\x00\x01");
+        assert_eq!(read_header(&mut r).unwrap_err(), WireError::BadVersion(0x63));
+        let mut r = ByteReader::new(b"ANSV");
+        assert_eq!(read_header(&mut r).unwrap_err(), WireError::Truncated);
+    }
+}

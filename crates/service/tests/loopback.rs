@@ -1,0 +1,300 @@
+//! Loopback integration tests: a real server on 127.0.0.1, real TCP
+//! clients, and the acceptance criteria of the service layer:
+//!
+//! 1. responses are **bit-identical** to direct `BatchRunner`-backed runs of
+//!    the same instances (cover, certificate, trace);
+//! 2. every VC response carries a certificate verifying ≤ 2·OPT (checked
+//!    against the exact solver on small instances);
+//! 3. a repeated identical request hits the LRU cache (counters observed);
+//! 4. a full queue answers the backpressure error instead of hanging.
+
+use anonet_bigmath::BigRat;
+use anonet_core::canon;
+use anonet_core::sc_bcast::{run_fractional_packing_many_with, ScInstance};
+use anonet_core::vc_bcast::run_vc_broadcast_many;
+use anonet_core::vc_pn::{run_edge_packing_many, VcInstance};
+use anonet_exact::min_weight_vertex_cover;
+use anonet_gen::{family, setcover, WeightSpec};
+use anonet_service::{
+    client, wire, Client, InstanceResult, Problem, Scenario, Server, ServiceConfig, SolveRequest,
+    SolveResponse, Solved,
+};
+use std::time::Duration;
+
+fn start(cfg: ServiceConfig) -> Server {
+    Server::start("127.0.0.1:0", cfg).expect("bind loopback")
+}
+
+fn solved(resp: &SolveResponse) -> Vec<&Solved> {
+    match resp {
+        SolveResponse::Ok(results) => results
+            .iter()
+            .map(|r| match r {
+                InstanceResult::Solved(s) => s,
+                InstanceResult::Error(e) => panic!("instance error: {e}"),
+            })
+            .collect(),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}
+
+#[test]
+fn vc_pn_bit_identical_certified_and_cached() {
+    let server = start(ServiceConfig { workers: 2, threads_per_job: 2, ..Default::default() });
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    // A small batch of §3 instances across families and weight regimes.
+    let cases: Vec<(anonet_sim::Graph, Vec<u64>)> = vec![
+        (family::petersen(), WeightSpec::Uniform(9).draw_many(10, 3)),
+        (family::grid(4, 3), WeightSpec::LogUniform(1 << 10).draw_many(12, 5)),
+        (family::random_regular(24, 4, 7), WeightSpec::Uniform(50).draw_many(24, 7)),
+        (family::star(5), vec![7, 1, 1, 1, 1, 1]),
+    ];
+    let instances: Vec<VcInstance<'_>> = cases.iter().map(|(g, w)| VcInstance::new(g, w)).collect();
+    let req = client::vc_request(Problem::VcPn, &instances);
+    let resp = c.solve(&req).unwrap();
+    let got = solved(&resp);
+    assert_eq!(got.len(), cases.len());
+
+    // Bit-identical to the direct batch run (same BatchRunner pool width).
+    let direct = run_edge_packing_many::<BigRat>(&instances, 2);
+    for (i, (s, run)) in got.iter().zip(&direct).enumerate() {
+        let run = run.as_ref().unwrap();
+        assert!(!s.from_cache, "first request must compute (instance {i})");
+        assert_eq!(s.cover, run.cover, "instance {i} cover");
+        assert_eq!(s.certificate.dual_value, run.packing.dual_value(), "instance {i} dual");
+        assert_eq!(s.certificate.factor, 2);
+        assert!(!s.trace.is_async);
+        assert_eq!(s.trace.rounds, run.trace.rounds, "instance {i} rounds");
+        assert_eq!(s.trace.messages, run.trace.messages, "instance {i} messages");
+        assert_eq!(s.trace.bits, run.trace.total_bits, "instance {i} bits");
+        assert_eq!(s.trace.max_message_bits, run.trace.max_message_bits, "instance {i} max bits");
+        // The certificate's arithmetic content checks out at the edge …
+        assert!(canon::certificate_bound_holds(&s.certificate), "instance {i}");
+        // … and really is ≤ 2·OPT against the exact solver.
+        let (g, w) = &cases[i];
+        let opt = min_weight_vertex_cover(g, w).weight;
+        assert!(
+            s.certificate.cover_weight <= 2 * opt,
+            "instance {i}: {} > 2·OPT = {}",
+            s.certificate.cover_weight,
+            2 * opt
+        );
+    }
+
+    // Repeating the identical request is served from the cache, and the
+    // counters move.
+    let before = c.stats().unwrap();
+    assert!(before.cache_misses >= cases.len() as u64);
+    let resp2 = c.solve(&req).unwrap();
+    let got2 = solved(&resp2);
+    for (i, (s2, s1)) in got2.iter().zip(&got).enumerate() {
+        assert!(s2.from_cache, "second request must hit the cache (instance {i})");
+        assert_eq!(s2.cover, s1.cover, "cached cover identical (instance {i})");
+        assert_eq!(s2.certificate.dual_value, s1.certificate.dual_value);
+        assert_eq!(s2.trace, s1.trace);
+    }
+    let after = c.stats().unwrap();
+    assert_eq!(
+        after.cache_hits,
+        before.cache_hits + cases.len() as u64,
+        "cache-hit counter observed"
+    );
+    assert_eq!(after.cache_misses, before.cache_misses, "no new misses");
+
+    // A no-cache request recomputes without touching the counters.
+    let resp3 = c.solve(&req.clone().no_cache()).unwrap();
+    for s in solved(&resp3) {
+        assert!(!s.from_cache);
+    }
+    let after2 = c.stats().unwrap();
+    assert_eq!(after2.cache_hits, after.cache_hits);
+    assert_eq!(after2.cache_misses, after.cache_misses);
+
+    server.shutdown();
+}
+
+#[test]
+fn vc_bcast_and_set_cover_loopback() {
+    let server = start(ServiceConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    // §5 broadcast vertex cover.
+    let g = family::cycle(9);
+    let w = WeightSpec::Uniform(6).draw_many(9, 11);
+    let instances = [VcInstance::new(&g, &w)];
+    let resp = c.solve(&client::vc_request(Problem::VcBcast, &instances)).unwrap();
+    let got = solved(&resp);
+    let direct = run_vc_broadcast_many::<BigRat>(&instances, 1);
+    let run = direct[0].as_ref().unwrap();
+    assert_eq!(got[0].cover, run.cover);
+    assert_eq!(got[0].certificate.dual_value, run.dual_value);
+    assert_eq!(got[0].trace.rounds, run.trace.rounds);
+    assert!(canon::certificate_bound_holds(&got[0].certificate));
+    let opt = min_weight_vertex_cover(&g, &w).weight;
+    assert!(got[0].certificate.cover_weight <= 2 * opt);
+
+    // §4 set cover: the response cover matches the direct run and the
+    // f-approximation certificate verifies.
+    let inst = setcover::random_bounded(14, 10, 2, 3, WeightSpec::Uniform(8), 21);
+    let resp = c.solve(&client::sc_request(&[&inst])).unwrap();
+    let got = solved(&resp);
+    let refs = [ScInstance::new(&inst)];
+    let direct = run_fractional_packing_many_with::<BigRat>(&refs, 1);
+    let run = direct[0].as_ref().unwrap();
+    assert_eq!(got[0].cover, run.cover);
+    assert_eq!(got[0].certificate.dual_value, run.packing.dual_value());
+    assert_eq!(got[0].certificate.factor, inst.f() as u64);
+    assert!(canon::certificate_bound_holds(&got[0].certificate));
+
+    server.shutdown();
+}
+
+#[test]
+fn async_scenarios_match_sync_assignment() {
+    let server = start(ServiceConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    let g = family::random_regular(16, 3, 13);
+    let w = WeightSpec::Uniform(12).draw_many(16, 13);
+    let instances = [VcInstance::new(&g, &w)];
+    let sync = c.solve(&client::vc_request(Problem::VcPn, &instances)).unwrap();
+    let sync = solved(&sync)[0].clone();
+
+    for scenario in [Scenario::Ideal, Scenario::LossyRadio] {
+        let req = client::vc_request(Problem::VcPn, &instances).with_scenario(scenario, 42);
+        let resp = c.solve(&req).unwrap();
+        let s = solved(&resp)[0].clone();
+        // The synchronizer guarantee: same assignment and certificate as the
+        // synchronous engine, under any network.
+        assert_eq!(s.cover, sync.cover, "{scenario:?}");
+        assert_eq!(s.certificate.dual_value, sync.certificate.dual_value, "{scenario:?}");
+        assert!(s.trace.is_async);
+        assert!(s.trace.events > 0);
+        assert!(canon::certificate_bound_holds(&s.certificate));
+        // Same scenario+seed again: cache hit (the async trace is cached too).
+        let again = c.solve(&req).unwrap();
+        assert!(solved(&again)[0].from_cache, "{scenario:?}");
+    }
+
+    // Async broadcast problems are rejected with a structured error.
+    let req = client::vc_request(Problem::VcBcast, &instances).with_scenario(Scenario::Ideal, 1);
+    assert!(matches!(c.solve(&req).unwrap(), SolveResponse::Unsupported(_)));
+
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_returns_backpressure_error() {
+    // workers = 0: nothing drains, so the queue fills deterministically.
+    let server =
+        start(ServiceConfig { workers: 0, queue_cap: 2, retry_after_ms: 7, ..Default::default() });
+
+    let g = family::cycle(4);
+    let w = vec![1u64; 4];
+    let blob = canon::encode_vc(&g, &w, 2, 1);
+    let req = SolveRequest::new(Problem::VcPn, vec![blob]);
+
+    // Fill the queue from connections that never read their responses.
+    let mut parked: Vec<std::net::TcpStream> = Vec::new();
+    for _ in 0..2 {
+        let mut s = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        wire::write_frame(&mut s, &wire::encode_solve_request(&req)).unwrap();
+        parked.push(s);
+    }
+    // Give the connection threads a moment to enqueue.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    loop {
+        let queued = c.stats().unwrap().queue_len;
+        if queued == 2 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "queue never filled (len {queued})");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The next request is rejected immediately — not queued, not hung.
+    let resp = c.solve(&req).unwrap();
+    match resp {
+        SolveResponse::Busy { retry_after_ms, queue_len } => {
+            assert_eq!(retry_after_ms, 7);
+            assert_eq!(queue_len, 2);
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.rejected_busy, 1);
+    assert_eq!(stats.queue_len, 2);
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_per_instance_errors_are_structured() {
+    let server = start(ServiceConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    // A garbage frame gets a Malformed response and the connection survives.
+    let mut s = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    wire::write_frame(&mut s, b"ANSVxxxxxx").unwrap();
+    let reply = wire::read_frame(&mut s).unwrap().unwrap();
+    let mut r = canon::ByteReader::new(&reply);
+    wire::read_header(&mut r).unwrap();
+    assert!(matches!(wire::decode_solve_response(&mut r).unwrap(), SolveResponse::Malformed(_)));
+
+    // A batch mixing a valid and an invalid blob reports per-instance.
+    let g = family::petersen();
+    let w = vec![2u64; 10];
+    let good = canon::encode_vc(&g, &w, 3, 2);
+    let bad = vec![0xFFu8; 3];
+    let resp = c.solve(&SolveRequest::new(Problem::VcPn, vec![good, bad])).unwrap();
+    match resp {
+        SolveResponse::Ok(results) => {
+            assert!(matches!(results[0], InstanceResult::Solved(_)));
+            assert!(matches!(results[1], InstanceResult::Error(_)));
+        }
+        other => panic!("expected Ok, got {other:?}"),
+    }
+    assert_eq!(c.stats().unwrap().exec_errors, 1);
+    assert_eq!(c.stats().unwrap().malformed, 1);
+
+    // A hostile set-cover blob declaring f = 0 (which would panic the §4
+    // config) is rejected per-instance, and the worker survives to serve
+    // the next request.
+    let inst = setcover::random_bounded(6, 4, 2, 3, WeightSpec::Unit, 2);
+    let hostile = canon::encode_sc(&inst, 0, 3, 1);
+    let resp = c.solve(&SolveRequest::new(Problem::SetCover, vec![hostile])).unwrap();
+    match resp {
+        SolveResponse::Ok(results) => assert!(matches!(results[0], InstanceResult::Error(_))),
+        other => panic!("expected Ok with per-instance error, got {other:?}"),
+    }
+    let resp = c.solve(&client::sc_request(&[&inst])).unwrap();
+    assert!(matches!(&solved(&resp)[0], s if !s.cover.is_empty()), "worker still alive");
+
+    server.shutdown();
+}
+
+#[test]
+fn lru_eviction_over_the_wire() {
+    // cache_cap 2: three distinct instances evict the first.
+    let server = start(ServiceConfig { cache_cap: 2, ..Default::default() });
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let blobs: Vec<Vec<u8>> = (0..3u64)
+        .map(|i| {
+            let g = family::cycle(5 + i as usize);
+            let w = vec![1u64; g.n()];
+            canon::encode_vc(&g, &w, 2, 1)
+        })
+        .collect();
+    for blob in &blobs {
+        c.solve(&SolveRequest::new(Problem::VcPn, vec![blob.clone()])).unwrap();
+    }
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.cache_len, 2);
+    assert_eq!(stats.cache_evictions, 1);
+    // Instance 0 was evicted: requesting it again misses and recomputes.
+    let resp = c.solve(&SolveRequest::new(Problem::VcPn, vec![blobs[0].clone()])).unwrap();
+    assert!(!solved(&resp)[0].from_cache);
+    server.shutdown();
+}

@@ -16,7 +16,7 @@
 //! [`run_pn_many`] / [`run_bcast_many`] convenience wrappers.
 
 use crate::delivery::{Broadcast, Delivery, PortNumbering};
-use crate::engine::{run_engine, EngineOptions, RunResult, SimError};
+use crate::engine::{run_engine_scratch, EngineOptions, EngineScratch, RunResult, SimError};
 use crate::graph::Graph;
 use crate::model::{BcastAlgorithm, PnAlgorithm};
 use std::marker::PhantomData;
@@ -84,12 +84,22 @@ impl BatchRunner {
         jobs: &[Job<'_, A, D>],
     ) -> Vec<Result<RunResult<D::Output>, SimError>> {
         let opts = EngineOptions { threads: 1, frontier_skipping: self.frontier_skipping };
-        let run_one = |job: &Job<'_, A, D>| {
-            run_engine::<A, D>(job.graph, job.cfg, job.inputs, job.max_rounds, opts)
+        // One `EngineScratch` per worker: every job after a worker's first
+        // reuses the previous engine's allocations.
+        let run_one = |job: &Job<'_, A, D>, scratch: &mut EngineScratch<A, D>| {
+            run_engine_scratch::<A, D>(
+                job.graph,
+                job.cfg,
+                job.inputs,
+                job.max_rounds,
+                opts,
+                scratch,
+            )
         };
         let workers = self.threads.min(jobs.len().max(1));
         if workers <= 1 {
-            return jobs.iter().map(run_one).collect();
+            let mut scratch = EngineScratch::new();
+            return jobs.iter().map(|job| run_one(job, &mut scratch)).collect();
         }
         let next = AtomicUsize::new(0);
         let mut results: Vec<Option<Result<RunResult<D::Output>, SimError>>> =
@@ -100,13 +110,14 @@ impl BatchRunner {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(move || {
+                        let mut scratch = EngineScratch::new();
                         let mut mine = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= jobs.len() {
                                 break;
                             }
-                            mine.push((i, run_one(&jobs[i])));
+                            mine.push((i, run_one(&jobs[i], &mut scratch)));
                         }
                         mine
                     })

@@ -124,6 +124,48 @@ impl EngineOptions {
     }
 }
 
+/// Reusable allocations for repeated engine constructions.
+///
+/// A short run (a few rounds on a small graph) spends a measurable share of
+/// its time allocating the per-node state, output, message-slot and sweep
+/// vectors. Callers that construct engines in a loop — the batch pool, the
+/// service layer, micro-benchmarks — keep one `EngineScratch` per worker and
+/// go through [`Engine::with_scratch`] / [`Engine::finish_scratch`] (or the
+/// [`run_engine_scratch`] wrapper): every internal vector is recycled across
+/// constructions, so steady-state construction allocates nothing once the
+/// high-water graph size has been seen. Results are bit-identical to the
+/// non-reusing path (the vectors are fully cleared and refilled).
+pub struct EngineScratch<A, D: Delivery<A>> {
+    states: Vec<A>,
+    outputs: Vec<Option<D::Output>>,
+    buf: Vec<D::Msg>,
+    sweep: Vec<u32>,
+    parts: Vec<Range<usize>>,
+    node_spans: Vec<Range<usize>>,
+    buf_spans: Vec<Range<usize>>,
+}
+
+impl<A, D: Delivery<A>> Default for EngineScratch<A, D> {
+    fn default() -> Self {
+        EngineScratch {
+            states: Vec::new(),
+            outputs: Vec::new(),
+            buf: Vec::new(),
+            sweep: Vec::new(),
+            parts: Vec::new(),
+            node_spans: Vec::new(),
+            buf_spans: Vec::new(),
+        }
+    }
+}
+
+impl<A, D: Delivery<A>> EngineScratch<A, D> {
+    /// An empty scratch (allocates nothing until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Splits `0..n` into at most `parts` contiguous non-empty ranges.
 pub(crate) fn partition(n: usize, parts: usize) -> Vec<Range<usize>> {
     let parts = parts.max(1).min(n.max(1));
@@ -241,30 +283,60 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
         inputs: &[D::Input],
         opts: EngineOptions,
     ) -> Result<Self, SimError> {
+        Self::with_scratch(graph, cfg, inputs, opts, &mut EngineScratch::new())
+    }
+
+    /// Initialises every node, recycling the allocations held by `scratch`
+    /// (which is left empty; [`Engine::finish_scratch`] refills it). See
+    /// [`EngineScratch`] for when this pays off.
+    pub fn with_scratch(
+        graph: &'a Graph,
+        cfg: &'a D::Config,
+        inputs: &[D::Input],
+        opts: EngineOptions,
+        scratch: &mut EngineScratch<A, D>,
+    ) -> Result<Self, SimError> {
         if inputs.len() != graph.n() {
             return Err(SimError::InputLength { got: inputs.len(), want: graph.n() });
         }
         // The sweep list stores node ids as u32 (matching the graph's CSR
         // arc words); fail loudly rather than truncate on absurd n.
         assert!(graph.n() <= u32::MAX as usize, "engine supports at most 2^32 - 1 nodes");
-        let states = (0..graph.n()).map(|v| D::init(cfg, graph.degree(v), &inputs[v])).collect();
+        let mut states = std::mem::take(&mut scratch.states);
+        states.clear();
+        states.extend((0..graph.n()).map(|v| D::init(cfg, graph.degree(v), &inputs[v])));
+        let mut outputs = std::mem::take(&mut scratch.outputs);
+        outputs.clear();
+        outputs.resize_with(graph.n(), || None);
         let buf_len = D::slot_span(graph, 0..graph.n()).len();
+        let mut buf = std::mem::take(&mut scratch.buf);
+        buf.clear();
+        buf.resize_with(buf_len, D::Msg::default);
+        let mut sweep = std::mem::take(&mut scratch.sweep);
+        sweep.clear();
+        sweep.extend(0..graph.n() as u32);
+        let mut parts = std::mem::take(&mut scratch.parts);
+        parts.clear();
+        let mut node_spans = std::mem::take(&mut scratch.node_spans);
+        node_spans.clear();
+        let mut buf_spans = std::mem::take(&mut scratch.buf_spans);
+        buf_spans.clear();
         Ok(Engine {
             graph,
             cfg,
             states,
-            outputs: vec![None; graph.n()],
-            buf: (0..buf_len).map(|_| D::Msg::default()).collect(),
-            sweep: (0..graph.n() as u32).collect(),
+            outputs,
+            buf,
+            sweep,
             halted: 0,
             trace: Trace::default(),
             opts: EngineOptions { threads: opts.threads.max(1), ..opts },
             skipped_bits: 0,
             skipped_max_bits: 0,
             default_bits: D::Msg::default().approx_bits(),
-            parts: Vec::new(),
-            node_spans: Vec::new(),
-            buf_spans: Vec::new(),
+            parts,
+            node_spans,
+            buf_spans,
             spans_dirty: true,
             _model: PhantomData,
         })
@@ -524,6 +596,34 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
             Err(self)
         }
     }
+
+    /// Consumes the engine, recycling **every** internal allocation into
+    /// `scratch` and returning the outputs if all nodes have halted (`None`
+    /// otherwise — allocations are recycled either way).
+    pub fn finish_scratch(
+        mut self,
+        scratch: &mut EngineScratch<A, D>,
+    ) -> Option<RunResult<D::Output>> {
+        let result = (self.halted == self.graph.n()).then(|| RunResult {
+            outputs: self.outputs.drain(..).map(|o| o.expect("halted")).collect(),
+            trace: self.trace.clone(),
+        });
+        // Drop per-run values now (a worker may idle between runs; keeping
+        // heap-carrying states/messages alive until the next construction
+        // would be a silent memory-retention window) — the allocations
+        // themselves survive.
+        self.states.clear();
+        self.outputs.clear();
+        self.buf.clear();
+        scratch.states = self.states;
+        scratch.outputs = self.outputs;
+        scratch.buf = self.buf;
+        scratch.sweep = self.sweep;
+        scratch.parts = self.parts;
+        scratch.node_spans = self.node_spans;
+        scratch.buf_spans = self.buf_spans;
+        result
+    }
 }
 
 /// An in-flight port-numbering-model execution: the generic [`Engine`]
@@ -544,13 +644,30 @@ pub fn run_engine<A: Send + Sync, D: Delivery<A>>(
     max_rounds: u64,
     opts: EngineOptions,
 ) -> Result<RunResult<D::Output>, SimError> {
-    let mut engine = Engine::<A, D>::with_options(graph, cfg, inputs, opts)?;
+    run_engine_scratch::<A, D>(graph, cfg, inputs, max_rounds, opts, &mut EngineScratch::new())
+}
+
+/// [`run_engine`] with allocation reuse: the engine's internal vectors are
+/// taken from and returned to `scratch`, so repeated short runs through the
+/// same scratch allocate nothing once warm. Results are bit-identical to
+/// [`run_engine`].
+pub fn run_engine_scratch<A: Send + Sync, D: Delivery<A>>(
+    graph: &Graph,
+    cfg: &D::Config,
+    inputs: &[D::Input],
+    max_rounds: u64,
+    opts: EngineOptions,
+    scratch: &mut EngineScratch<A, D>,
+) -> Result<RunResult<D::Output>, SimError> {
+    let mut engine = Engine::<A, D>::with_scratch(graph, cfg, inputs, opts, scratch)?;
     for _ in 0..max_rounds {
         if engine.step() {
-            return Ok(engine.finish().ok().expect("all halted"));
+            return Ok(engine.finish_scratch(scratch).expect("all halted"));
         }
     }
-    Err(SimError::RoundLimit { limit: max_rounds, halted: engine.halted(), n: graph.n() })
+    let halted = engine.halted();
+    engine.finish_scratch(scratch);
+    Err(SimError::RoundLimit { limit: max_rounds, halted, n: graph.n() })
 }
 
 /// Runs a port-numbering algorithm to completion.
@@ -830,6 +947,50 @@ mod tests {
         let views: Vec<Vec<u32>> = chunks.into_iter().map(|c| c.to_vec()).collect();
         assert_eq!(views, vec![vec![1, 2], vec![5], vec![8, 9]]);
         assert!(split_spans(&mut data, &[]).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // Run a sequence of different-sized instances through one scratch;
+        // every result (outputs + trace) matches the fresh-allocation path,
+        // including after a larger instance leaves oversized buffers behind
+        // and on the error path.
+        let mut scratch = EngineScratch::new();
+        for n in [64usize, 17, 128, 5, 64] {
+            let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+            let g = Graph::from_edges(n, &edges).unwrap();
+            let inputs: Vec<u64> = (0..n as u64).map(|v| v % 7 + 1).collect();
+            let fresh = run_engine::<Staggered, PortNumbering>(
+                &g,
+                &(),
+                &inputs,
+                20,
+                EngineOptions::default(),
+            )
+            .unwrap();
+            let reused = run_engine_scratch::<Staggered, PortNumbering>(
+                &g,
+                &(),
+                &inputs,
+                20,
+                EngineOptions::default(),
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(reused.outputs, fresh.outputs, "n={n}");
+            assert_eq!(reused.trace, fresh.trace, "n={n}");
+            // Error path recycles too and reports identically.
+            let err = run_engine_scratch::<Staggered, PortNumbering>(
+                &g,
+                &(),
+                &inputs,
+                3,
+                EngineOptions::default(),
+                &mut scratch,
+            )
+            .unwrap_err();
+            assert!(matches!(err, SimError::RoundLimit { limit: 3, .. }), "n={n}");
+        }
     }
 
     #[test]

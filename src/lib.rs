@@ -6,4 +6,5 @@ pub use anonet_exact as exact;
 pub use anonet_gen as gen;
 pub use anonet_runtime as runtime;
 pub use anonet_selfstab as selfstab;
+pub use anonet_service as service;
 pub use anonet_sim as sim;
