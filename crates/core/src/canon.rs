@@ -181,6 +181,14 @@ pub const MAX_DECLARED_DELTA: usize = 4096;
 /// memory/CPU blowup; 64 is far above the paper's regime.
 pub const MAX_DECLARED_FK: usize = 64;
 
+/// Largest declared weight bound W a decoded blob may carry. Certification
+/// sums cover weights in `u64`, and release builds do not trap overflow: an
+/// untrusted blob with weights near `u64::MAX` could wrap `w(C)` and forge a
+/// "verifying" certificate. With W ≤ 2³² and node counts bounded by the blob
+/// size (≥ 12 bytes per node, frames ≤ 2²⁸ bytes), every weight sum stays
+/// below 2⁵⁷. 2³² is far above every experiment in this repository.
+pub const MAX_DECLARED_W: u64 = 1 << 32;
+
 /// A decoded vertex-cover instance, owning its graph and weights — what the
 /// service layer reconstructs from a canonical blob. `delta`/`max_weight`
 /// are the global bounds (Δ, W) the anonymous nodes are told.
@@ -279,6 +287,11 @@ pub fn decode_vc(blob: &[u8]) -> Result<OwnedVcInstance, CanonError> {
             "declared Δ = {delta} exceeds the sanity cap {MAX_DECLARED_DELTA}"
         )));
     }
+    if max_weight > MAX_DECLARED_W {
+        return Err(CanonError::Invalid(format!(
+            "declared W = {max_weight} exceeds the sanity cap {MAX_DECLARED_W}"
+        )));
+    }
     if max_weight == 0 || weights.iter().any(|&w| w == 0 || w > max_weight) {
         return Err(CanonError::Invalid(format!("weights must lie in 1..=W = {max_weight}")));
     }
@@ -372,7 +385,12 @@ pub fn decode_sc(blob: &[u8]) -> Result<OwnedScInstance, CanonError> {
             inst.k()
         )));
     }
-    if max_weight == 0 || inst.weights.iter().any(|&w| w > max_weight) {
+    if max_weight > MAX_DECLARED_W {
+        return Err(CanonError::Invalid(format!(
+            "declared W = {max_weight} exceeds the sanity cap {MAX_DECLARED_W}"
+        )));
+    }
+    if max_weight == 0 || inst.weights.iter().any(|&w| w == 0 || w > max_weight) {
         return Err(CanonError::Invalid(format!("weights must lie in 1..=W = {max_weight}")));
     }
     Ok(OwnedScInstance { inst, f, k, max_weight })
@@ -521,6 +539,13 @@ mod tests {
         // solver in an O(Δ)-round schedule).
         let absurd = encode_vc(&g, &w, MAX_DECLARED_DELTA + 1, 2);
         assert!(matches!(decode_vc(&absurd).unwrap_err(), CanonError::Invalid(_)));
+        // Declared W beyond the sanity cap is rejected: weights near
+        // u64::MAX could wrap the u64 cover-weight sums certification
+        // relies on and forge a "verifying" certificate in release builds.
+        let heavy_w = encode_vc(&g, &w, 3, MAX_DECLARED_W + 1);
+        assert!(matches!(decode_vc(&heavy_w).unwrap_err(), CanonError::Invalid(_)));
+        let wrapping = encode_vc(&g, &[1 << 63; 4], 3, u64::MAX);
+        assert!(matches!(decode_vc(&wrapping).unwrap_err(), CanonError::Invalid(_)));
     }
 
     #[test]
@@ -540,6 +565,16 @@ mod tests {
             let blob = encode_sc(&inst, f, k, 1);
             assert!(matches!(decode_sc(&blob).unwrap_err(), CanonError::Invalid(_)), "f={f} k={k}");
         }
+        // A zero subset weight would panic `ScNode::init` downstream; the
+        // decode must reject it like `decode_vc` does (weights lie in 1..=W).
+        let mut zeroed = encode_sc(&inst, inst.f(), inst.k(), 1);
+        let w0 = zeroed.len() - 16 - 8 * inst.n_subsets;
+        zeroed[w0..w0 + 8].fill(0);
+        assert!(matches!(decode_sc(&zeroed).unwrap_err(), CanonError::Invalid(_)));
+        // Declared W beyond the sanity cap is rejected (overflow hardening,
+        // as in `decode_vc`).
+        let heavy_w = encode_sc(&inst, inst.f(), inst.k(), MAX_DECLARED_W + 1);
+        assert!(matches!(decode_sc(&heavy_w).unwrap_err(), CanonError::Invalid(_)));
     }
 
     #[test]

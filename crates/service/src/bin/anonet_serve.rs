@@ -2,7 +2,8 @@
 //!
 //! ```sh
 //! anonet-serve --addr 127.0.0.1:7411 --workers 4 --queue-cap 64 \
-//!              --cache-cap 1024 --threads-per-job 1
+//!              --cache-cap 1024 --cache-bytes 67108864 --threads-per-job 1 \
+//!              --max-conns 256 --idle-timeout-ms 60000
 //! ```
 
 use anonet_service::{Server, ServiceConfig};
@@ -10,7 +11,8 @@ use anonet_service::{Server, ServiceConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: anonet-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
-         \x20                 [--cache-cap N] [--threads-per-job N]"
+         \x20                 [--cache-cap N] [--cache-bytes N] [--threads-per-job N]\n\
+         \x20                 [--max-conns N] [--idle-timeout-ms N]"
     );
     std::process::exit(2)
 }
@@ -26,7 +28,10 @@ fn main() {
             "--workers" => cfg.workers = val().parse().unwrap_or_else(|_| usage()),
             "--queue-cap" => cfg.queue_cap = val().parse().unwrap_or_else(|_| usage()),
             "--cache-cap" => cfg.cache_cap = val().parse().unwrap_or_else(|_| usage()),
+            "--cache-bytes" => cfg.cache_bytes = val().parse().unwrap_or_else(|_| usage()),
             "--threads-per-job" => cfg.threads_per_job = val().parse().unwrap_or_else(|_| usage()),
+            "--max-conns" => cfg.max_conns = val().parse().unwrap_or_else(|_| usage()),
+            "--idle-timeout-ms" => cfg.idle_timeout_ms = val().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }

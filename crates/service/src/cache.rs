@@ -25,6 +25,14 @@ struct Slot {
 /// A fixed-capacity least-recently-used cache with counters.
 pub struct LruCache {
     cap: usize,
+    /// Resident-byte budget over keys + values. Entry counts alone do not
+    /// bound memory — a key embeds a whole canonical instance blob, so a
+    /// stream of large-but-valid instances could otherwise pin `cap` ×
+    /// hundreds of MB long after the requests finish.
+    byte_budget: usize,
+    /// Resident bytes currently held (see [`Self::entry_bytes`]: keys count
+    /// twice because the slot and the map each hold a copy).
+    bytes: usize,
     map: HashMap<Vec<u8>, usize>,
     slots: Vec<Slot>,
     free: Vec<usize>,
@@ -38,11 +46,22 @@ pub struct LruCache {
 }
 
 impl LruCache {
-    /// A cache holding at most `cap` entries (`cap == 0` disables caching:
-    /// every lookup misses and inserts are dropped).
+    /// A cache holding at most `cap` entries with an unlimited byte budget
+    /// (`cap == 0` disables caching: every lookup misses and inserts are
+    /// dropped).
     pub fn new(cap: usize) -> LruCache {
+        LruCache::with_byte_budget(cap, usize::MAX)
+    }
+
+    /// A cache holding at most `cap` entries and at most `byte_budget`
+    /// resident bytes (each key counted twice — slot + map copy — plus the
+    /// value), whichever bound bites first. An entry larger than the whole
+    /// budget is not cached at all.
+    pub fn with_byte_budget(cap: usize, byte_budget: usize) -> LruCache {
         LruCache {
             cap,
+            byte_budget,
+            bytes: 0,
             map: HashMap::new(),
             slots: Vec::new(),
             free: Vec::new(),
@@ -112,27 +131,54 @@ impl LruCache {
         }
     }
 
-    /// Inserts (or replaces) `key`, evicting the least-recently-used entry
-    /// when at capacity.
+    /// Bytes an entry pins: the key is held twice (the slot's copy plus the
+    /// `HashMap`'s own key), the value once.
+    fn entry_bytes(key: &[u8], value: &[u8]) -> usize {
+        2 * key.len() + value.len()
+    }
+
+    /// Drops the least-recently-used entry, releasing its bytes.
+    fn evict_tail(&mut self) {
+        let lru = self.tail;
+        debug_assert_ne!(lru, NIL);
+        self.unlink(lru);
+        let old_key = std::mem::take(&mut self.slots[lru].key);
+        let old_val = std::mem::take(&mut self.slots[lru].value);
+        self.bytes -= Self::entry_bytes(&old_key, &old_val);
+        self.map.remove(&old_key);
+        self.free.push(lru);
+        self.evictions += 1;
+    }
+
+    /// Inserts (or replaces) `key`, evicting least-recently-used entries
+    /// while over the entry capacity or the byte budget.
     pub fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) {
         if self.cap == 0 {
             return;
         }
+        let entry = Self::entry_bytes(&key, &value);
+        if entry > self.byte_budget {
+            return; // evicting everything still would not make it fit
+        }
         if let Some(&i) = self.map.get(&key) {
+            self.bytes = self.bytes - self.slots[i].value.len() + value.len();
             self.slots[i].value = value;
             self.unlink(i);
             self.push_front(i);
+            // A grown replacement can push past the budget; the refreshed
+            // entry sits at the head and alone fits, so this terminates.
+            while self.bytes > self.byte_budget {
+                self.evict_tail();
+            }
             return;
         }
-        if self.map.len() >= self.cap {
-            let lru = self.tail;
-            debug_assert_ne!(lru, NIL);
-            self.unlink(lru);
-            let old = std::mem::take(&mut self.slots[lru].key);
-            self.map.remove(&old);
-            self.free.push(lru);
-            self.evictions += 1;
+        while self.map.len() >= self.cap || self.bytes + entry > self.byte_budget {
+            if self.tail == NIL {
+                break;
+            }
+            self.evict_tail();
         }
+        self.bytes += entry;
         let i = match self.free.pop() {
             Some(i) => {
                 self.slots[i] = Slot { key: key.clone(), value, prev: NIL, next: NIL };
@@ -215,6 +261,27 @@ mod tests {
         c.insert(k(1), vec![1]);
         assert_eq!(c.get(&k(1)), None);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn byte_budget_bounds_resident_bytes() {
+        // Three 60-byte entries (the key is held twice: 2·20 + 20) fit a
+        // 150-byte budget only two at a time.
+        let mut c = LruCache::with_byte_budget(16, 150);
+        c.insert(vec![1; 20], vec![1; 20]);
+        c.insert(vec![2; 20], vec![2; 20]);
+        c.insert(vec![3; 20], vec![3; 20]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.counters().2, 1);
+        assert_eq!(c.get(&[1u8; 20][..]), None, "oldest evicted by the byte budget");
+        assert!(c.get(&[3u8; 20][..]).is_some());
+        // An entry larger than the whole budget is not cached at all.
+        c.insert(vec![4; 60], vec![4; 60]);
+        assert_eq!(c.len(), 2);
+        // A replacement that grows an entry evicts others to stay in budget.
+        c.insert(vec![3; 20], vec![3; 70]);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&[3u8; 20][..]).is_some());
     }
 
     #[test]

@@ -292,7 +292,16 @@ pub fn drive(problem: Problem, blobs: &[Vec<u8>], cfg: &DriveConfig) -> io::Resu
                             }
                             SolveResponse::Busy { retry_after_ms, .. } => {
                                 local.busy += 1;
-                                std::thread::sleep(Duration::from_millis(retry_after_ms as u64));
+                                // Closed loop: honour the backoff hint. Open
+                                // loop: the schedule paces requests, and a
+                                // sleep here would shift every later
+                                // scheduled instant — re-introducing the
+                                // coordinated omission the open loop avoids.
+                                if matches!(cfg.mode, LoopMode::Closed) {
+                                    std::thread::sleep(Duration::from_millis(
+                                        retry_after_ms as u64,
+                                    ));
+                                }
                             }
                             SolveResponse::Malformed(_) | SolveResponse::Unsupported(_) => {
                                 local.errors += 1;

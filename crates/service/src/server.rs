@@ -41,8 +41,9 @@ use anonet_sim::Trace;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// Service configuration.
@@ -55,10 +56,21 @@ pub struct ServiceConfig {
     pub queue_cap: usize,
     /// Result-cache capacity in entries (`0` disables caching).
     pub cache_cap: usize,
+    /// Result-cache byte budget over keys + bodies (keys embed whole
+    /// canonical blobs, so entry counts alone do not bound memory).
+    pub cache_bytes: usize,
     /// Batch-runner pool width each worker uses for one request's instances.
     pub threads_per_job: usize,
     /// Backoff hint carried in `Busy` responses, in milliseconds.
     pub retry_after_ms: u32,
+    /// Maximum live connections (one thread each); connections accepted
+    /// beyond the cap are closed immediately, shedding load at the door
+    /// instead of pinning an unbounded number of threads.
+    pub max_conns: usize,
+    /// Idle timeout per connection, in milliseconds (`0` disables it).
+    /// Without one, `max_conns` stalled peers that never send a byte would
+    /// pin every slot forever and lock all new clients out.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -67,8 +79,11 @@ impl Default for ServiceConfig {
             workers: 2,
             queue_cap: 64,
             cache_cap: 1024,
+            cache_bytes: 64 << 20,
             threads_per_job: 1,
             retry_after_ms: 50,
+            max_conns: 256,
+            idle_timeout_ms: 60_000,
         }
     }
 }
@@ -84,6 +99,7 @@ struct Counters {
     rejected_busy: AtomicU64,
     malformed: AtomicU64,
     exec_errors: AtomicU64,
+    shed_conns: AtomicU64,
 }
 
 struct Shared {
@@ -92,10 +108,30 @@ struct Shared {
     cv: Condvar,
     cache: Mutex<LruCache>,
     counters: Counters,
+    conns: AtomicUsize,
     stop: AtomicBool,
 }
 
 impl Shared {
+    /// Locks the result cache, recovering from poisoning: a job that
+    /// panicked mid-mutation may have left the slab inconsistent, so the
+    /// contents (counters included) are dropped and serving continues with
+    /// a cold cache — one bad job must not wedge every later request on a
+    /// poisoned `Mutex`.
+    fn lock_cache(&self) -> MutexGuard<'_, LruCache> {
+        match self.cache.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                let mut g = poisoned.into_inner();
+                *g = LruCache::with_byte_budget(self.cfg.cache_cap, self.cfg.cache_bytes);
+                // Clear the flag, or every later lock would land here and
+                // wipe the fresh cache again — caching permanently off.
+                self.cache.clear_poison();
+                g
+            }
+        }
+    }
+
     /// Enqueues a request or returns the encoded `Busy` payload.
     fn submit(&self, req: SolveRequest) -> Result<mpsc::Receiver<Vec<u8>>, Vec<u8>> {
         let mut q = self.queue.lock().expect("queue poisoned");
@@ -115,7 +151,7 @@ impl Shared {
 
     fn snapshot(&self) -> StatsSnapshot {
         let (cache_hits, cache_misses, cache_evictions, cache_len) = {
-            let cache = self.cache.lock().expect("cache poisoned");
+            let cache = self.lock_cache();
             let (h, m, e) = cache.counters();
             (h, m, e, cache.len() as u64)
         };
@@ -130,6 +166,7 @@ impl Shared {
             cache_len,
             queue_len: self.queue.lock().expect("queue poisoned").len() as u64,
             workers: self.cfg.workers as u64,
+            shed_conns: self.counters.shed_conns.load(Ordering::Relaxed),
         }
     }
 }
@@ -175,6 +212,9 @@ type InstanceOutcome = Result<(bool, Vec<u8>), String>;
 
 /// Executes one request end to end, returning the response payload.
 fn execute(shared: &Shared, req: &SolveRequest) -> Vec<u8> {
+    if cfg!(debug_assertions) && req.flags & wire::FLAG_TEST_PANIC != 0 {
+        panic!("FLAG_TEST_PANIC set: deliberate worker panic (test instrumentation)");
+    }
     // Async execution is wired up for the §3 PN algorithm (whose certified
     // ≤2·OPT guarantee survives every scenario); the broadcast-model
     // problems stay sync-only for now.
@@ -193,7 +233,7 @@ fn execute(shared: &Shared, req: &SolveRequest) -> Vec<u8> {
     let keys: Vec<Vec<u8>> =
         if use_cache { (0..k).map(|i| req.cache_key(i)).collect() } else { Vec::new() };
     if use_cache {
-        let mut cache = shared.cache.lock().expect("cache poisoned");
+        let mut cache = shared.lock_cache();
         for i in 0..k {
             if let Some(body) = cache.get(&keys[i]) {
                 outcomes[i] = Some(Ok((true, body.to_vec())));
@@ -205,7 +245,7 @@ fn execute(shared: &Shared, req: &SolveRequest) -> Vec<u8> {
     if !missing.is_empty() {
         let computed = compute(shared, req, &missing);
         if use_cache {
-            let mut cache = shared.cache.lock().expect("cache poisoned");
+            let mut cache = shared.lock_cache();
             for (&i, outcome) in missing.iter().zip(computed.iter()) {
                 if let Ok((_, body)) = outcome {
                     cache.insert(keys[i].clone(), body.clone());
@@ -264,9 +304,8 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                         })
                         .collect()
                 }
-                ExecMode::Async(s, seed) => decoded
-                    .iter()
-                    .map(|dec| {
+                ExecMode::Async(s, seed) => {
+                    let run_one = |dec: &Result<canon::OwnedVcInstance, String>| {
                         let d = dec.as_ref().map_err(|e| e.clone())?;
                         let cfg = VcConfig::new(d.delta, d.max_weight);
                         let net = scenario_config(s, seed);
@@ -285,8 +324,38 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                             false,
                             wire::encode_solved_body(&cover, &cert, &async_trace(&res.trace)),
                         ))
-                    })
-                    .collect(),
+                    };
+                    // Each instance is an independent, per-seed-deterministic
+                    // run, so fan the batch across the job's pool width like
+                    // the sync arm (which goes through the batch runner)
+                    // instead of monopolising the worker sequentially.
+                    let workers = threads.min(decoded.len()).max(1);
+                    if workers == 1 {
+                        decoded.iter().map(run_one).collect()
+                    } else {
+                        let slots: Vec<Mutex<Option<InstanceOutcome>>> =
+                            (0..decoded.len()).map(|_| Mutex::new(None)).collect();
+                        let next = AtomicUsize::new(0);
+                        std::thread::scope(|sc| {
+                            for _ in 0..workers {
+                                sc.spawn(|| loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= decoded.len() {
+                                        break;
+                                    }
+                                    let out = run_one(&decoded[i]);
+                                    *slots[i].lock().expect("slot poisoned") = Some(out);
+                                });
+                            }
+                        });
+                        slots
+                            .into_iter()
+                            .map(|m| {
+                                m.into_inner().expect("slot poisoned").expect("every slot filled")
+                            })
+                            .collect()
+                    }
+                }
             }
         }
         Problem::VcBcast => {
@@ -363,14 +432,45 @@ fn worker_loop(shared: Arc<Shared>) {
                 q = shared.cv.wait(q).expect("queue poisoned");
             }
         };
-        let payload = execute(&shared, &job.req);
+        // A panicking job must not take the worker down with it (a handful
+        // of hostile requests would otherwise silently drain the pool until
+        // nothing drains the queue): unwind here, answer with per-instance
+        // errors, and keep the thread.
+        let payload =
+            catch_unwind(AssertUnwindSafe(|| execute(&shared, &job.req))).unwrap_or_else(|_| {
+                let n = job.req.instances.len();
+                shared.counters.exec_errors.fetch_add(n as u64, Ordering::Relaxed);
+                shared.counters.served_ok.fetch_add(1, Ordering::Relaxed);
+                let errs: Vec<InstanceOutcome> =
+                    (0..n).map(|_| Err("internal error: execution panicked".to_string())).collect();
+                wire::encode_solve_response_raw(&errs)
+            });
         // The client may have gone away; that is its problem, not ours.
         let _ = job.reply.send(payload);
     }
 }
 
-fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>) {
+/// Releases a connection slot on drop, so the count stays accurate even if
+/// the handler thread unwinds — a leaked slot would shrink `max_conns`
+/// permanently.
+struct ConnSlot(Arc<Shared>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
+    // A peer that stops sending must eventually release its connection
+    // slot; the timeout makes read_frame error out instead of blocking
+    // forever. It only covers the gap *between* requests — while a job
+    // runs, this thread waits on the reply channel, not the socket.
+    if shared.cfg.idle_timeout_ms > 0 {
+        let _ = stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(shared.cfg.idle_timeout_ms)));
+    }
     loop {
         let payload = match wire::read_frame(&mut stream) {
             Ok(Some(p)) => p,
@@ -430,8 +530,9 @@ impl Server {
             cfg,
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
-            cache: Mutex::new(LruCache::new(cfg.cache_cap)),
+            cache: Mutex::new(LruCache::with_byte_budget(cfg.cache_cap, cfg.cache_bytes)),
             counters: Counters::default(),
+            conns: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
         });
         let workers = (0..cfg.workers)
@@ -448,8 +549,16 @@ impl Server {
                         break;
                     }
                     if let Ok(stream) = conn {
-                        let shared = Arc::clone(&shared);
-                        std::thread::spawn(move || handle_conn(stream, shared));
+                        // Only this thread increments, so load-then-add is
+                        // race-free: handlers can only *lower* the count.
+                        if shared.conns.load(Ordering::Relaxed) >= shared.cfg.max_conns {
+                            // Over the cap: shed the connection (visibly).
+                            shared.counters.shed_conns.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        shared.conns.fetch_add(1, Ordering::Relaxed);
+                        let slot = ConnSlot(Arc::clone(&shared));
+                        std::thread::spawn(move || handle_conn(stream, &slot.0));
                     }
                 }
             })
@@ -496,5 +605,39 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop_impl();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_lock_recovers_from_poisoning() {
+        let shared = Shared {
+            cfg: ServiceConfig::default(),
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            cache: Mutex::new(LruCache::new(4)),
+            counters: Counters::default(),
+            conns: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        };
+        shared.lock_cache().insert(vec![1], vec![2]);
+        // Poison the mutex: panic while holding the guard.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = shared.cache.lock().unwrap();
+            panic!("poison");
+        }));
+        // Recovery drops the possibly-inconsistent contents and keeps
+        // serving instead of wedging every later lock on the poison.
+        let mut cache = shared.lock_cache();
+        assert_eq!(cache.len(), 0);
+        cache.insert(vec![1], vec![2]);
+        assert_eq!(cache.len(), 1);
+        drop(cache);
+        // The poison flag was cleared: a later lock must *not* wipe the
+        // rebuilt cache again (that would disable caching permanently).
+        assert_eq!(shared.lock_cache().len(), 1);
     }
 }

@@ -25,6 +25,8 @@
 //!               (1 ideal, 2 datacenter, 3 wan, 4 lossy_radio, 5 churny_radio)
 //! seed       := scenario seed for asynchronous modes (0 for sync)
 //! flags      := bit 0: bypass the result cache
+//!               | bit 7 (debug builds only): deliberate worker panic
+//!                 (test instrumentation; ignored in release)
 //! instance   := canonical blob from `anonet_core::canon`
 //!               (`encode_vc` for VC problems, `encode_sc` for set cover)
 //!
@@ -44,10 +46,10 @@
 //!                 events, virtual_time, retransmissions, dropped_data
 //!                 (the last four are 0 for sync traces)
 //!
-//! stats resp := header | 10 × u64:
+//! stats resp := header | 11 × u64:
 //!               served_ok, rejected_busy, malformed, exec_errors,
 //!               cache_hits, cache_misses, cache_evictions, cache_len,
-//!               queue_len, workers
+//!               queue_len, workers, shed_conns
 //! ```
 //!
 //! The per-instance `result` bytes after the `from_cache` flag are exactly
@@ -65,6 +67,14 @@ pub const MAGIC: [u8; 4] = *b"ANSV";
 pub const VERSION: u16 = 1;
 /// Maximum accepted frame payload, in bytes (defensive bound).
 pub const MAX_FRAME: usize = 1 << 28;
+
+/// Maximum instances per solve request. Each per-instance response record
+/// costs bytes the request did not pay for (~130 bytes of certificate/trace
+/// framing, or an error message), so an uncapped count lets a ≤ [`MAX_FRAME`]
+/// request of tiny blobs amplify into a response *larger* than [`MAX_FRAME`]
+/// that the server cannot frame. At 4096 instances the fixed per-record
+/// overhead stays far below the frame bound.
+pub const MAX_INSTANCES: usize = 4096;
 
 /// Message type tags.
 pub const MSG_SOLVE_REQUEST: u8 = 1;
@@ -160,6 +170,12 @@ impl Scenario {
 
 /// Request flag: bypass the result cache for this request.
 pub const FLAG_NO_CACHE: u8 = 1;
+
+/// Request flag honoured in **debug builds only**: panic the worker mid-job.
+/// Test instrumentation for the worker pool's panic-isolation path; release
+/// builds ignore it.
+#[doc(hidden)]
+pub const FLAG_TEST_PANIC: u8 = 1 << 7;
 
 /// A decoded solve request.
 #[derive(Clone, Debug)]
@@ -295,6 +311,8 @@ pub struct StatsSnapshot {
     pub queue_len: u64,
     /// Worker threads configured.
     pub workers: u64,
+    /// Connections closed at accept time because `max_conns` was reached.
+    pub shed_conns: u64,
 }
 
 /// Errors raised while decoding a payload.
@@ -341,9 +359,13 @@ impl From<WireError> for io::Error {
     }
 }
 
-/// Writes one frame (length prefix + payload).
+/// Writes one frame (length prefix + payload). An oversized payload is an
+/// error, not a panic — a connection handler must survive building a
+/// response it cannot frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME"));
+    }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -352,11 +374,24 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// Reads one frame. `Ok(None)` means the peer closed the connection cleanly
 /// at a frame boundary.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    // Read the prefix byte-accurately rather than with `read_exact`, whose
+    // `UnexpectedEof` cannot distinguish a clean close (zero prefix bytes)
+    // from a connection torn mid-prefix — only the former is `Ok(None)`.
     let mut len = [0u8; 4];
-    match r.read_exact(&mut len) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    let mut got = 0;
+    while got < len.len() {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection torn mid length prefix",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
     }
     let len = u32::from_le_bytes(len) as usize;
     if len > MAX_FRAME {
@@ -365,8 +400,14 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             format!("frame length {len} exceeds MAX_FRAME"),
         ));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    // Grow the buffer as bytes actually arrive instead of committing the
+    // declared length up front: a peer that announces MAX_FRAME and then
+    // stalls (or trickles) pins only what it has really sent.
+    let mut payload = Vec::new();
+    let got = Read::take(&mut *r, len as u64).read_to_end(&mut payload)?;
+    if got < len {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "frame payload truncated"));
+    }
     Ok(Some(payload))
 }
 
@@ -427,6 +468,11 @@ pub fn decode_solve_request(r: &mut ByteReader<'_>) -> Result<SolveRequest, Wire
     };
     let flags = r.get_u8()?;
     let count = r.get_u32()? as usize;
+    if count > MAX_INSTANCES {
+        return Err(WireError::Invalid(format!(
+            "instance count {count} exceeds MAX_INSTANCES = {MAX_INSTANCES}"
+        )));
+    }
     let mut instances = Vec::new();
     for _ in 0..count {
         instances.push(r.get_blob()?.to_vec());
@@ -478,6 +524,14 @@ pub fn encode_solved_body(
 
 fn decode_solved_body(r: &mut ByteReader<'_>, from_cache: bool) -> Result<Solved, WireError> {
     let n = r.get_u32()? as usize;
+    // `get_bytes` bounds the bitmap against the payload, but the cover Vec
+    // costs one byte per *entry* — 8× the bitmap — so also cap the declared
+    // count before allocating: a hostile peer may not turn a ≤ MAX_FRAME
+    // frame into a multi-GiB client-side allocation. Honest instances carry
+    // far fewer nodes than MAX_FRAME (each costs ≥ 12 request bytes).
+    if n > MAX_FRAME {
+        return Err(WireError::Invalid(format!("cover length {n} exceeds MAX_FRAME")));
+    }
     let bytes = r.get_bytes(n.div_ceil(8))?;
     let cover = (0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect();
     let certificate = anonet_core::canon::decode_certificate(r.get_blob()?)?;
@@ -608,6 +662,7 @@ pub fn encode_stats_response(s: &StatsSnapshot) -> Vec<u8> {
         s.cache_len,
         s.queue_len,
         s.workers,
+        s.shed_conns,
     ] {
         w.put_u64(v);
     }
@@ -616,7 +671,7 @@ pub fn encode_stats_response(s: &StatsSnapshot) -> Vec<u8> {
 
 /// Decodes a stats response body (header already consumed).
 pub fn decode_stats_response(r: &mut ByteReader<'_>) -> Result<StatsSnapshot, WireError> {
-    let mut vals = [0u64; 10];
+    let mut vals = [0u64; 11];
     for v in vals.iter_mut() {
         *v = r.get_u64()?;
     }
@@ -631,6 +686,7 @@ pub fn decode_stats_response(r: &mut ByteReader<'_>) -> Result<StatsSnapshot, Wi
         cache_len: vals[7],
         queue_len: vals[8],
         workers: vals[9],
+        shed_conns: vals[10],
     })
 }
 
@@ -653,6 +709,46 @@ mod tests {
     fn frame_rejects_absurd_length() {
         let buf = (u32::MAX).to_le_bytes().to_vec();
         assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn frame_rejects_truncated_payload() {
+        // The prefix promises more bytes than the peer ever sends.
+        let mut buf = 10u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(b"short");
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn frame_distinguishes_clean_close_from_torn_prefix() {
+        // Zero bytes: clean close at a frame boundary.
+        assert_eq!(read_frame(&mut &[][..]).unwrap(), None);
+        // A partial length prefix is a torn connection, not a clean close.
+        let buf = [7u8, 0];
+        assert_eq!(read_frame(&mut &buf[..]).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn request_rejects_hostile_instance_count() {
+        // Tiny blobs amplify ~5× into per-instance response records; an
+        // uncapped count would let a legal request force an unframeable
+        // (> MAX_FRAME) response.
+        let req = SolveRequest::new(Problem::VcPn, vec![Vec::new(); MAX_INSTANCES + 1]);
+        let payload = encode_solve_request(&req);
+        let mut r = ByteReader::new(&payload);
+        read_header(&mut r).unwrap();
+        assert!(matches!(decode_solve_request(&mut r), Err(WireError::Invalid(_))));
+    }
+
+    #[test]
+    fn solved_body_rejects_hostile_cover_length() {
+        // A peer declaring ~2^31 cover entries (each costing only ⅛ payload
+        // byte) must not force a multi-GiB client-side allocation.
+        let mut w = ByteWriter::new();
+        w.put_u32(MAX_FRAME as u32 + 1);
+        let body = w.into_bytes();
+        let mut r = ByteReader::new(&body);
+        assert!(matches!(decode_solved_body(&mut r, false), Err(WireError::Invalid(_))));
     }
 
     #[test]
@@ -759,6 +855,7 @@ mod tests {
             cache_len: 8,
             queue_len: 9,
             workers: 10,
+            shed_conns: 11,
         };
         let payload = encode_stats_response(&s);
         let mut r = ByteReader::new(&payload);

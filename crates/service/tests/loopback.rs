@@ -185,6 +185,30 @@ fn async_scenarios_match_sync_assignment() {
 }
 
 #[test]
+fn async_batches_fan_out_across_the_job_pool() {
+    // threads_per_job = 2: the async arm fans instances across a scoped
+    // pool; outputs must stay bit-identical to the sync assignment and in
+    // request order.
+    let server = start(ServiceConfig { threads_per_job: 2, ..Default::default() });
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let g1 = family::random_regular(12, 3, 5);
+    let w1 = WeightSpec::Uniform(9).draw_many(12, 5);
+    let g2 = family::cycle(7);
+    let w2 = vec![3u64; 7];
+    let instances = [VcInstance::new(&g1, &w1), VcInstance::new(&g2, &w2)];
+    let sync = c.solve(&client::vc_request(Problem::VcPn, &instances)).unwrap();
+    let sync: Vec<Solved> = solved(&sync).into_iter().cloned().collect();
+    let req = client::vc_request(Problem::VcPn, &instances).with_scenario(Scenario::Ideal, 9);
+    let resp = c.solve(&req).unwrap();
+    for (i, (s, sy)) in solved(&resp).iter().zip(&sync).enumerate() {
+        assert_eq!(s.cover, sy.cover, "instance {i}");
+        assert_eq!(s.certificate.dual_value, sy.certificate.dual_value, "instance {i}");
+        assert!(s.trace.is_async, "instance {i}");
+    }
+    server.shutdown();
+}
+
+#[test]
 fn full_queue_returns_backpressure_error() {
     // workers = 0: nothing drains, so the queue fills deterministically.
     let server =
@@ -272,6 +296,84 @@ fn malformed_and_per_instance_errors_are_structured() {
     let resp = c.solve(&client::sc_request(&[&inst])).unwrap();
     assert!(matches!(&solved(&resp)[0], s if !s.cover.is_empty()), "worker still alive");
 
+    server.shutdown();
+}
+
+// The injection flag is honoured in debug builds only, so this test is
+// meaningless (and would fail) under `cargo test --release`.
+#[cfg(debug_assertions)]
+#[test]
+fn worker_pool_survives_panicking_jobs() {
+    // A single worker: if the panic killed it, nothing would drain the queue
+    // and the follow-up request would hang instead of being answered.
+    let server = start(ServiceConfig { workers: 1, ..Default::default() });
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let g = family::cycle(4);
+    let w = vec![1u64; 4];
+    let blob = canon::encode_vc(&g, &w, 2, 1);
+    let mut req = SolveRequest::new(Problem::VcPn, vec![blob.clone(), blob.clone()]);
+    req.flags |= wire::FLAG_TEST_PANIC; // deliberate mid-execute panic
+    match c.solve(&req).unwrap() {
+        SolveResponse::Ok(results) => {
+            assert_eq!(results.len(), 2);
+            for r in &results {
+                assert!(matches!(r, InstanceResult::Error(e) if e.contains("panicked")), "{r:?}");
+            }
+        }
+        other => panic!("expected Ok with per-instance errors, got {other:?}"),
+    }
+    assert_eq!(c.stats().unwrap().exec_errors, 2);
+    // The sole worker is still alive and still solves.
+    let resp = c.solve(&SolveRequest::new(Problem::VcPn, vec![blob])).unwrap();
+    assert!(!solved(&resp)[0].cover.is_empty(), "worker survived the panic");
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_sheds_excess_connections() {
+    let server = start(ServiceConfig { max_conns: 1, ..Default::default() });
+    // The first connection occupies the only slot…
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.stats().unwrap(); // round-trip: the server has registered it
+                        // …so the next one is accepted and immediately closed: EOF (or a reset,
+                        // if the write races the close) instead of a reply.
+    let mut s = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let _ = wire::write_frame(&mut s, &wire::encode_stats_request());
+    assert!(matches!(wire::read_frame(&mut s), Ok(None) | Err(_)));
+    // Dropping the first connection frees the slot for a newcomer — and the
+    // shed connections are visible in the stats.
+    drop(c);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut c2 = Client::connect(server.local_addr()).unwrap();
+        if let Ok(stats) = c2.stats() {
+            assert!(stats.shed_conns >= 1, "shedding must be observable");
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "slot never freed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_time_out_and_free_their_slot() {
+    // max_conns = 1 plus a short idle timeout: a peer that never sends a
+    // byte must not pin the only slot forever.
+    let server = start(ServiceConfig { max_conns: 1, idle_timeout_ms: 50, ..Default::default() });
+    let mut idle = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        if c.stats().is_ok() {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "idle slot never freed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The idle socket observes the server-side close.
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    assert!(matches!(wire::read_frame(&mut idle), Ok(None) | Err(_)));
     server.shutdown();
 }
 
