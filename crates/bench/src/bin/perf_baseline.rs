@@ -6,6 +6,12 @@
 //! Regenerate with:
 //! `cargo run --release -p anonet-bench --bin perf_baseline [-- out.json]`
 //!
+//! `--assert-parallel` additionally fails the run (exit 1) unless the
+//! multithreaded steady-state workloads are at least 0.9× as fast as their
+//! single-threaded twins — the CI guard that the persistent round pool
+//! never regresses back to "more threads = slower" (the generous margin
+//! absorbs box noise; on a 1-core runner the two are simply equal).
+//!
 //! The workload ([`HaltingGossip`]) is shared with the criterion `engine`
 //! bench, so the committed baseline and the bench numbers measure the same
 //! thing. Numbers are machine-dependent; the committed file records the
@@ -51,7 +57,21 @@ fn time_reps(reps: u32, mut f: impl FnMut() -> u64) -> Sample {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut out_path = "BENCH_engine.json".to_string();
+    let mut assert_parallel = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--assert-parallel" => assert_parallel = true,
+            // A typoed flag must not be silently absorbed as the output
+            // path — that would skip the CI regression guard while green.
+            other if other.starts_with('-') => {
+                eprintln!("perf_baseline: unknown flag {other}");
+                eprintln!("usage: perf_baseline [out.json] [--assert-parallel]");
+                std::process::exit(2);
+            }
+            other => out_path = other.to_string(),
+        }
+    }
     let mut samples: Vec<Sample> = Vec::new();
 
     // Steady-state round throughput, 10k nodes, degree 8 (fixed seed 7).
@@ -71,6 +91,25 @@ fn main() {
         });
         assert!(engine.round() < 0xFF, "steady-state window exceeded the halt round");
         s.name = if threads == 1 { "pn_steady_n10k_d8_t1" } else { "pn_steady_n10k_d8_t4" };
+        samples.push(s);
+    }
+
+    // Skewed-degree steady state: a 10k-node star. One hub owns half the
+    // arcs, so the historical node-count partition handed one part nearly
+    // all the work; the arc-weight partition isolates the hub instead.
+    let gstar = family::star(9_999);
+    let star_inputs = halting_inputs(10_000, |_| 0xFF);
+    for threads in [1usize, 4] {
+        let mut engine = PnEngine::<HaltingGossip>::new(&gstar, &(), &star_inputs, threads)
+            .expect("inputs match");
+        let mut s = time_reps(5, || {
+            for _ in 0..20 {
+                engine.step();
+            }
+            20
+        });
+        assert!(engine.round() < 0xFF, "steady-state window exceeded the halt round");
+        s.name = if threads == 1 { "pn_steady_star_n10k_t1" } else { "pn_steady_star_n10k_t4" };
         samples.push(s);
     }
 
@@ -203,16 +242,32 @@ fn main() {
             svc_samples.push(SvcSample {
                 name,
                 requests: report.ok,
-                req_per_sec: report.throughput(),
+                req_per_sec: report.goodput(),
                 cache_hit_rate: report.cache_hit_rate(),
             });
         }
         server.shutdown();
     }
 
+    // Parallel speedup ratios (t1 ns / t4 ns; > 1 means threads help). The
+    // CI guard (`--assert-parallel`) keys off these.
+    let ns_of = |name: &str| {
+        samples.iter().find(|s| s.name == name).unwrap_or_else(|| panic!("{name}")).ns_per_round
+    };
+    let speedups = [
+        (
+            "pn_steady_n10k_d8_t4_vs_t1",
+            ns_of("pn_steady_n10k_d8_t1") / ns_of("pn_steady_n10k_d8_t4"),
+        ),
+        (
+            "pn_steady_star_n10k_t4_vs_t1",
+            ns_of("pn_steady_star_n10k_t1") / ns_of("pn_steady_star_n10k_t4"),
+        ),
+    ];
+
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json =
-        String::from("{\n  \"schema\": \"anonet-bench-engine/3\",\n  \"workloads\": [\n");
+        String::from("{\n  \"schema\": \"anonet-bench-engine/4\",\n  \"workloads\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"rounds\": {}, \"ns_per_round\": {:.1}, \"rounds_per_sec\": {:.1}}}{}\n",
@@ -247,9 +302,33 @@ fn main() {
             if i + 1 < svc_samples.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n  \"speedups\": [\n");
+    for (i, (name, x)) in speedups.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"speedup_x\": {:.3}}}{}\n",
+            name,
+            x,
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
 
     println!("wrote {out_path}:");
     print!("{json}");
+
+    if assert_parallel {
+        let mut ok = true;
+        for (name, x) in speedups {
+            if x < 0.9 {
+                eprintln!("ASSERT-PARALLEL FAILED: {name} = {x:.3} < 0.9 (threads made it slower)");
+                ok = false;
+            } else {
+                println!("assert-parallel: {name} = {x:.3} >= 0.9");
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+    }
 }

@@ -122,7 +122,10 @@ proptest! {
         let limit = spread + 2;
         let res = run_async_pn::<StaggerHash>(&g, &spread, &inputs, limit, &NetworkConfig::ideal())
             .unwrap();
-        for threads in [1usize, 2, 4] {
+        // `8` deliberately overshoots small CI boxes: the engine keeps the
+        // partition granularity and caps its pooled worker width, and the
+        // oracle must stay bit-identical either way.
+        for threads in [1usize, 2, 4, 8] {
             for frontier_skipping in [false, true] {
                 let opts = EngineOptions { threads, frontier_skipping };
                 let sync = run_engine::<StaggerHash, PortNumbering>(&g, &spread, &inputs, limit, opts)
@@ -145,7 +148,7 @@ proptest! {
         let limit = spread + 2;
         let res = run_async_bcast::<StaggerCensus>(&g, &spread, &inputs, limit, &NetworkConfig::ideal())
             .unwrap();
-        for threads in [1usize, 4] {
+        for threads in [1usize, 4, 8] {
             let opts = EngineOptions { threads, frontier_skipping: true };
             let sync = run_engine::<StaggerCensus, Broadcast>(&g, &spread, &inputs, limit, opts)
                 .unwrap();

@@ -5,13 +5,18 @@
 //!              --cache-cap 1024 --cache-bytes 67108864 --threads-per-job 1 \
 //!              --max-conns 256 --idle-timeout-ms 60000
 //! ```
+//!
+//! `--threads-per-job 0` means **auto**: each worker fans a request's
+//! instances across the machine's available parallelism (the per-worker
+//! round pools persist across requests; counts beyond the hardware are
+//! capped).
 
 use anonet_service::{Server, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: anonet-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
-         \x20                 [--cache-cap N] [--cache-bytes N] [--threads-per-job N]\n\
+         \x20                 [--cache-cap N] [--cache-bytes N] [--threads-per-job N|0=auto]\n\
          \x20                 [--max-conns N] [--idle-timeout-ms N]"
     );
     std::process::exit(2)

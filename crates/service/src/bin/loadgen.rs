@@ -1,6 +1,7 @@
 //! `loadgen`: synthesize a request stream from `anonet-gen` families and
-//! drive a running `anonet-serve`, reporting throughput and latency
-//! percentiles — or do a single verified round-trip with `--once`.
+//! drive a running `anonet-serve`, reporting goodput (solved req/s),
+//! offered rate, and latency percentiles over solved requests — or do a
+//! single verified round-trip with `--once`.
 //!
 //! ```sh
 //! loadgen --addr 127.0.0.1:7411 --problem vc-pn --family regular \

@@ -1,6 +1,7 @@
 //! Load generation: synthesize request streams from `anonet-gen` families
-//! and drive a server open- or closed-loop, reporting throughput and
-//! latency percentiles.
+//! and drive a server open- or closed-loop, reporting **goodput** (solved
+//! requests/s) and **offered rate** (all round-trips/s) separately, plus
+//! latency percentiles over solved requests only.
 //!
 //! * **Closed loop**: `concurrency` connections each issue the next request
 //!   the moment the previous response lands — measures capacity.
@@ -166,13 +167,30 @@ pub struct Report {
     pub certified_instances: u64,
     /// Wall-clock of the whole drive.
     pub elapsed: Duration,
-    /// Per-request latencies, sorted ascending.
+    /// Per-request latencies of **fully solved (`ok`) requests only**,
+    /// sorted ascending. `Busy` rejections and error responses are excluded
+    /// so the percentiles describe solved requests — a server shedding 90%
+    /// of its load with instant `Busy` replies can no longer advertise a
+    /// spectacular p99.
     pub latencies: Vec<Duration>,
 }
 
 impl Report {
-    /// Requests per second over the drive.
-    pub fn throughput(&self) -> f64 {
+    /// **Goodput**: fully solved (`ok`) requests per second — the number
+    /// that means "work done". `Busy` rejections and errors don't count.
+    pub fn goodput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.ok as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// **Offered rate**: every round-trip driven per second (`ok + busy +
+    /// errors`) — how hard the generator actually pushed. The gap between
+    /// this and [`Report::goodput`] is the shed/failed fraction.
+    pub fn offered_rate(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs > 0.0 {
             (self.ok + self.busy + self.errors) as f64 / secs
@@ -203,11 +221,12 @@ impl Report {
     /// Human-readable one-block summary.
     pub fn render(&self) -> String {
         format!(
-            "requests: ok {} busy {} err {} | {:.1} req/s | instances: {} solved, {} cached ({:.0}% hit), {} certified\nlatency: p50 {:?} p90 {:?} p99 {:?} max {:?} | elapsed {:?}",
+            "requests: ok {} busy {} err {} | goodput {:.1} req/s (offered {:.1}) | instances: {} solved, {} cached ({:.0}% hit), {} certified\nok-latency: p50 {:?} p90 {:?} p99 {:?} max {:?} | elapsed {:?}",
             self.ok,
             self.busy,
             self.errors,
-            self.throughput(),
+            self.goodput(),
+            self.offered_rate(),
             self.solved_instances,
             self.cached_instances,
             100.0 * self.cache_hit_rate(),
@@ -268,7 +287,7 @@ pub fn drive(problem: Problem, blobs: &[Vec<u8>], cfg: &DriveConfig) -> io::Resu
                             }
                         };
                         let resp = client.solve(&req)?;
-                        local.latencies.push(scheduled.elapsed());
+                        let rtt = scheduled.elapsed();
                         match resp {
                             SolveResponse::Ok(results) => {
                                 let mut any_err = false;
@@ -288,6 +307,11 @@ pub fn drive(problem: Problem, blobs: &[Vec<u8>], cfg: &DriveConfig) -> io::Resu
                                     local.errors += 1;
                                 } else {
                                     local.ok += 1;
+                                    // Only solved round-trips enter the
+                                    // percentiles; Busy/error replies would
+                                    // drag p99 toward the (cheap) rejection
+                                    // path instead of the solve path.
+                                    local.latencies.push(rtt);
                                 }
                             }
                             SolveResponse::Busy { retry_after_ms, .. } => {

@@ -37,6 +37,7 @@ use anonet_core::vc_pn::{
     fold_vc_outputs, run_edge_packing_many, EdgePackingNode, VcConfig, VcInstance,
 };
 use anonet_runtime::{run_async_pn, scenario, AsyncTrace, NetworkConfig};
+use anonet_sim::pool as sim_pool;
 use anonet_sim::Trace;
 use std::collections::VecDeque;
 use std::io;
@@ -59,7 +60,9 @@ pub struct ServiceConfig {
     /// Result-cache byte budget over keys + bodies (keys embed whole
     /// canonical blobs, so entry counts alone do not bound memory).
     pub cache_bytes: usize,
-    /// Batch-runner pool width each worker uses for one request's instances.
+    /// Batch-runner pool width each worker uses for one request's instances
+    /// (`0` = auto: the machine's available parallelism; capped there
+    /// either way). The pool threads persist per worker across requests.
     pub threads_per_job: usize,
     /// Backoff hint carried in `Busy` responses, in milliseconds.
     pub retry_after_ms: u32,
@@ -270,7 +273,9 @@ fn execute(shared: &Shared, req: &SolveRequest) -> Vec<u8> {
 /// Runs the not-cached instances `missing` (indices into `req.instances`),
 /// returning one outcome per index in order.
 fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<InstanceOutcome> {
-    let threads = shared.cfg.threads_per_job.max(1);
+    // `0` = auto; the `_many` entry points resolve it through the sim
+    // thread-count policy (capped at available parallelism, logged once).
+    let threads = shared.cfg.threads_per_job;
     match req.problem {
         Problem::VcPn => {
             let decoded: Vec<Result<canon::OwnedVcInstance, String>> = missing
@@ -328,32 +333,18 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                     // Each instance is an independent, per-seed-deterministic
                     // run, so fan the batch across the job's pool width like
                     // the sync arm (which goes through the batch runner)
-                    // instead of monopolising the worker sequentially.
-                    let workers = threads.min(decoded.len()).max(1);
-                    if workers == 1 {
+                    // instead of monopolising the worker sequentially. The
+                    // pool threads persist per service worker (thread-local
+                    // `RoundPool` cached at the machine-derived width, so
+                    // varying batch sizes don't respawn it), and repeated
+                    // async requests stop paying per-request thread spawns.
+                    let width = sim_pool::clamp_width(sim_pool::resolve_threads(threads));
+                    if width <= 1 || decoded.len() <= 1 {
                         decoded.iter().map(run_one).collect()
                     } else {
-                        let slots: Vec<Mutex<Option<InstanceOutcome>>> =
-                            (0..decoded.len()).map(|_| Mutex::new(None)).collect();
-                        let next = AtomicUsize::new(0);
-                        std::thread::scope(|sc| {
-                            for _ in 0..workers {
-                                sc.spawn(|| loop {
-                                    let i = next.fetch_add(1, Ordering::Relaxed);
-                                    if i >= decoded.len() {
-                                        break;
-                                    }
-                                    let out = run_one(&decoded[i]);
-                                    *slots[i].lock().expect("slot poisoned") = Some(out);
-                                });
-                            }
-                        });
-                        slots
-                            .into_iter()
-                            .map(|m| {
-                                m.into_inner().expect("slot poisoned").expect("every slot filled")
-                            })
-                            .collect()
+                        sim_pool::with_local_pool(width, |p| {
+                            p.map(decoded.iter().collect(), |_, d| run_one(d))
+                        })
                     }
                 }
             }

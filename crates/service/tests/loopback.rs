@@ -185,10 +185,40 @@ fn async_scenarios_match_sync_assignment() {
 }
 
 #[test]
+fn threads_per_job_auto_matches_explicit() {
+    // `threads_per_job: 0` (auto — whatever parallelism the box offers,
+    // served by the persistent per-worker round pool) must answer
+    // byte-for-byte like an explicit width: the pool is a throughput knob,
+    // never a semantics knob.
+    let g1 = family::random_regular(16, 4, 11);
+    let w1 = WeightSpec::Uniform(31).draw_many(16, 11);
+    let g2 = family::star(9);
+    let w2 = WeightSpec::LogUniform(1 << 8).draw_many(10, 13);
+    let instances = [VcInstance::new(&g1, &w1), VcInstance::new(&g2, &w2)];
+    let req = client::vc_request(Problem::VcPn, &instances);
+    let mut answers: Vec<Vec<Solved>> = Vec::new();
+    for threads_per_job in [0usize, 1, 2] {
+        let server =
+            start(ServiceConfig { workers: 1, threads_per_job, ..ServiceConfig::default() });
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let resp = c.solve(&req).unwrap();
+        answers.push(solved(&resp).into_iter().cloned().collect());
+        server.shutdown();
+    }
+    for (i, other) in answers[1..].iter().enumerate() {
+        for (j, (a, b)) in answers[0].iter().zip(other).enumerate() {
+            assert_eq!(a.cover, b.cover, "config {i} instance {j}");
+            assert_eq!(a.certificate.dual_value, b.certificate.dual_value, "cfg {i} inst {j}");
+            assert_eq!(a.trace, b.trace, "config {i} instance {j}");
+        }
+    }
+}
+
+#[test]
 fn async_batches_fan_out_across_the_job_pool() {
-    // threads_per_job = 2: the async arm fans instances across a scoped
-    // pool; outputs must stay bit-identical to the sync assignment and in
-    // request order.
+    // threads_per_job = 2: the async arm fans instances across the
+    // persistent per-worker pool; outputs must stay bit-identical to the
+    // sync assignment and in request order.
     let server = start(ServiceConfig { threads_per_job: 2, ..Default::default() });
     let mut c = Client::connect(server.local_addr()).unwrap();
     let g1 = family::random_regular(12, 3, 5);

@@ -4,13 +4,15 @@
 //! The paper's algorithms finish in rounds that depend only on local
 //! parameters (Δ, W), never on n — so the interesting workloads are *many*
 //! instances, not one giant one. This module is the "serve many requests"
-//! entry point the bench binaries, the figure/table experiments, and future
-//! service layers funnel through: a fixed-size scoped thread pool pulls jobs
-//! off a shared atomic queue (work stealing, no locks on the hot path) and
-//! runs each instance on a single-threaded engine with frontier skipping,
-//! so all parallelism is across instances where it is embarrassingly
-//! effective, and per-instance state is allocated in one pass when the job
-//! starts.
+//! entry point the bench binaries, the figure/table experiments, and the
+//! service layer funnel through: the workers of this OS thread's persistent
+//! [`RoundPool`](crate::pool::RoundPool) (shared with the engine machinery
+//! via [`pool::with_local_pool`], so repeated batches — e.g. one per service
+//! request — reuse the spawned threads instead of nesting fresh scoped
+//! spawns) pull jobs off a shared atomic queue and run each instance on a
+//! single-threaded engine with frontier skipping: all parallelism is across
+//! instances, where it is embarrassingly effective, and each worker recycles
+//! one [`EngineScratch`] across its jobs.
 //!
 //! Use [`BatchRunner`] for control over pool size and engine options, or the
 //! [`run_pn_many`] / [`run_bcast_many`] convenience wrappers.
@@ -19,8 +21,10 @@ use crate::delivery::{Broadcast, Delivery, PortNumbering};
 use crate::engine::{run_engine_scratch, EngineOptions, EngineScratch, RunResult, SimError};
 use crate::graph::Graph;
 use crate::model::{BcastAlgorithm, PnAlgorithm};
+use crate::pool;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One (graph, config, inputs) instance of a batch, under delivery model `D`.
 ///
@@ -63,9 +67,11 @@ pub struct BatchRunner {
 }
 
 impl BatchRunner {
-    /// A runner with `threads` pool workers (1 = run the batch inline).
+    /// A runner with `threads` pool workers (1 = run the batch inline,
+    /// `0` = auto: the machine's available parallelism; requests beyond the
+    /// hardware are capped, logged once per process).
     pub fn new(threads: usize) -> Self {
-        BatchRunner { threads: threads.max(1), frontier_skipping: true }
+        BatchRunner { threads, frontier_skipping: true }
     }
 
     /// Toggles halted-frontier skipping for the per-instance engines
@@ -96,40 +102,39 @@ impl BatchRunner {
                 scratch,
             )
         };
-        let workers = self.threads.min(jobs.len().max(1));
-        if workers <= 1 {
+        let width = pool::clamp_width(pool::resolve_threads(self.threads));
+        if width <= 1 || jobs.len() <= 1 {
             let mut scratch = EngineScratch::new();
             return jobs.iter().map(|job| run_one(job, &mut scratch)).collect();
         }
+        // Fan out over this thread's persistent round pool — spawned once
+        // per OS thread and reused across batches — instead of spawning a
+        // fresh scoped pool per call. The pool is cached at the
+        // machine-derived width, *not* min(width, jobs): coupling it to the
+        // batch size would respawn the threads whenever consecutive batches
+        // differ in size, while an excess worker merely exits on its first
+        // pull. Each pool worker keeps one scratch for all the jobs it
+        // pulls.
+        type Slot<O> = Mutex<Option<Result<RunResult<O>, SimError>>>;
         let next = AtomicUsize::new(0);
-        let mut results: Vec<Option<Result<RunResult<D::Output>, SimError>>> =
-            (0..jobs.len()).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let next = &next;
-            let run_one = &run_one;
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(move || {
-                        let mut scratch = EngineScratch::new();
-                        let mut mine = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= jobs.len() {
-                                break;
-                            }
-                            mine.push((i, run_one(&jobs[i], &mut scratch)));
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (i, r) in h.join().expect("worker panicked") {
-                    results[i] = Some(r);
+        let slots: Vec<Slot<D::Output>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+        pool::with_local_pool(width, |p| {
+            p.run(&|_worker| {
+                let mut scratch = EngineScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let r = run_one(&jobs[i], &mut scratch);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
                 }
-            }
+            });
         });
-        results.into_iter().map(|r| r.expect("every job ran")).collect()
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("result slot poisoned").expect("every job ran"))
+            .collect()
     }
 }
 
@@ -233,5 +238,28 @@ mod tests {
     fn empty_batch() {
         let jobs: Vec<PnJob<'_, MaxGossip>> = Vec::new();
         assert!(run_pn_many(&jobs, 4).is_empty());
+    }
+
+    #[test]
+    fn auto_threads_and_repeated_batches_match_inline_runs() {
+        // `threads: 0` = auto, and running the same runner repeatedly goes
+        // through the thread-local pool reuse path — results must stay
+        // bit-identical to inline runs every time.
+        let graphs: Vec<Graph> = [5usize, 12, 7, 20].iter().map(|&n| cycle(n)).collect();
+        let input_sets: Vec<Vec<u64>> =
+            graphs.iter().map(|g| (0..g.n() as u64).map(|v| v * 3 + 1).collect()).collect();
+        let cfg = 2u64;
+        let jobs: Vec<PnJob<'_, MaxGossip>> =
+            graphs.iter().zip(&input_sets).map(|(g, inp)| Job::new(g, &cfg, inp, 10)).collect();
+        let runner = BatchRunner::new(0);
+        for repeat in 0..3 {
+            let batch = runner.run(&jobs);
+            for ((g, inp), res) in graphs.iter().zip(&input_sets).zip(batch) {
+                let solo = run_pn::<MaxGossip>(g, &cfg, inp, 10).unwrap();
+                let res = res.unwrap();
+                assert_eq!(res.outputs, solo.outputs, "repeat={repeat}");
+                assert_eq!(res.trace, solo.trace, "repeat={repeat}");
+            }
+        }
     }
 }

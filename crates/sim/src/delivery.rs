@@ -18,13 +18,14 @@
 //! [`Delivery`] captures exactly those differences (slot layout, send,
 //! gather, and the per-model [`Trace`](crate::engine::Trace) bit accounting);
 //! [`Engine`](crate::engine::Engine) implements everything else — phase
-//! scaffolding, scoped-thread partitioning, halted-frontier skipping,
+//! scaffolding, arc-weight-balanced partitioning over the persistent
+//! [`RoundPool`](crate::pool::RoundPool), halted-frontier skipping,
 //! instrumentation, and the fault-injection hooks — exactly once.
 //!
 //! The key structural property the engine relies on is that a contiguous
 //! range of nodes owns a contiguous range of buffer slots
 //! ([`Delivery::slot_span`] is monotone), so per-thread buffer chunks are
-//! disjoint `&mut` slices with no locks and no unsafe code.
+//! disjoint `&mut` slices with no locks.
 
 use crate::graph::Graph;
 use crate::model::{BcastAlgorithm, MessageSize, PnAlgorithm};

@@ -5,9 +5,28 @@
 //! then every node consumes the messages delivered to it. The two-phase
 //! structure makes nodes trivially independent within a phase, so the
 //! parallel path partitions the swept nodes into contiguous ranges and fans
-//! each phase out over scoped threads ([`Delivery::slot_span`] is monotone,
-//! so the per-range message buffers are disjoint `&mut` slices —
-//! Rayon-style data parallelism with no locks and no unsafe code).
+//! each phase out over a persistent [`RoundPool`] ([`Delivery::slot_span`]
+//! is monotone, so the per-range message buffers are disjoint `&mut`
+//! slices — Rayon-style data parallelism with no locks).
+//!
+//! **Pool lifecycle**: the pool is spawned once, in
+//! [`Engine::with_options`] / [`Engine::with_scratch`] (never inside
+//! [`Engine::step`] — per-round thread spawns were the multithreaded
+//! slowdown), parked between rounds, reused across rounds, and handed back
+//! through [`Engine::finish_scratch`] so it also survives across engine
+//! constructions that share an [`EngineScratch`]. `threads: 0` means auto;
+//! the spawned worker width is capped at the machine's available
+//! parallelism (see [`crate::pool`]).
+//!
+//! **Partition invariants**: the sweep list is split into at most
+//! `threads` contiguous ranges balanced by **slot/arc weight**
+//! (`degree + 1` per node), not node count — on a skewed-degree graph
+//! (star, power-law) equal node counts would hand nearly all arcs to one
+//! part and serialise the round behind it. Parts are recomputed only when
+//! the frontier changes (`spans_dirty`); each part covers a contiguous node
+//! span and hence, by slot-span monotonicity, a contiguous disjoint slot
+//! span. Partitioning never affects results: outputs and [`Trace`] are
+//! bit-identical for every thread count (property-tested).
 //!
 //! There is exactly **one** engine, [`Engine`], generic over a
 //! [`Delivery`] model; [`PnEngine`] and [`BcastEngine`] are thin typed
@@ -32,6 +51,7 @@
 use crate::delivery::{Broadcast, Delivery, PortNumbering};
 use crate::graph::Graph;
 use crate::model::{BcastAlgorithm, MessageSize, PnAlgorithm};
+use crate::pool::{self, RoundPool};
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::Range;
@@ -102,7 +122,12 @@ pub struct RunResult<O> {
 /// Execution options for [`Engine::with_options`].
 #[derive(Clone, Copy, Debug)]
 pub struct EngineOptions {
-    /// Worker threads for the parallel phase path (1 = sequential).
+    /// Worker threads for the parallel phase path (1 = sequential, `0` =
+    /// **auto**: the machine's available parallelism). A count beyond the
+    /// hardware keeps its value as the *partition* granularity — work
+    /// splitting stays deterministic on any box — but the spawned worker
+    /// width is capped at available parallelism (logged once per process),
+    /// so oversubscription can no longer slow the engine down.
     pub threads: usize,
     /// Skip halted nodes entirely (default `true`). Turning this off
     /// restores the historical sweep-everything behaviour; results and
@@ -143,6 +168,10 @@ pub struct EngineScratch<A, D: Delivery<A>> {
     parts: Vec<Range<usize>>,
     node_spans: Vec<Range<usize>>,
     buf_spans: Vec<Range<usize>>,
+    /// The persistent round-worker pool, parked here between engine
+    /// constructions so its threads are spawned once per scratch, not once
+    /// per run (let alone once per round).
+    pool: Option<RoundPool>,
 }
 
 impl<A, D: Delivery<A>> Default for EngineScratch<A, D> {
@@ -155,6 +184,7 @@ impl<A, D: Delivery<A>> Default for EngineScratch<A, D> {
             parts: Vec::new(),
             node_spans: Vec::new(),
             buf_spans: Vec::new(),
+            pool: None,
         }
     }
 }
@@ -166,21 +196,46 @@ impl<A, D: Delivery<A>> EngineScratch<A, D> {
     }
 }
 
-/// Splits `0..n` into at most `parts` contiguous non-empty ranges.
-pub(crate) fn partition(n: usize, parts: usize) -> Vec<Range<usize>> {
+/// Splits `0..n` into at most `parts` contiguous non-empty ranges whose
+/// cumulative `weight` is balanced: a part is closed as soon as the running
+/// total crosses its proportional threshold (or when the remaining items are
+/// exactly enough to keep every remaining part non-empty). Every part except
+/// one holding a single oversized item carries at most
+/// `total/parts + max_item_weight` — the greedy bound the skew tests assert.
+///
+/// With uniform weights this reduces exactly to the historical
+/// count-balanced split (larger parts first).
+pub(crate) fn partition_weighted(
+    n: usize,
+    parts: usize,
+    weight: impl Fn(usize) -> u64,
+) -> Vec<Range<usize>> {
     let parts = parts.max(1).min(n.max(1));
-    let base = n / parts;
-    let extra = n % parts;
-    let mut out = Vec::with_capacity(parts);
-    let mut start = 0;
-    for i in 0..parts {
-        let len = base + usize::from(i < extra);
-        if len == 0 {
-            continue;
-        }
-        out.push(start..start + len);
-        start += len;
+    if n == 0 {
+        return Vec::new();
     }
+    if parts == 1 {
+        return std::iter::once(0..n).collect();
+    }
+    let total: u64 = (0..n).map(&weight).sum();
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut cum = 0u64;
+    for i in 0..n {
+        cum += weight(i);
+        let filled = out.len() + 1; // part count if we close after item i
+        if filled < parts {
+            let must_close = n - (i + 1) == parts - filled;
+            // u128: the cross-multiplied threshold cannot overflow for any
+            // u32-node graph × sane thread count.
+            let reached = (cum as u128) * (parts as u128) >= (total as u128) * (filled as u128);
+            if must_close || reached {
+                out.push(start..i + 1);
+                start = i + 1;
+            }
+        }
+    }
+    out.push(start..n);
     out
 }
 
@@ -261,12 +316,15 @@ pub struct Engine<'a, A, D: Delivery<A>> {
     node_spans: Vec<Range<usize>>,
     buf_spans: Vec<Range<usize>>,
     spans_dirty: bool,
+    /// Persistent phase workers (`None` when the effective width is 1).
+    /// Spawned once at construction — never inside [`Engine::step`].
+    pool: Option<RoundPool>,
     _model: PhantomData<fn() -> D>,
 }
 
 impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
     /// Initialises every node. `inputs` is indexed by node id; `threads > 1`
-    /// enables the parallel path. Frontier skipping is on.
+    /// enables the parallel path (`0` = auto). Frontier skipping is on.
     pub fn new(
         graph: &'a Graph,
         cfg: &'a D::Config,
@@ -321,6 +379,25 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
         node_spans.clear();
         let mut buf_spans = std::mem::take(&mut scratch.buf_spans);
         buf_spans.clear();
+        // `threads: 0` = auto; the worker width is capped at the machine's
+        // available parallelism while the partition granularity keeps the
+        // requested value (see `pool` module docs) — unless the capped
+        // width is 1, where extra parts would be pure per-round overhead
+        // with no worker to hand them to, so the engine collapses to one
+        // part and runs exactly like `threads: 1`. The pool parked in the
+        // scratch is reused when its width still matches; otherwise the
+        // workers are (re)spawned here, once — never per round.
+        let resolved = pool::resolve_threads(opts.threads);
+        let width = pool::clamp_width(resolved);
+        let threads = if width > 1 { resolved } else { 1 };
+        let worker_pool = if width > 1 {
+            Some(match scratch.pool.take() {
+                Some(p) if p.width() == width => p,
+                _ => RoundPool::new(width),
+            })
+        } else {
+            None
+        };
         Ok(Engine {
             graph,
             cfg,
@@ -330,7 +407,7 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
             sweep,
             halted: 0,
             trace: Trace::default(),
-            opts: EngineOptions { threads: opts.threads.max(1), ..opts },
+            opts: EngineOptions { threads, ..opts },
             skipped_bits: 0,
             skipped_max_bits: 0,
             default_bits: D::Msg::default().approx_bits(),
@@ -338,6 +415,7 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
             node_spans,
             buf_spans,
             spans_dirty: true,
+            pool: worker_pool,
             _model: PhantomData,
         })
     }
@@ -384,8 +462,15 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
         // Partition the sweep list (not 0..n): with a collapsed frontier the
         // whole round costs O(active slots). The list is sorted, so each
         // part owns a contiguous node span, hence a contiguous slot span.
+        // Parts are balanced by slot/arc weight (degree + 1), not node
+        // count — equal node counts serialise skewed-degree graphs behind
+        // the part holding the hubs — and recomputed only when the frontier
+        // changes, so steady rounds allocate nothing here.
         if self.spans_dirty {
-            self.parts = partition(self.sweep.len(), self.opts.threads);
+            let sweep = &self.sweep;
+            self.parts = partition_weighted(sweep.len(), self.opts.threads, |i| {
+                g.degree(sweep[i] as usize) as u64 + 1
+            });
             self.node_spans = self
                 .parts
                 .iter()
@@ -397,6 +482,10 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
         let parts = &self.parts;
         let node_spans = &self.node_spans;
         let buf_spans = &self.buf_spans;
+        // `&mut`: each phase takes a fresh exclusive reborrow — `run` needs
+        // exclusive pool access (that is what makes the job-pointer erasure
+        // sound), and the borrow checker proves the phases cannot overlap.
+        let worker_pool = &mut self.pool;
 
         // Phase 1: send, fused with message accounting over the same sweep.
         let (bits, maxb) = {
@@ -460,27 +549,22 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
                     None => (0, 0),
                 }
             } else {
-                std::thread::scope(|s| {
-                    let send_part = &send_part;
-                    let handles: Vec<_> = parts
-                        .iter()
-                        .cloned()
-                        .zip(node_spans.iter().cloned())
-                        .zip(buf_spans.iter())
-                        .zip(chunks)
-                        .map(|(((list, nodes), bufs), chunk)| {
-                            s.spawn(move || send_part(list, nodes, bufs.start, chunk))
-                        })
-                        .collect();
-                    let mut total = 0;
-                    let mut max = 0;
-                    for h in handles {
-                        let (t, m) = h.join().expect("worker panicked");
-                        total += t;
-                        max = max.max(m);
-                    }
-                    (total, max)
+                // Fan the parts out over the persistent pool (or run them
+                // sequentially through the same task list when no pool is
+                // attached) — no threads are spawned here.
+                let tasks: Vec<_> = parts
+                    .iter()
+                    .cloned()
+                    .zip(node_spans.iter().cloned())
+                    .zip(buf_spans.iter())
+                    .zip(chunks)
+                    .map(|(((list, nodes), bufs), chunk)| (list, nodes, bufs.start, chunk))
+                    .collect();
+                pool::map_with(worker_pool.as_mut(), tasks, |_, (list, nodes, base, chunk)| {
+                    send_part(list, nodes, base, chunk)
                 })
+                .into_iter()
+                .fold((0u64, 0u64), |(t, m), (pt, pm)| (t + pt, m.max(pm)))
             }
         };
         self.trace.messages += g.arcs() as u64;
@@ -541,21 +625,22 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
                     None => Vec::new(),
                 }
             } else {
-                std::thread::scope(|s| {
-                    let recv_part = &recv_part;
-                    let handles: Vec<_> = parts
-                        .iter()
-                        .cloned()
-                        .zip(node_spans.iter().cloned())
-                        .zip(state_chunks)
-                        .zip(out_chunks)
-                        .map(|(((list, span), sc), oc)| {
-                            s.spawn(move || recv_part(list, span, sc, oc))
-                        })
-                        .collect();
-                    // Joined in part order: the concatenation stays sorted.
-                    handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+                let tasks: Vec<_> = parts
+                    .iter()
+                    .cloned()
+                    .zip(node_spans.iter().cloned())
+                    .zip(state_chunks)
+                    .zip(out_chunks)
+                    .map(|(((list, span), sc), oc)| (list, span, sc, oc))
+                    .collect();
+                // Results come back in part order: the concatenation stays
+                // sorted regardless of which worker ran which part.
+                pool::map_with(worker_pool.as_mut(), tasks, |_, (list, span, sc, oc)| {
+                    recv_part(list, span, sc, oc)
                 })
+                .into_iter()
+                .flatten()
+                .collect()
             }
         };
         self.halted += newly.len();
@@ -615,6 +700,11 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
         self.states.clear();
         self.outputs.clear();
         self.buf.clear();
+        // Park the worker pool too: the next construction through this
+        // scratch reuses the spawned threads instead of respawning them.
+        if self.pool.is_some() {
+            scratch.pool = self.pool.take();
+        }
         scratch.states = self.states;
         scratch.outputs = self.outputs;
         scratch.buf = self.buf;
@@ -680,7 +770,8 @@ pub fn run_pn<A: PnAlgorithm>(
     run_engine::<A, PortNumbering>(graph, cfg, inputs, max_rounds, EngineOptions::default())
 }
 
-/// Runs a port-numbering algorithm to completion on `threads` threads.
+/// Runs a port-numbering algorithm to completion on `threads` threads
+/// (`0` = auto: the machine's available parallelism).
 pub fn run_pn_threads<A: PnAlgorithm>(
     graph: &Graph,
     cfg: &A::Config,
@@ -701,7 +792,8 @@ pub fn run_bcast<A: BcastAlgorithm>(
     run_engine::<A, Broadcast>(graph, cfg, inputs, max_rounds, EngineOptions::default())
 }
 
-/// Runs a broadcast algorithm to completion on `threads` threads.
+/// Runs a broadcast algorithm to completion on `threads` threads
+/// (`0` = auto: the machine's available parallelism).
 pub fn run_bcast_threads<A: BcastAlgorithm>(
     graph: &Graph,
     cfg: &A::Config,
@@ -924,20 +1016,85 @@ mod tests {
 
     #[test]
     fn partition_covers_range() {
+        // Uniform and skewed weights alike: contiguous, non-empty, at most
+        // `p` parts, covering 0..n exactly.
         for n in [0usize, 1, 5, 16, 17] {
             for p in [1usize, 2, 3, 8, 40] {
-                let parts = partition(n, p);
-                let mut covered = 0;
-                let mut prev_end = 0;
-                for r in &parts {
-                    assert_eq!(r.start, prev_end);
-                    assert!(!r.is_empty());
-                    covered += r.len();
-                    prev_end = r.end;
+                for weight in [(|_| 1) as fn(usize) -> u64, |i| (i as u64 % 5) * 100 + 1] {
+                    let parts = partition_weighted(n, p, weight);
+                    assert!(parts.len() <= p.max(1));
+                    let mut covered = 0;
+                    let mut prev_end = 0;
+                    for r in &parts {
+                        assert_eq!(r.start, prev_end);
+                        assert!(!r.is_empty());
+                        covered += r.len();
+                        prev_end = r.end;
+                    }
+                    assert_eq!(covered, n);
                 }
-                assert_eq!(covered, n);
             }
         }
+    }
+
+    #[test]
+    fn uniform_weights_reproduce_count_balanced_split() {
+        // The historical node-count partition: larger parts first.
+        assert_eq!(partition_weighted(10, 3, |_| 1), vec![0..4, 4..7, 7..10]);
+        assert_eq!(partition_weighted(16, 3, |_| 1), vec![0..6, 6..11, 11..16]);
+        assert_eq!(partition_weighted(5, 8, |_| 1), vec![0..1, 1..2, 2..3, 3..4, 4..5]);
+    }
+
+    #[test]
+    fn weighted_partition_isolates_a_hub() {
+        // A star's hub (weight 10_000) followed by 9_999 unit leaves: the
+        // node-count split would hand the hub *plus* a quarter of the
+        // leaves to part 0; the weighted split closes part 0 right after
+        // the hub, so the leaves parallelise across the remaining parts.
+        let w = |i: usize| if i == 0 { 10_000 } else { 1 };
+        let parts = partition_weighted(10_000, 4, w);
+        assert_eq!(parts[0], 0..1, "hub must sit in a part of its own");
+        assert!(parts.len() >= 3, "leaves must spread over the remaining parts");
+    }
+
+    #[test]
+    fn weighted_partition_greedy_balance_bound() {
+        // Pseudo-random heavy-tailed weights: every part's weight stays
+        // within total/parts + max single weight (the greedy bound) — the
+        // property that keeps one part from serialising a round.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let weights: Vec<u64> = (0..257)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let r = state >> 33;
+                if r % 17 == 0 {
+                    r % 10_000 + 1 // occasional heavy item
+                } else {
+                    r % 8 + 1
+                }
+            })
+            .collect();
+        let total: u64 = weights.iter().sum();
+        let max_w = *weights.iter().max().unwrap();
+        for p in [2usize, 3, 4, 8] {
+            let parts = partition_weighted(weights.len(), p, |i| weights[i]);
+            for r in &parts {
+                let part_w: u64 = weights[r.clone()].iter().sum();
+                assert!(
+                    part_w <= total / p as u64 + max_w,
+                    "p={p} part {r:?} weight {part_w} exceeds {} + {max_w}",
+                    total / p as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_partition_heavy_tail_item_keeps_all_parts() {
+        // All the weight at the end: the must-close rule still yields the
+        // full number of non-empty parts.
+        let parts = partition_weighted(4, 2, |i| if i == 3 { 1000 } else { 1 });
+        assert_eq!(parts, vec![0..3, 3..4]);
     }
 
     #[test]

@@ -33,11 +33,21 @@
 //! default messages), and property tests assert bit-identical outputs and
 //! traces across thread counts and both frontier modes.
 //!
-//! The parallel path uses scoped threads over contiguous node ranges (the
-//! monotone `Delivery::slot_span` keeps each range's message slots a
-//! disjoint `&mut` slice) and is bit-identical to the sequential path.
+//! The parallel path fans contiguous node ranges — balanced by arc weight,
+//! so skewed-degree graphs don't serialise behind one part — over a
+//! **persistent** [`pool::RoundPool`] spawned once per engine (or once per
+//! [`EngineScratch`], which parks it between runs) and parked on a barrier
+//! between rounds; the monotone `Delivery::slot_span` keeps each range's
+//! message slots a disjoint `&mut` slice, and results are bit-identical to
+//! the sequential path. Thread counts resolve through [`pool`]: `0` = auto,
+//! and the spawned worker width is capped at the machine's available
+//! parallelism.
+//!
+//! The crate contains exactly one `unsafe` block: the lifetime erasure that
+//! hands a borrowing phase closure to the persistent workers, sound by the
+//! pool's barrier protocol (see [`pool`]'s module docs).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // sole exception: the audited erasure in `pool`
 #![warn(missing_docs)]
 
 pub mod batch;
@@ -47,6 +57,7 @@ pub mod delivery;
 pub mod engine;
 pub mod graph;
 pub mod model;
+pub mod pool;
 
 pub use batch::{run_bcast_many, run_pn_many, BatchRunner, BcastJob, Job, PnJob};
 pub use bipartite::{SetCoverError, SetCoverInstance};
@@ -57,3 +68,4 @@ pub use engine::{
 };
 pub use graph::{Graph, GraphError};
 pub use model::{BcastAlgorithm, MessageSize, PnAlgorithm};
+pub use pool::RoundPool;

@@ -6,10 +6,18 @@
 
 use anonet_sim::cover::{check_lift_outputs, lift};
 use anonet_sim::{
-    run_bcast, run_engine, run_pn, run_pn_threads, BcastAlgorithm, Broadcast, EngineOptions, Graph,
-    MessageSize, PnAlgorithm, PortNumbering, RunResult, Trace,
+    run_bcast, run_engine, run_engine_scratch, run_pn, run_pn_threads, BcastAlgorithm, Broadcast,
+    EngineOptions, EngineScratch, Graph, MessageSize, PnAlgorithm, PortNumbering, RunResult, Trace,
 };
 use proptest::prelude::*;
+
+/// These suites must exercise the *real* pooled multi-part path even on a
+/// single-core runner, where the worker-width cap would otherwise collapse
+/// every multi-threaded case to the sequential engine: disable the cap
+/// (width never affects results, only scheduling — which is the point).
+fn allow_oversubscribe() {
+    std::env::set_var("ANONET_ALLOW_OVERSUBSCRIBE", "1");
+}
 
 /// A PN test algorithm with non-trivial state: iterated neighbourhood
 /// hashing (a fingerprint of the local view, different per port order).
@@ -220,9 +228,11 @@ fn reference_bcast<A: BcastAlgorithm>(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
-    /// Tentpole acceptance: the unified engine — any thread count, frontier
-    /// skipping on or off — is bit-identical (outputs and Trace) to the
-    /// seed-semantics reference, in the port-numbering model.
+    /// Tentpole acceptance: the unified engine — any thread count (`0` =
+    /// auto), frontier skipping on or off, fresh or **reused scratch** (the
+    /// reused path also parks and revives the persistent round pool) — is
+    /// bit-identical (outputs and Trace) to the seed-semantics reference,
+    /// in the port-numbering model.
     #[test]
     fn pn_engine_bit_identical_to_reference(
         n in 2usize..40,
@@ -230,17 +240,23 @@ proptest! {
         seed in any::<u64>(),
         spread in 1u64..7,
     ) {
+        allow_oversubscribe();
         let g = seeded_gnp(n, p, seed);
         let inputs: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(seed | 1)).collect();
         let limit = spread + 2;
         let base = reference_pn::<StaggerHash>(&g, &spread, &inputs, limit);
-        for threads in [1usize, 2, 4, 8] {
+        let mut scratch = EngineScratch::new();
+        for threads in [0usize, 1, 2, 4, 8] {
             for frontier_skipping in [false, true] {
                 let opts = EngineOptions { threads, frontier_skipping };
                 let res = run_engine::<StaggerHash, PortNumbering>(&g, &spread, &inputs, limit, opts)
                     .unwrap();
                 prop_assert_eq!(&res.outputs, &base.outputs, "t={} skip={}", threads, frontier_skipping);
                 prop_assert_eq!(&res.trace, &base.trace, "t={} skip={}", threads, frontier_skipping);
+                let reused = run_engine_scratch::<StaggerHash, PortNumbering>(
+                    &g, &spread, &inputs, limit, opts, &mut scratch).unwrap();
+                prop_assert_eq!(&reused.outputs, &base.outputs, "scratch t={} skip={}", threads, frontier_skipping);
+                prop_assert_eq!(&reused.trace, &base.trace, "scratch t={} skip={}", threads, frontier_skipping);
             }
         }
     }
@@ -253,15 +269,80 @@ proptest! {
         seed in any::<u64>(),
         spread in 1u64..6,
     ) {
+        allow_oversubscribe();
         let g = seeded_gnp(n, p, seed);
         let inputs: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul((seed >> 1) | 1)).collect();
         let limit = spread + 2;
         let base = reference_bcast::<StaggerCensus>(&g, &spread, &inputs, limit);
-        for threads in [1usize, 2, 4, 8] {
+        let mut scratch = EngineScratch::new();
+        for threads in [0usize, 1, 2, 4, 8] {
             for frontier_skipping in [false, true] {
                 let opts = EngineOptions { threads, frontier_skipping };
                 let res = run_engine::<StaggerCensus, Broadcast>(&g, &spread, &inputs, limit, opts)
                     .unwrap();
+                prop_assert_eq!(&res.outputs, &base.outputs, "t={} skip={}", threads, frontier_skipping);
+                prop_assert_eq!(&res.trace, &base.trace, "t={} skip={}", threads, frontier_skipping);
+                let reused = run_engine_scratch::<StaggerCensus, Broadcast>(
+                    &g, &spread, &inputs, limit, opts, &mut scratch).unwrap();
+                prop_assert_eq!(&reused.outputs, &base.outputs, "scratch t={} skip={}", threads, frontier_skipping);
+                prop_assert_eq!(&reused.trace, &base.trace, "scratch t={} skip={}", threads, frontier_skipping);
+            }
+        }
+    }
+
+    /// Skewed-degree graphs — a star hub over every node plus a binary-tree
+    /// backbone, i.e. a power-law-flavoured degree profile — are exactly the
+    /// shape whose arcs the old node-count partition crammed into one part.
+    /// The arc-weight partition must keep outputs and Trace bit-identical to
+    /// the reference for every thread count, frontier mode, and scratch
+    /// reuse (this case would have caught an imbalance-fix bug; the balance
+    /// itself is asserted by the `partition_weighted` unit tests).
+    #[test]
+    fn pn_engine_bit_identical_on_skewed_degrees(
+        n in 8usize..64,
+        seed in any::<u64>(),
+        spread in 1u64..7,
+    ) {
+        let mut edges: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+        edges.extend((2..n).map(|v| (v, v / 2))); // v/2 >= 1, never a star duplicate
+        allow_oversubscribe();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let inputs: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(seed | 1)).collect();
+        let limit = spread + 2;
+        let base = reference_pn::<StaggerHash>(&g, &spread, &inputs, limit);
+        let mut scratch = EngineScratch::new();
+        for threads in [1usize, 2, 4, 8] {
+            for frontier_skipping in [false, true] {
+                let opts = EngineOptions { threads, frontier_skipping };
+                let res = run_engine_scratch::<StaggerHash, PortNumbering>(
+                    &g, &spread, &inputs, limit, opts, &mut scratch).unwrap();
+                prop_assert_eq!(&res.outputs, &base.outputs, "t={} skip={}", threads, frontier_skipping);
+                prop_assert_eq!(&res.trace, &base.trace, "t={} skip={}", threads, frontier_skipping);
+            }
+        }
+    }
+
+    /// The broadcast twin of the skewed-degree case (one slot per node, but
+    /// gather work is still degree-weighted).
+    #[test]
+    fn bcast_engine_bit_identical_on_skewed_degrees(
+        n in 8usize..48,
+        seed in any::<u64>(),
+        spread in 1u64..6,
+    ) {
+        let mut edges: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+        edges.extend((2..n).map(|v| (v, v / 2))); // v/2 >= 1, never a star duplicate
+        allow_oversubscribe();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let inputs: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul((seed >> 1) | 1)).collect();
+        let limit = spread + 2;
+        let base = reference_bcast::<StaggerCensus>(&g, &spread, &inputs, limit);
+        let mut scratch = EngineScratch::new();
+        for threads in [1usize, 2, 4, 8] {
+            for frontier_skipping in [false, true] {
+                let opts = EngineOptions { threads, frontier_skipping };
+                let res = run_engine_scratch::<StaggerCensus, Broadcast>(
+                    &g, &spread, &inputs, limit, opts, &mut scratch).unwrap();
                 prop_assert_eq!(&res.outputs, &base.outputs, "t={} skip={}", threads, frontier_skipping);
                 prop_assert_eq!(&res.trace, &base.trace, "t={} skip={}", threads, frontier_skipping);
             }
@@ -276,6 +357,7 @@ proptest! {
         rounds in 1u64..6,
         threads in 2usize..9,
     ) {
+        allow_oversubscribe();
         let g = seeded_gnp(n, p, seed);
         let inputs: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(seed | 1)).collect();
         let a = run_pn::<ViewHash>(&g, &rounds, &inputs, rounds + 1).unwrap();
