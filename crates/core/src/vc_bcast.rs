@@ -18,6 +18,13 @@
 //! (`HashMap<Vec<ScMsg>, state>`), which is broadcast-legal — the state is a
 //! pure function of the unordered pair of endpoint histories — and avoids
 //! the O(T) re-simulation per edge per round.
+//!
+//! Determinism note: the memo tables are keyed lookups only — nothing ever
+//! *iterates* a `HashMap` here. Outputs (`elem_info`, message order) are
+//! produced by walking `incoming` in port order and sorting collected
+//! multisets, so `RandomState` never reaches a `Trace` or an output. The
+//! `anonet-lint` `determinism` check enforces this; the waivers below each
+//! assert membership-only use.
 
 use crate::sc_bcast::{ScConfig, ScMsg, ScNode, ScOutput};
 use crate::vc_pn::VcInstance;
@@ -58,7 +65,7 @@ pub struct VcBcastNode<V: PackingValue> {
     history: Vec<ScMsg<V>>,
     /// Element states after §4-round (i−1) receives, keyed by the
     /// neighbour's history value.
-    memo: HashMap<Vec<ScMsg<V>>, ScNode<V>>,
+    memo: HashMap<Vec<ScMsg<V>>, ScNode<V>>, // lint: allow(determinism) — membership-only memo: get/insert by history value, never iterated
     /// Collected element outputs (multiset, sorted) at the end.
     elem_info: Vec<(V, bool)>,
     /// The subset's final output.
@@ -95,7 +102,7 @@ impl<V: PackingValue> BcastAlgorithm for VcBcastNode<V> {
         VcBcastNode {
             subset: ScNode::init(&cfg.sc, degree, &Some(*input)),
             history: Vec::new(),
-            memo: HashMap::new(),
+            memo: HashMap::new(), // lint: allow(determinism) — membership-only memo, never iterated
             elem_info: Vec::new(),
             in_cover: None,
         }
@@ -115,14 +122,14 @@ impl<V: PackingValue> BcastAlgorithm for VcBcastNode<V> {
         let t = round - 1; // the §4 round whose receive we can now perform
 
         if t >= 1 {
-            let mut new_memo: HashMap<Vec<ScMsg<V>>, ScNode<V>> = HashMap::new();
+            let mut new_memo: HashMap<Vec<ScMsg<V>>, ScNode<V>> = HashMap::new(); // lint: allow(determinism) — membership-only memo, never iterated
             let mut elem_msgs: Vec<ScMsg<V>> = Vec::with_capacity(incoming.len());
             // Per distinct history value: the element's round-t broadcast and
             // (at the end) its output. Results are replayed once per
             // *occurrence* — neighbours with identical histories host
             // distinct but identically-behaving elements.
             type Replayed<V> = (ScMsg<V>, Option<(V, bool)>);
-            let mut computed: HashMap<&Vec<ScMsg<V>>, Replayed<V>> = HashMap::new();
+            let mut computed: HashMap<&Vec<ScMsg<V>>, Replayed<V>> = HashMap::new(); // lint: allow(determinism) — keyed lookups only; replay order follows `incoming` port order
 
             for h in incoming.iter().map(|m| &m.0) {
                 debug_assert_eq!(h.len() as u64, t, "history length mismatch");

@@ -6,6 +6,13 @@
 //! configuration model, random bounded-degree trees). Every generator
 //! documents its degree bound Δ, which the paper's algorithms take as a
 //! global parameter.
+//!
+//! Determinism note: generators feed the engine's bit-identical Trace
+//! oracle, so edge order (which fixes the port numbering) must never come
+//! from a hash container's iteration order. `circulant` once collected
+//! edges in a `HashSet` and sorted afterwards; it now uses a `BTreeSet`
+//! directly, and the remaining `HashSet`s are membership-only dedup filters
+//! (waived line by line). `anonet-lint`'s `determinism` check guards this.
 
 use crate::rng::Rng;
 use anonet_sim::Graph;
@@ -119,7 +126,7 @@ pub fn frucht() -> Graph {
     const LCF: [i64; 12] = [-5, -2, -4, 2, 5, -2, 2, 5, -2, -5, 4, 2];
     let n = 12i64;
     let mut edges: Vec<(usize, usize)> = (0..12).map(|v| (v, (v + 1) % 12)).collect();
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::HashSet::new(); // lint: allow(determinism) — membership-only dedup; edge order comes from the LCF walk
     for (i, &l) in LCF.iter().enumerate() {
         let u = i as i64;
         let v = (u + l).rem_euclid(n);
@@ -134,7 +141,10 @@ pub fn frucht() -> Graph {
 /// Circulant graph: node i adjacent to i ± o for each offset o (deterministic
 /// regular expander-ish family).
 pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
-    let mut edges = std::collections::HashSet::new();
+    // A BTreeSet rather than a HashSet: iteration below feeds the edge list
+    // (and thus the port numbering), so the container's order must be the
+    // key order, not RandomState's. This also drops the old post-sort.
+    let mut edges = std::collections::BTreeSet::new();
     for v in 0..n {
         for &o in offsets {
             assert!(o >= 1 && o < n, "offset {o} out of range");
@@ -144,11 +154,7 @@ pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
             }
         }
     }
-    let edges: Vec<_> = {
-        let mut e: Vec<_> = edges.into_iter().collect();
-        e.sort_unstable();
-        e
-    };
+    let edges: Vec<_> = edges.into_iter().collect();
     Graph::from_edges(n, &edges).expect("circulant is simple")
 }
 
@@ -172,7 +178,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
         // the whole attempt only when the leftover stubs are incompatible.
         let mut stubs: Vec<usize> = (0..n * d).map(|i| i / d).collect();
         rng.shuffle(&mut stubs);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::HashSet::new(); // lint: allow(determinism) — membership-only simple-edge filter; edge order is the seeded stub draw
         let mut edges = Vec::with_capacity(n * d / 2);
         while !stubs.is_empty() {
             let mut placed = false;

@@ -1,0 +1,14 @@
+//! Clean fixture: the required poison-recovering lock accessor shape —
+//! `lock-hygiene` must not flag recovery done with `match` + `clear_poison`.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub fn lock_counters(m: &Mutex<Vec<u64>>) -> MutexGuard<'_, Vec<u64>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            m.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Clean fixture: literal indexing, checked access, array literals, a
+//! bounds-argued waiver, and test-only unwraps — none of it may be flagged.
+
+pub fn first(bytes: &[u8]) -> u8 {
+    bytes[0]
+}
+
+pub fn nth(bytes: &[u8], n: usize) -> Option<u8> {
+    bytes.get(n).copied()
+}
+
+pub fn sum2(a: u8, b: u8) -> u8 {
+    let mut s = 0u8;
+    for v in [a, b] {
+        s = s.wrapping_add(v);
+    }
+    s
+}
+
+pub fn bit(bytes: &[u8], i: usize) -> bool {
+    assert!(i / 8 < bytes.len());
+    // lint: allow(panic-path) — bound asserted on the line above
+    bytes[i / 8] >> (i % 8) & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = super::nth(&[7], 0);
+        assert_eq!(v.unwrap(), 7);
+    }
+}

@@ -1,0 +1,18 @@
+//! Clean fixture: membership-only hash use under waiver, and clock reads
+//! confined to `#[cfg(test)]` code — none of it may be flagged.
+
+use std::collections::HashSet;
+
+pub fn has_dup(xs: &[u32]) -> bool {
+    let mut seen = HashSet::new(); // lint: allow(determinism) — membership-only dedup probe, never iterated
+    xs.iter().any(|x| !seen.insert(*x))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

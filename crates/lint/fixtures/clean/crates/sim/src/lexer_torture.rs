@@ -1,0 +1,19 @@
+//! Clean fixture: lexer stress. Everything here that *looks* like a
+//! violation is inside a string literal, a comment, or is a lifetime — a
+//! lexer that confuses any of those will flag this file.
+
+/* nested /* block /* comments */ nest */ and hide panic!("x"),
+   Instant::now(), thread::spawn(|| {}), and m.lock().unwrap() */
+
+pub fn strings<'a>(x: &'a str) -> String {
+    let s = "Instant::now() // not a comment, not a clock read";
+    let r = r#"HashMap::new() and thread::spawn() and "quoted" unsafe"#;
+    let deep = r##"raw with "# inside: SystemTime::now()"##;
+    let b = b"panic!(\"bytes\")";
+    let w = "// lint: allow(determinism) — a waiver inside a string is not a waiver";
+    let quote = '\'';
+    let escaped = '\u{1F980}';
+    let lifetime_not_char: &'a str = x;
+    let _ = (r, deep, b, w, escaped, lifetime_not_char);
+    format!("{s}{quote}")
+}

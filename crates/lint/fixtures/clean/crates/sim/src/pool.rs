@@ -1,0 +1,10 @@
+//! Clean fixture: audited `unsafe` in the one allowlisted file — a narrow
+//! `#[allow(unsafe_code)]` with an adjacent `// SAFETY:` argument, the
+//! exact shape of the real round-worker pool's three sites.
+
+pub struct ErasedJob(pub usize);
+
+// SAFETY: the erased pointer is produced by Box::into_raw on the
+// submitting thread and reboxed by exactly one worker; no aliasing.
+#[allow(unsafe_code)]
+unsafe impl Send for ErasedJob {}

@@ -1,0 +1,7 @@
+//! Clean fixture: a crate root carrying the required gate.
+
+#![forbid(unsafe_code)]
+
+pub fn id(x: u32) -> u32 {
+    x
+}

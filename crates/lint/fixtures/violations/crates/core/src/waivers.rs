@@ -1,0 +1,14 @@
+//! Violation fixture: every way a waiver itself can be wrong — stale,
+//! unknown check id, missing reason, and waiving the auditor.
+
+// lint: allow(determinism) — stale: nothing below trips the check
+pub fn quiet() {}
+
+// lint: allow(no-such-check) — typo in the check id
+pub fn unknown() {}
+
+// lint: allow(panic-path)
+pub fn no_reason() {}
+
+// lint: allow(waiver-audit) — the auditor does not audit itself away
+pub fn meta() {}

@@ -1,0 +1,8 @@
+//! Violation fixture: a bare `.lock().unwrap()` on service shared state —
+//! one poisoned mutex wedges every later request.
+
+use std::sync::Mutex;
+
+pub fn peek(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}

@@ -1,0 +1,11 @@
+//! Violation fixture: a panic and an unchecked wire-read length used as a
+//! slice index in the decode path.
+
+pub fn decode(bytes: &[u8]) -> u8 {
+    let n = bytes[0] as usize;
+    bytes[n]
+}
+
+pub fn boom() {
+    panic!("hostile input reached a panic");
+}

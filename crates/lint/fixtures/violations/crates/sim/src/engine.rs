@@ -1,0 +1,10 @@
+//! Violation fixture: a wall-clock read, hash-order containers, and an
+//! ad-hoc spawn inside a determinism-critical engine file.
+
+pub fn race() -> u64 {
+    let t = std::time::Instant::now();
+    let mut m = std::collections::HashMap::new();
+    m.insert(1u64, t.elapsed().as_nanos() as u64);
+    let h = std::thread::spawn(move || m.len() as u64);
+    h.join().unwrap_or(0)
+}

@@ -1,0 +1,7 @@
+//! Violation fixture: `unsafe` in the allowlisted pool file but with no
+//! adjacent `// SAFETY:` justification — the audit must still fire.
+
+pub struct ErasedJob(pub usize);
+
+#[allow(unsafe_code)]
+unsafe impl Send for ErasedJob {}

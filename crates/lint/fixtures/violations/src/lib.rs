@@ -1,0 +1,6 @@
+//! Violation fixture: a crate root missing the `#![deny(unsafe_code)]` /
+//! `#![forbid(unsafe_code)]` gate that `unsafe-audit` requires.
+
+pub fn id(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,163 @@
+//! Walking the workspace, running the checks, applying waivers, and
+//! auditing the waivers themselves.
+
+use crate::checks::{run_checks, CheckId, Config, Diagnostic, FileCtx};
+use crate::lexer::lex;
+use crate::waiver;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into: build output, VCS metadata, and the
+/// linter's own fixture trees (which contain *deliberate* violations).
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "fixtures"];
+
+/// Checks one file's source. `rel` must use forward slashes and be relative
+/// to the workspace root (check scoping matches on it).
+pub fn check_source(rel: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let ctx = FileCtx::new(rel, &lexed.tokens, &lexed.comments);
+    let raw = run_checks(&ctx, cfg);
+    let mut waivers = waiver::collect(&lexed.comments, &lexed.tokens);
+
+    // A diagnostic survives unless a well-formed waiver for its check
+    // targets its line. `waiver-audit` findings are never waivable.
+    let mut out: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| {
+            !waivers.iter_mut().any(|w| {
+                let hits = w.malformed.is_none()
+                    && w.check == d.check.as_str()
+                    && w.target == d.line
+                    && d.check != CheckId::WaiverAudit;
+                w.used |= hits;
+                hits
+            })
+        })
+        .collect();
+
+    // Audit the waivers: malformed, unknown check, self-referential, or
+    // stale (suppressing nothing — the code it excused is gone or fixed).
+    for w in &waivers {
+        let message = if let Some(why) = &w.malformed {
+            format!("malformed waiver: {why}")
+        } else if w.check == CheckId::WaiverAudit.as_str() {
+            "`waiver-audit` cannot be waived".to_string()
+        } else if CheckId::parse(&w.check).is_none() {
+            format!("waiver names unknown check `{}`", w.check)
+        } else if !w.used {
+            format!(
+                "stale waiver: no `{}` diagnostic on line {} to suppress — delete it",
+                w.check, w.target
+            )
+        } else {
+            continue;
+        };
+        out.push(Diagnostic {
+            path: rel.to_string(),
+            line: w.line,
+            check: CheckId::WaiverAudit,
+            message,
+        });
+    }
+    out
+}
+
+/// Recursively collects the `.rs` files under `root`, skipping
+/// [`SKIP_DIRS`], as `(absolute, repo-relative)` pairs.
+fn rust_files(root: &Path) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((path, rel));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Runs every check over every `.rs` file under `root`. Diagnostics come
+/// back sorted by `(path, line, check)` — deterministic output is a stated
+/// goal of this tool, so it holds itself to it.
+pub fn check_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    let mut files = 0usize;
+    for (path, rel) in rust_files(root)? {
+        let source = fs::read_to_string(&path)?;
+        out.extend(check_source(&rel, &source, cfg));
+        files += 1;
+    }
+    if files == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no .rs files under {} — wrong --root?", root.display()),
+        ));
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.check).cmp(&(&b.path, b.line, b.check)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::workspace()
+    }
+
+    #[test]
+    fn waiver_suppresses_matching_check_only() {
+        let src = "fn f() {\n    let m = HashMap::new(); // lint: allow(determinism) — membership only\n}\n";
+        assert!(check_source("crates/core/src/x.rs", src, &cfg()).is_empty());
+        // Wrong check id: the diagnostic survives AND the waiver is stale.
+        let src = "fn f() {\n    let m = HashMap::new(); // lint: allow(panic-path) — wrong\n}\n";
+        let d = check_source("crates/core/src/x.rs", src, &cfg());
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|d| d.check == CheckId::Determinism));
+        assert!(d.iter().any(|d| d.check == CheckId::WaiverAudit));
+    }
+
+    #[test]
+    fn stale_and_unknown_waivers_are_diagnostics() {
+        let src = "// lint: allow(determinism) — nothing here needs it\nfn f() {}\n";
+        let d = check_source("crates/core/src/x.rs", src, &cfg());
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("stale"));
+
+        let src = "// lint: allow(no-such-check) — whatever\nfn f() {}\n";
+        let d = check_source("crates/core/src/x.rs", src, &cfg());
+        assert!(d.iter().any(|d| d.message.contains("unknown check")));
+    }
+
+    #[test]
+    fn waiver_audit_is_not_waivable() {
+        let src = "// lint: allow(waiver-audit) — nice try\nfn f() {}\n";
+        let d = check_source("crates/core/src/x.rs", src, &cfg());
+        assert!(d.iter().any(|d| d.message.contains("cannot be waived")));
+    }
+
+    #[test]
+    fn diagnostic_display_format() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let d = check_source("crates/sim/src/x.rs", src, &cfg());
+        assert_eq!(d.len(), 1);
+        let line = d[0].to_string();
+        assert!(line.starts_with("crates/sim/src/x.rs:1: [determinism] "), "{line}");
+    }
+}

@@ -1,0 +1,432 @@
+//! A small, total Rust lexer: just enough token structure for the invariant
+//! checks, none of the grammar.
+//!
+//! The checks only need to know four things about a source file: which
+//! *identifiers* appear where, which *punctuation* separates them, what text
+//! lives in *comments* (for `// SAFETY:` and waiver annotations), and which
+//! regions are literals so that `"thread::spawn"` inside a string or a
+//! `// lint:` marker inside a doc example never confuses a check. That rules
+//! out regexes (a `//` inside a string literal is not a comment; an `unsafe`
+//! inside one is not a keyword) but does not require a real parser — so this
+//! module hand-rolls a lexer over the raw bytes instead of depending on
+//! `syn` (consistent with the workspace's vendored-stub offline constraint).
+//!
+//! Handled precisely, with fixture tests in `tests/fixtures.rs`:
+//!
+//! * line comments (incl. `///` and `//!` doc forms) and **nested** block
+//!   comments (`/* /* */ */` — legal Rust, illegal in C);
+//! * string literals with escapes, byte strings, and **raw strings**
+//!   (`r"…"`, `r#"…"#`, `br##"…"##` — any hash depth), which may contain
+//!   unescaped quotes and `//`;
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity (a quote followed by
+//!   an identifier is a lifetime unless a closing quote follows), escaped
+//!   char literals (`'\''`, `'\u{1F}'`), and byte chars (`b'x'`);
+//! * raw identifiers (`r#type`), lexed as the identifier they escape.
+//!
+//! The lexer is **total**: malformed input (unterminated literals, stray
+//! bytes) degrades to best-effort tokens and never panics — it must be safe
+//! to point at any file in the tree, including this one.
+
+/// One lexed token. Literal *contents* are deliberately dropped: checks must
+/// never match inside them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tok<'a> {
+    /// Identifier or keyword (`unsafe`, `spawn`, `HashMap`, …).
+    Ident(&'a str),
+    /// A single punctuation byte (`.`, `:`, `[`, `!`, …).
+    Punct(char),
+    /// Numeric literal (contents irrelevant to every check).
+    Num,
+    /// String or byte-string literal, raw or not.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, Copy, Debug)]
+pub struct Token<'a> {
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+    /// The token itself.
+    pub tok: Tok<'a>,
+}
+
+/// A comment with its 1-based starting line and inner text (delimiters
+/// stripped; block comments keep their interior newlines).
+#[derive(Clone, Copy, Debug)]
+pub struct Comment<'a> {
+    /// 1-based line of the opening `//` or `/*`.
+    pub line: usize,
+    /// Text between the delimiters.
+    pub text: &'a str,
+    /// `true` for `/* … */`, `false` for `// …`.
+    pub block: bool,
+}
+
+/// Output of [`lex`]: code tokens and comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// Code tokens (comments excluded).
+    pub tokens: Vec<Token<'a>>,
+    /// All comments, doc comments included.
+    pub comments: Vec<Comment<'a>>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into tokens and comments. Never panics; see the module docs
+/// for the exact coverage.
+pub fn lex(src: &str) -> Lexed<'_> {
+    Lexer { src, b: src.as_bytes(), i: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    b: &'a [u8],
+    i: usize,
+    line: usize,
+    out: Lexed<'a>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed<'a> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.quote(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                _ => {
+                    // Multibyte UTF-8 (only legal in comments/literals, which
+                    // are consumed above, or in doc text) degrades to one
+                    // punct per byte — harmless for every check.
+                    self.push(Tok::Punct(c as char));
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, tok: Tok<'a>) {
+        self.out.tokens.push(Token { line: self.line, tok });
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.i + 2;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.out.comments.push(Comment { line, text: &self.src[start..self.i], block: false });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.i + 2;
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                if self.b[self.i] == b'\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+            }
+        }
+        let end = if depth == 0 { self.i - 2 } else { self.i }.max(start);
+        self.out.comments.push(Comment { line, text: &self.src[start..end], block: true });
+    }
+
+    /// Non-raw string body, opening quote at `self.i`.
+    fn string(&mut self) {
+        let line = self.line;
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2, // skip the escaped byte (incl. \")
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.out.tokens.push(Token { line, tok: Tok::Str });
+    }
+
+    /// Raw string starting at the `r` (hashes counted from `self.i + 1`).
+    /// Returns false (consuming nothing) if this is not a raw string after
+    /// all — e.g. a raw identifier `r#type`.
+    fn raw_string(&mut self) -> bool {
+        let mut j = self.i + 1;
+        while self.b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        if self.b.get(j) != Some(&b'"') {
+            return false;
+        }
+        let hashes = j - (self.i + 1);
+        let line = self.line;
+        self.i = j + 1;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+            }
+            if self.b[self.i] == b'"'
+                && self.b[self.i + 1..].iter().take(hashes).filter(|&&h| h == b'#').count()
+                    == hashes
+            {
+                self.i += 1 + hashes;
+                self.out.tokens.push(Token { line, tok: Tok::Str });
+                return true;
+            }
+            self.i += 1;
+        }
+        self.out.tokens.push(Token { line, tok: Tok::Str });
+        true
+    }
+
+    /// A `'`: lifetime or char literal. The disambiguation rule: a quote
+    /// followed by an identifier is a **lifetime** unless a closing quote
+    /// immediately follows the identifier (`'a` vs `'a'`).
+    fn quote(&mut self) {
+        let line = self.line;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: skip ' \ and the escape head, then
+                // scan to the closing quote ('\'' and '\u{…}' included).
+                self.i += 3;
+                while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                    if self.b[self.i] == b'\n' {
+                        self.line += 1;
+                    }
+                    self.i += 1;
+                }
+                self.i += 1;
+                self.out.tokens.push(Token { line, tok: Tok::Char });
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut j = self.i + 1;
+                while j < self.b.len() && is_ident_cont(self.b[j]) {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') {
+                    self.i = j + 1;
+                    self.out.tokens.push(Token { line, tok: Tok::Char });
+                } else {
+                    self.i = j;
+                    self.out.tokens.push(Token { line, tok: Tok::Lifetime });
+                }
+            }
+            Some(_) => {
+                // Plain char literal like '+' or ' '.
+                self.i += 1;
+                while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                    if self.b[self.i] == b'\n' {
+                        self.line += 1;
+                    }
+                    self.i += 1;
+                }
+                self.i += 1;
+                self.out.tokens.push(Token { line, tok: Tok::Char });
+            }
+            None => {
+                self.push(Tok::Punct('\''));
+                self.i += 1;
+            }
+        }
+    }
+
+    /// Numeric literal: digits, radix prefixes, suffixes, underscores, and a
+    /// fraction part — but never a range (`0..n` stays number, dot, dot).
+    fn number(&mut self) {
+        let line = self.line;
+        while self.i < self.b.len() && is_ident_cont(self.b[self.i]) {
+            self.i += 1;
+        }
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            self.i += 1;
+            while self.i < self.b.len() && is_ident_cont(self.b[self.i]) {
+                self.i += 1;
+            }
+        }
+        self.out.tokens.push(Token { line, tok: Tok::Num });
+    }
+
+    /// Identifier, keyword, or a literal with an identifier-looking prefix:
+    /// `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`, and raw idents `r#type`.
+    fn ident_or_prefixed_literal(&mut self) {
+        let rest = &self.b[self.i..];
+        let raw_at = |off: usize| rest.get(off).is_some_and(|&c| c == b'"' || c == b'#');
+        match rest[0] {
+            // `r#ident` falls through raw_string() to the ident path.
+            b'r' if raw_at(1) && self.raw_string() => return,
+            b'b' => match rest.get(1) {
+                Some(b'"') => return self.skip_byte_then(|l| l.string()),
+                Some(b'\'') => return self.skip_byte_then(|l| l.quote()),
+                Some(b'r') if raw_at(2) => {
+                    self.i += 1;
+                    if self.raw_string() {
+                        return;
+                    }
+                    self.i -= 1;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        let start = if rest.starts_with(b"r#") { self.i + 2 } else { self.i };
+        let mut j = start;
+        while j < self.b.len() && is_ident_cont(self.b[j]) {
+            j += 1;
+        }
+        let text = &self.src[start..j];
+        self.push(Tok::Ident(text));
+        self.i = j;
+    }
+
+    fn skip_byte_then(&mut self, f: impl FnOnce(&mut Self)) {
+        self.i += 1;
+        f(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let l = lex("unsafe { foo.bar(); }");
+        assert_eq!(idents("unsafe { foo.bar(); }"), vec!["unsafe", "foo", "bar"]);
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // Neither the `unsafe` nor the `//` inside the literal may surface.
+        let l = lex(r#"let s = "unsafe // not a comment"; s.len()"#);
+        assert_eq!(
+            idents(r#"let s = "unsafe // not a comment"; s.len()"#),
+            vec!["let", "s", "s", "len"]
+        );
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r####"let s = r##"quote " and hash # and "# still inside"##; done()"####;
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still outer */ b");
+        assert_eq!(idents("a /* outer /* inner */ still outer */ b"), vec!["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let l = lex("fn f<'a>(x: &'a u8) { let c = 'a'; let s = 'static; }");
+        let lifetimes = l.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = l.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 3); // <'a>, &'a, 'static (a lifetime here!)
+        assert_eq!(chars, 1); // 'a'
+    }
+
+    #[test]
+    fn escaped_chars() {
+        for src in ["'\\''", "'\\\\'", "'\\u{1F600}'", "'\\n'", "b'x'", "' '"] {
+            let l = lex(src);
+            assert_eq!(l.tokens.len(), 1, "{src}");
+            assert_eq!(l.tokens[0].tok, Tok::Char, "{src}");
+        }
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        assert_eq!(idents("let r#type = r#fn;"), vec!["let", "type", "fn"]);
+    }
+
+    #[test]
+    fn line_numbers_track_every_literal_kind() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e\nf";
+        let l = lex(src);
+        let by_ident: Vec<(usize, &str)> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some((t.line, s)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(by_ident, vec![(1, "a"), (4, "b"), (5, "e"), (6, "f")]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..10 { v[i] }");
+        let puncts: Vec<char> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!['.', '.', '{', '[', ']', '}']);
+    }
+
+    #[test]
+    fn total_on_malformed_input() {
+        // Unterminated everything: must not panic, must not loop.
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "'\\", "b'"] {
+            let _ = lex(src);
+        }
+    }
+}

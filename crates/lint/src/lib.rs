@@ -1,0 +1,54 @@
+//! # anonet-lint
+//!
+//! A **self-hosted static invariant checker** for the anonet workspace. The
+//! repo's correctness story rests on invariants no compiler checks:
+//!
+//! * bit-identical Traces across thread counts and frontier modes (the
+//!   `engine_props` oracle) and seed-determinism of the async runtime —
+//!   so no wall clocks, OS entropy, or hash-order iteration in
+//!   determinism-critical crates (`determinism`);
+//! * the audited-`unsafe`-only-in-`pool.rs` soundness argument from the
+//!   round-pool work (`unsafe-audit`);
+//! * engine parallelism routing through `RoundPool`, not ad-hoc spawns —
+//!   the exact drift that caused the t4-slower-than-t1 regression
+//!   (`thread-discipline`);
+//! * the service's poison-recovery locking policy (`lock-hygiene`) and its
+//!   "hostile input never panics a worker" hardening (`panic-path`);
+//! * and the waivers themselves: every exception must be written down next
+//!   to the code with a reason, and audited for staleness (`waiver-audit`).
+//!
+//! The tool is std-only and self-contained: its own small Rust lexer
+//! ([`lexer`] — raw strings, nested block comments, char-vs-lifetime
+//! disambiguation) instead of `syn`, consistent with the workspace's
+//! vendored-stub offline constraint. It is **self-hosting**: the tier-1
+//! test `tests/selfhost.rs` runs it over this very repository and fails on
+//! any diagnostic, and CI additionally runs the binary with deny semantics
+//! plus a negative-path run asserting that seeded violation fixtures *are*
+//! reported (so the linter can never silently match nothing).
+//!
+//! ## Waivers
+//!
+//! ```text
+//! // lint: allow(check-id) — reason
+//! ```
+//!
+//! A waiver on its own line excuses the next code line; a trailing waiver
+//! excuses its own line. See [`waiver`] for the audit rules.
+//!
+//! ## Running locally
+//!
+//! ```text
+//! cargo run -p anonet-lint            # lint the workspace, exit 1 on findings
+//! cargo run -p anonet-lint -- --list  # describe the checks
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod engine;
+pub mod lexer;
+pub mod waiver;
+
+pub use checks::{CheckId, Config, Diagnostic, ALL_CHECKS};
+pub use engine::{check_source, check_workspace};

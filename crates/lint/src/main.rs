@@ -1,0 +1,75 @@
+//! `anonet-lint`: run the workspace invariant checks with deny semantics.
+//!
+//! Exit codes: `0` clean, `1` diagnostics found, `2` usage error. With
+//! `--expect-violations` the meaning of 0/1 flips: the run *must* find at
+//! least one diagnostic (CI's negative-path guard, pointed at the seeded
+//! violation fixtures, so a linter that silently matches nothing fails the
+//! build instead of passing it).
+
+use anonet_lint::{check_workspace, Config, ALL_CHECKS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: anonet-lint [--root PATH] [--expect-violations] [--list]";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut expect_violations = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage_error("--root needs a path"),
+            },
+            "--expect-violations" => expect_violations = true,
+            "--list" => {
+                for c in ALL_CHECKS {
+                    println!("{}", c.as_str());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            // Unknown flags are errors, not silently absorbed (the
+            // perf_baseline typo lesson).
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let diags = match check_workspace(&root, &Config::workspace()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("anonet-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    if expect_violations {
+        if diags.is_empty() {
+            eprintln!(
+                "anonet-lint: expected violations under {}, found none — the checks are not firing",
+                root.display()
+            );
+            ExitCode::FAILURE
+        } else {
+            eprintln!("anonet-lint: {} diagnostic(s) reported, as expected", diags.len());
+            ExitCode::SUCCESS
+        }
+    } else if diags.is_empty() {
+        eprintln!("anonet-lint: clean ({} checks)", ALL_CHECKS.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("anonet-lint: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("anonet-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,164 @@
+//! The inline waiver syntax: `// lint: allow(check-id) — reason`.
+//!
+//! Every exception to an invariant must be written down **next to the code**
+//! it excuses, with a reason — that is the whole point: the allowlist lives
+//! in the diff, not in reviewer memory. A waiver written on its own line
+//! applies to the next line carrying code; a trailing waiver applies to its
+//! own line. Waivers stack (several comment lines before one statement).
+//!
+//! Waivers are themselves audited by the `waiver-audit` check: a waiver that
+//! is malformed (no reason), names an unknown check, or suppresses nothing
+//! (stale after a refactor) is a diagnostic. `waiver-audit` cannot be
+//! waived — the auditor does not audit itself away.
+
+use crate::lexer::{Comment, Token};
+
+/// The separator between the check id and the reason: an em dash, en dash,
+/// or one or two ASCII hyphens.
+const DASHES: [&str; 4] = ["—", "–", "--", "-"];
+
+/// One parsed (or failed) waiver annotation.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// Line the comment sits on.
+    pub line: usize,
+    /// Line whose diagnostics it suppresses.
+    pub target: usize,
+    /// The waived check id (empty when malformed).
+    pub check: String,
+    /// Parse failure description, if any.
+    pub malformed: Option<String>,
+    /// Set when the waiver suppressed at least one diagnostic.
+    pub used: bool,
+}
+
+/// Extracts waivers from line comments. `tokens` is consulted to resolve
+/// each waiver's target line (same line if it carries code, else the next
+/// line that does).
+pub fn collect(comments: &[Comment<'_>], tokens: &[Token<'_>]) -> Vec<Waiver> {
+    comments
+        .iter()
+        .filter(|c| !c.block)
+        .filter_map(|c| {
+            let text = c.text.trim_start_matches(['/', '!']).trim();
+            let body = text.strip_prefix("lint:")?.trim();
+            Some(match parse_body(body) {
+                Ok(check) => Waiver {
+                    line: c.line,
+                    target: target_line(c.line, tokens),
+                    check,
+                    malformed: None,
+                    used: false,
+                },
+                Err(why) => Waiver {
+                    line: c.line,
+                    target: c.line,
+                    check: String::new(),
+                    malformed: Some(why),
+                    used: false,
+                },
+            })
+        })
+        .collect()
+}
+
+/// Parses `allow(check-id) — reason`, returning the check id.
+fn parse_body(body: &str) -> Result<String, String> {
+    let Some(rest) = body.strip_prefix("allow(") else {
+        return Err("expected `allow(check-id) — reason` after `lint:`".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(`".into());
+    };
+    let check = rest[..close].trim();
+    if check.is_empty() || !check.bytes().all(|b| b.is_ascii_lowercase() || b == b'-') {
+        return Err(format!("`{check}` is not a check id (lowercase-kebab-case)"));
+    }
+    let mut tail = rest[close + 1..].trim_start();
+    let had_dash = DASHES.iter().any(|d| {
+        if let Some(t) = tail.strip_prefix(d) {
+            tail = t;
+            true
+        } else {
+            false
+        }
+    });
+    if !had_dash || tail.trim().is_empty() {
+        return Err("a waiver must carry a reason: `… — why this is sound`".into());
+    }
+    Ok(check.to_string())
+}
+
+/// The line a waiver on `line` applies to: `line` itself when it carries
+/// code, otherwise the next line with any code token.
+fn target_line(line: usize, tokens: &[Token<'_>]) -> usize {
+    if tokens.iter().any(|t| t.line == line) {
+        return line;
+    }
+    tokens.iter().map(|t| t.line).filter(|&l| l > line).min().unwrap_or(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let l = lex("let x = foo(); // lint: allow(determinism) — membership only\nbar();");
+        let w = collect(&l.comments, &l.tokens);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].check, "determinism");
+        assert_eq!((w[0].line, w[0].target), (1, 1));
+        assert!(w[0].malformed.is_none());
+    }
+
+    #[test]
+    fn standalone_waiver_targets_next_code_line() {
+        let l = lex("// lint: allow(panic-path) — bounds proven above\n\nbuf[i];\n");
+        let w = collect(&l.comments, &l.tokens);
+        assert_eq!((w[0].line, w[0].target), (1, 3));
+    }
+
+    #[test]
+    fn stacked_waivers_share_a_target() {
+        let src = "// lint: allow(determinism) — a\n// lint: allow(panic-path) — b\nx();\n";
+        let l = lex(src);
+        let w = collect(&l.comments, &l.tokens);
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(|w| w.target == 3));
+    }
+
+    #[test]
+    fn ascii_dashes_accepted() {
+        for src in [
+            "// lint: allow(determinism) - reason\nx();",
+            "// lint: allow(determinism) -- reason\nx();",
+        ] {
+            let l = lex(src);
+            assert!(collect(&l.comments, &l.tokens)[0].malformed.is_none(), "{src}");
+        }
+    }
+
+    #[test]
+    fn malformed_waivers_are_reported_not_ignored() {
+        for src in [
+            "// lint: allow(determinism)\nx();",     // no reason
+            "// lint: allow(determinism) — \nx();",  // empty reason
+            "// lint: allow(Determinism) — x\nx();", // bad id charset
+            "// lint: deny(determinism) — x\nx();",  // not allow(…)
+            "// lint: allow(determinism — x\nx();",  // unclosed
+        ] {
+            let l = lex(src);
+            let w = collect(&l.comments, &l.tokens);
+            assert_eq!(w.len(), 1, "{src}");
+            assert!(w[0].malformed.is_some(), "{src}");
+        }
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_waivers() {
+        let l = lex("// just a note about lint: nothing\nx();");
+        assert!(collect(&l.comments, &l.tokens).is_empty());
+    }
+}

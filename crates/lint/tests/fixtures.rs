@@ -1,0 +1,141 @@
+//! Per-check fixture tests: every check must fire on its seeded violation
+//! twin and stay silent on its clean twin. The fixture trees mirror the
+//! repo layout so the path-scoped configs apply exactly as they do to the
+//! real workspace.
+
+use anonet_lint::{check_source, check_workspace, CheckId, Config, Diagnostic};
+use std::path::Path;
+
+fn lint(rel: &str, src: &str) -> Vec<Diagnostic> {
+    check_source(rel, src, &Config::workspace())
+}
+
+fn has(d: &[Diagnostic], check: CheckId, needle: &str) -> bool {
+    d.iter().any(|d| d.check == check && d.message.contains(needle))
+}
+
+macro_rules! fixture {
+    ($tree:literal, $rel:literal) => {
+        include_str!(concat!("../fixtures/", $tree, "/", $rel))
+    };
+}
+
+#[test]
+fn unsafe_audit_fires_on_missing_safety_comment() {
+    let d = lint("crates/sim/src/pool.rs", fixture!("violations", "crates/sim/src/pool.rs"));
+    assert!(has(&d, CheckId::UnsafeAudit, "SAFETY"), "{d:?}");
+}
+
+#[test]
+fn unsafe_audit_fires_on_ungated_crate_root() {
+    let d = lint("src/lib.rs", fixture!("violations", "src/lib.rs"));
+    assert!(has(&d, CheckId::UnsafeAudit, "crate root"), "{d:?}");
+}
+
+#[test]
+fn unsafe_audit_accepts_audited_site_and_gated_root() {
+    let d = lint("crates/sim/src/pool.rs", fixture!("clean", "crates/sim/src/pool.rs"));
+    assert!(d.is_empty(), "{d:?}");
+    let d = lint("src/lib.rs", fixture!("clean", "src/lib.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn determinism_fires_on_clock_and_hash_container() {
+    let d = lint("crates/sim/src/engine.rs", fixture!("violations", "crates/sim/src/engine.rs"));
+    assert!(has(&d, CheckId::Determinism, "Instant"), "{d:?}");
+    assert!(has(&d, CheckId::Determinism, "HashMap"), "{d:?}");
+}
+
+#[test]
+fn determinism_accepts_waived_membership_and_test_clocks() {
+    let d = lint("crates/sim/src/engine.rs", fixture!("clean", "crates/sim/src/engine.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn thread_discipline_fires_on_ad_hoc_spawn() {
+    let d = lint("crates/sim/src/engine.rs", fixture!("violations", "crates/sim/src/engine.rs"));
+    assert!(d.iter().any(|d| d.check == CheckId::ThreadDiscipline), "{d:?}");
+}
+
+#[test]
+fn thread_discipline_accepts_the_pool_file() {
+    // The same spawn text is fine in the allowlisted pool file.
+    let d = lint("crates/sim/src/pool.rs", fixture!("violations", "crates/sim/src/engine.rs"));
+    assert!(!d.iter().any(|d| d.check == CheckId::ThreadDiscipline), "{d:?}");
+}
+
+#[test]
+fn lock_hygiene_fires_on_bare_lock_unwrap() {
+    let d = lint(
+        "crates/service/src/server.rs",
+        fixture!("violations", "crates/service/src/server.rs"),
+    );
+    assert!(d.iter().any(|d| d.check == CheckId::LockHygiene), "{d:?}");
+}
+
+#[test]
+fn lock_hygiene_accepts_poison_recovery_accessor() {
+    let d = lint("crates/service/src/server.rs", fixture!("clean", "crates/service/src/server.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn panic_path_fires_on_panic_and_computed_index() {
+    let d =
+        lint("crates/service/src/wire.rs", fixture!("violations", "crates/service/src/wire.rs"));
+    assert!(has(&d, CheckId::PanicPath, "panic"), "{d:?}");
+    assert!(has(&d, CheckId::PanicPath, "slice index"), "{d:?}");
+    // The literal `bytes[0]` two lines above the computed one is not flagged.
+    assert_eq!(d.iter().filter(|d| d.message.contains("slice index")).count(), 1, "{d:?}");
+}
+
+#[test]
+fn panic_path_accepts_checked_waived_and_test_code() {
+    let d = lint("crates/service/src/wire.rs", fixture!("clean", "crates/service/src/wire.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn waiver_audit_fires_on_every_bad_waiver_shape() {
+    let d =
+        lint("crates/core/src/waivers.rs", fixture!("violations", "crates/core/src/waivers.rs"));
+    assert!(has(&d, CheckId::WaiverAudit, "stale"), "{d:?}");
+    assert!(has(&d, CheckId::WaiverAudit, "unknown check"), "{d:?}");
+    assert!(has(&d, CheckId::WaiverAudit, "malformed"), "{d:?}");
+    assert!(has(&d, CheckId::WaiverAudit, "cannot be waived"), "{d:?}");
+    assert_eq!(d.len(), 4, "{d:?}");
+}
+
+#[test]
+fn lexer_torture_file_is_clean() {
+    // Strings, raw strings, nested block comments, byte strings, lifetimes,
+    // escaped char quotes — none of the look-alike violations may fire.
+    let d = lint(
+        "crates/sim/src/lexer_torture.rs",
+        fixture!("clean", "crates/sim/src/lexer_torture.rs"),
+    );
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn violations_tree_reports_and_clean_tree_is_silent() {
+    // The in-process analog of CI's two binary runs.
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let cfg = Config::workspace();
+    let bad = check_workspace(&fixtures.join("violations"), &cfg).expect("walk violations");
+    let seen: std::collections::BTreeSet<&str> = bad.iter().map(|d| d.check.as_str()).collect();
+    for check in [
+        "unsafe-audit",
+        "determinism",
+        "thread-discipline",
+        "lock-hygiene",
+        "panic-path",
+        "waiver-audit",
+    ] {
+        assert!(seen.contains(check), "no `{check}` diagnostic in the violations tree: {bad:?}");
+    }
+    let good = check_workspace(&fixtures.join("clean"), &cfg).expect("walk clean");
+    assert!(good.is_empty(), "{good:?}");
+}

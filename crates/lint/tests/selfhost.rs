@@ -1,0 +1,22 @@
+//! The tier-1 gate: `anonet-lint` runs clean over this very repository.
+//!
+//! A diagnostic here means either new code broke a workspace invariant
+//! (fix the code) or a deliberate exception lacks its inline waiver
+//! (write `// lint: allow(check-id) — reason` next to it). CI runs the
+//! same checks via the binary; this test makes `cargo test` alone enforce
+//! the gate.
+
+use anonet_lint::{check_workspace, Config};
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = check_workspace(&root, &Config::workspace()).expect("walk the workspace");
+    assert!(
+        diags.is_empty(),
+        "anonet-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -332,6 +332,7 @@ pub fn drive(problem: Problem, blobs: &[Vec<u8>], cfg: &DriveConfig) -> io::Resu
                             }
                         }
                     }
+                    // lint: allow(lock-hygiene) — scope-local aggregation, not service state: if a worker panicked the scope join below propagates it before the report is read, so recovery would hide the failure
                     let mut agg = agg.lock().expect("report poisoned");
                     agg.ok += local.ok;
                     agg.busy += local.busy;

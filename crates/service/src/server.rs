@@ -135,9 +135,24 @@ impl Shared {
         }
     }
 
+    /// Locks the job queue, recovering from poisoning. Unlike the cache,
+    /// the queued jobs stay: they are plain data (request + reply sender)
+    /// that a panic elsewhere cannot have half-mutated, and dropping them
+    /// would strand every queued client waiting on a reply channel whose
+    /// sender just vanished.
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        match self.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.queue.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
     /// Enqueues a request or returns the encoded `Busy` payload.
     fn submit(&self, req: SolveRequest) -> Result<mpsc::Receiver<Vec<u8>>, Vec<u8>> {
-        let mut q = self.queue.lock().expect("queue poisoned");
+        let mut q = self.lock_queue();
         if self.stop.load(Ordering::Relaxed) || q.len() >= self.cfg.queue_cap {
             self.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
             return Err(wire::encode_solve_response(&SolveResponse::Busy {
@@ -167,7 +182,7 @@ impl Shared {
             cache_misses,
             cache_evictions,
             cache_len,
-            queue_len: self.queue.lock().expect("queue poisoned").len() as u64,
+            queue_len: self.lock_queue().len() as u64,
             workers: self.cfg.workers as u64,
             shed_conns: self.counters.shed_conns.load(Ordering::Relaxed),
         }
@@ -216,6 +231,7 @@ type InstanceOutcome = Result<(bool, Vec<u8>), String>;
 /// Executes one request end to end, returning the response payload.
 fn execute(shared: &Shared, req: &SolveRequest) -> Vec<u8> {
     if cfg!(debug_assertions) && req.flags & wire::FLAG_TEST_PANIC != 0 {
+        // lint: allow(panic-path) — deliberate test instrumentation, debug builds only, and the worker_loop catch_unwind is exactly what it exercises
         panic!("FLAG_TEST_PANIC set: deliberate worker panic (test instrumentation)");
     }
     // Async execution is wired up for the §3 PN algorithm (whose certified
@@ -261,6 +277,7 @@ fn execute(shared: &Shared, req: &SolveRequest) -> Vec<u8> {
     }
 
     let results: Vec<InstanceOutcome> =
+        // lint: allow(panic-path) — every slot is filled by construction: the cache pass writes hits, the execute pass writes the rest
         outcomes.into_iter().map(|o| o.expect("every instance resolved")).collect();
     let errors = results.iter().filter(|r| r.is_err()).count() as u64;
     if errors > 0 {
@@ -297,6 +314,7 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                         .iter()
                         .map(|dec| {
                             let d = dec.as_ref().map_err(|e| e.clone())?;
+                            // lint: allow(panic-path) — `runs` holds exactly one entry per Ok-decoded instance, zipped back in order
                             let run = runs.next().expect("one run per good instance");
                             let vc = run.map_err(|e| format!("execution failed: {e}"))?;
                             let cert =
@@ -365,6 +383,7 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                 .iter()
                 .map(|dec| {
                     let d = dec.as_ref().map_err(|e| e.clone())?;
+                    // lint: allow(panic-path) — `runs` holds exactly one entry per Ok-decoded instance, zipped back in order
                     let run = runs.next().expect("one run per good instance");
                     let vc = run.map_err(|e| format!("execution failed: {e}"))?;
                     // §5 outputs do not carry the full packing; the maximality
@@ -398,6 +417,7 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                 .iter()
                 .map(|dec| {
                     let d = dec.as_ref().map_err(|e| e.clone())?;
+                    // lint: allow(panic-path) — `runs` holds exactly one entry per Ok-decoded instance, zipped back in order
                     let run = runs.next().expect("one run per good instance");
                     let sc = run.map_err(|e| format!("execution failed: {e}"))?;
                     let cert = certify_set_cover(&d.inst, &sc.packing, &sc.cover)
@@ -412,7 +432,7 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
 fn worker_loop(shared: Arc<Shared>) {
     loop {
         let job = {
-            let mut q = shared.queue.lock().expect("queue poisoned");
+            let mut q = shared.lock_queue();
             loop {
                 if let Some(job) = q.pop_front() {
                     break job;
@@ -420,7 +440,16 @@ fn worker_loop(shared: Arc<Shared>) {
                 if shared.stop.load(Ordering::Relaxed) {
                     return;
                 }
-                q = shared.cv.wait(q).expect("queue poisoned");
+                // Same recovery policy as `lock_queue`: a poisoned wait
+                // means some other holder panicked, not that the queue
+                // contents are bad — keep draining it.
+                q = match shared.cv.wait(q) {
+                    Ok(g) => g,
+                    Err(poisoned) => {
+                        shared.queue.clear_poison();
+                        poisoned.into_inner()
+                    }
+                };
             }
         };
         // A panicking job must not take the worker down with it (a handful
@@ -615,9 +644,11 @@ mod tests {
             stop: AtomicBool::new(false),
         };
         shared.lock_cache().insert(vec![1], vec![2]);
-        // Poison the mutex: panic while holding the guard.
+        // Poison the mutex: panic while holding the guard. The accessor is
+        // fine here — the mutex is healthy at lock time; it is the panic
+        // *while holding* the returned guard that poisons it.
         let _ = catch_unwind(AssertUnwindSafe(|| {
-            let _g = shared.cache.lock().unwrap();
+            let _g = shared.lock_cache();
             panic!("poison");
         }));
         // Recovery drops the possibly-inconsistent contents and keeps

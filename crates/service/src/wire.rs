@@ -219,6 +219,7 @@ impl SolveRequest {
         w.put_u8(self.problem.to_u8());
         w.put_u8(mode);
         w.put_u64(seed);
+        // lint: allow(panic-path) — `i` is the caller's loop index over `self.instances`, not a wire-read length
         w.put_bytes(&self.instances[i]);
         w.into_bytes()
     }
@@ -380,6 +381,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut len = [0u8; 4];
     let mut got = 0;
     while got < len.len() {
+        // lint: allow(panic-path) — `got < len.len()` is the loop condition two lines up
         match r.read(&mut len[got..]) {
             Ok(0) if got == 0 => return Ok(None),
             Ok(0) => {
@@ -533,6 +535,7 @@ fn decode_solved_body(r: &mut ByteReader<'_>, from_cache: bool) -> Result<Solved
         return Err(WireError::Invalid(format!("cover length {n} exceeds MAX_FRAME")));
     }
     let bytes = r.get_bytes(n.div_ceil(8))?;
+    // lint: allow(panic-path) — `i < n` and `bytes.len() == n.div_ceil(8)`, so `i / 8 < bytes.len()`
     let cover = (0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect();
     let certificate = anonet_core::canon::decode_certificate(r.get_blob()?)?;
     let is_async = r.get_u8()? != 0;

@@ -5,6 +5,13 @@
 //! node's contiguous arc range; the *order of the adjacency lists defines the
 //! port numbering*, so generators that need adversarial or symmetric port
 //! assignments (e.g. Fig. 3) simply order the lists accordingly.
+//!
+//! Determinism note: construction uses `HashSet`/`HashMap` for *membership*
+//! only — every loop that decides an output (arc pairing, edge ids, error
+//! selection) walks the caller-ordered adjacency lists, never a hash
+//! container. An earlier draft iterated a `HashSet` to pick which
+//! asymmetric pair to report, which made the error message depend on
+//! `RandomState`; `anonet-lint`'s `determinism` check now guards this.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -70,7 +77,7 @@ impl Graph {
     /// in which its edges appear in `edges`.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Graph, GraphError> {
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut seen = HashSet::new();
+        let mut seen = HashSet::new(); // lint: allow(determinism) — membership-only duplicate detector, never iterated
         for &(u, v) in edges {
             if u >= n {
                 return Err(GraphError::NodeOutOfRange { node: u, n });
@@ -97,9 +104,9 @@ impl Graph {
     pub fn from_adjacency(adj: Vec<Vec<usize>>) -> Result<Graph, GraphError> {
         let n = adj.len();
         // Validate.
-        let mut pair_count: HashSet<(usize, usize)> = HashSet::new();
+        let mut pair_count: HashSet<(usize, usize)> = HashSet::new(); // lint: allow(determinism) — membership-only: probed via `contains` below, never iterated
         for (v, list) in adj.iter().enumerate() {
-            let mut local = HashSet::new();
+            let mut local = HashSet::new(); // lint: allow(determinism) — membership-only duplicate detector, never iterated
             for &u in list {
                 if u >= n {
                     return Err(GraphError::NodeOutOfRange { node: u, n });
@@ -113,9 +120,15 @@ impl Graph {
                 pair_count.insert((v, u));
             }
         }
-        for &(v, u) in &pair_count {
-            if !pair_count.contains(&(u, v)) {
-                return Err(GraphError::AsymmetricAdjacency(v, u));
+        // Walk the caller-ordered lists, not the set: iterating the
+        // `HashSet` here would make *which* asymmetric pair gets reported
+        // depend on `RandomState` — same Err/Ok answer, different message
+        // run to run.
+        for (v, list) in adj.iter().enumerate() {
+            for &u in list {
+                if !pair_count.contains(&(u, v)) {
+                    return Err(GraphError::AsymmetricAdjacency(v, u));
+                }
             }
         }
 
@@ -131,8 +144,8 @@ impl Graph {
         let mut edges = Vec::with_capacity(total_arcs / 2);
 
         // Map (min,max) -> first arc index, to pair reverse arcs and edges.
-        let mut first_arc: std::collections::HashMap<(usize, usize), usize> =
-            std::collections::HashMap::new();
+        // lint: allow(determinism) — membership-only map (get/insert); arc and edge order comes from the adjacency walk
+        let mut first_arc = std::collections::HashMap::<(usize, usize), usize>::new();
         for (v, list) in adj.iter().enumerate() {
             for (p, &u) in list.iter().enumerate() {
                 let a = arc_start[v] + p;

@@ -1,4 +1,7 @@
 //! Umbrella crate re-exporting the anonet workspace.
+
+#![forbid(unsafe_code)]
+
 pub use anonet_baselines as baselines;
 pub use anonet_bigmath as bigmath;
 pub use anonet_core as core;
