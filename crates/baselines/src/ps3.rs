@@ -26,6 +26,7 @@ pub enum PsMsg {
 }
 
 impl MessageSize for PsMsg {
+    const FIXED_BITS: Option<u64> = Some(2);
     fn approx_bits(&self) -> u64 {
         2
     }

@@ -27,6 +27,7 @@ pub enum RmMsg {
 }
 
 impl MessageSize for RmMsg {
+    const FIXED_BITS: Option<u64> = Some(2);
     fn approx_bits(&self) -> u64 {
         2
     }

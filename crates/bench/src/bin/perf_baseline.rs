@@ -18,12 +18,14 @@
 //! shape (which workloads exist and their relative cost), CI uploads a
 //! fresh one per run as an artifact.
 
-use anonet_bench::{halting_inputs, HaltingGossip};
+use anonet_bench::{halting_inputs, HaltingBcastGossip, HaltingGossip};
 use anonet_gen::{family, WeightSpec};
 use anonet_runtime::{run_async_pn, DelayModel, NetworkConfig};
 use anonet_service::loadgen::{drive, synthesize, DriveConfig, FamilyKind, LoopMode, WorkloadSpec};
 use anonet_service::{Problem, Server, ServiceConfig};
-use anonet_sim::{run_pn, BatchRunner, EngineOptions, Graph, Job, PnEngine, PortNumbering};
+use anonet_sim::{
+    run_pn, BatchRunner, BcastEngine, EngineOptions, Graph, Job, PnEngine, PortNumbering,
+};
 use std::time::{Duration, Instant};
 
 /// One measured workload.
@@ -80,7 +82,9 @@ fn main() {
     // node active for the whole measurement (warmup + reps × 20 < 255).
     let g10k = family::random_regular(10_000, 8, 7);
     let steady_inputs = halting_inputs(10_000, |_| 0xFF);
-    for threads in [1usize, 4] {
+    for (threads, name) in
+        [(1usize, "pn_steady_n10k_d8_t1"), (2, "pn_steady_n10k_d8_t2"), (4, "pn_steady_n10k_d8_t4")]
+    {
         let mut engine = PnEngine::<HaltingGossip>::new(&g10k, &(), &steady_inputs, threads)
             .expect("inputs match");
         let mut s = time_reps(5, || {
@@ -90,7 +94,54 @@ fn main() {
             20
         });
         assert!(engine.round() < 0xFF, "steady-state window exceeded the halt round");
-        s.name = if threads == 1 { "pn_steady_n10k_d8_t1" } else { "pn_steady_n10k_d8_t4" };
+        s.name = name;
+        samples.push(s);
+    }
+
+    // Larger steady state: 50k nodes, degree 8 — past-L2 working set, so
+    // the SoA sweep order and per-pass memory traffic show up here first.
+    let g50k = family::random_regular(50_000, 8, 7);
+    let steady_inputs_50k = halting_inputs(50_000, |_| 0xFF);
+    for (threads, name) in
+        [(1usize, "pn_steady_n50k_d8_t1"), (2, "pn_steady_n50k_d8_t2"), (4, "pn_steady_n50k_d8_t4")]
+    {
+        let mut engine = PnEngine::<HaltingGossip>::new(&g50k, &(), &steady_inputs_50k, threads)
+            .expect("inputs match");
+        let mut s = time_reps(5, || {
+            for _ in 0..20 {
+                engine.step();
+            }
+            20
+        });
+        assert!(engine.round() < 0xFF, "steady-state window exceeded the halt round");
+        s.name = name;
+        samples.push(s);
+    }
+
+    // Broadcast-model steady state: same 10k graph, one broadcast slot per
+    // node, canonicalised via the round-global rank table. The smoke assert
+    // keys the CI build to the counting path actually being exercised — if
+    // the engine silently fell back to per-node sorts (canon_rounds == 0),
+    // the baseline would still produce numbers, just of the wrong thing.
+    for (threads, name) in [(1usize, "bcast_steady_n10k_t1"), (4, "bcast_steady_n10k_t4")] {
+        let mut engine =
+            BcastEngine::<HaltingBcastGossip>::new(&g10k, &(), &steady_inputs, threads)
+                .expect("inputs match");
+        let mut s = time_reps(5, || {
+            for _ in 0..20 {
+                engine.step();
+            }
+            20
+        });
+        assert!(engine.round() < 0xFF, "steady-state window exceeded the halt round");
+        assert!(
+            engine.canon_rounds() == engine.round(),
+            "broadcast canonicalisation table must be built every round \
+             (canon_rounds = {}, rounds = {})",
+            engine.canon_rounds(),
+            engine.round()
+        );
+        s.name = name;
         samples.push(s);
     }
 
@@ -256,8 +307,24 @@ fn main() {
     };
     let speedups = [
         (
+            "pn_steady_n10k_d8_t2_vs_t1",
+            ns_of("pn_steady_n10k_d8_t1") / ns_of("pn_steady_n10k_d8_t2"),
+        ),
+        (
             "pn_steady_n10k_d8_t4_vs_t1",
             ns_of("pn_steady_n10k_d8_t1") / ns_of("pn_steady_n10k_d8_t4"),
+        ),
+        (
+            "pn_steady_n50k_d8_t2_vs_t1",
+            ns_of("pn_steady_n50k_d8_t1") / ns_of("pn_steady_n50k_d8_t2"),
+        ),
+        (
+            "pn_steady_n50k_d8_t4_vs_t1",
+            ns_of("pn_steady_n50k_d8_t1") / ns_of("pn_steady_n50k_d8_t4"),
+        ),
+        (
+            "bcast_steady_n10k_t4_vs_t1",
+            ns_of("bcast_steady_n10k_t1") / ns_of("bcast_steady_n10k_t4"),
         ),
         (
             "pn_steady_star_n10k_t4_vs_t1",
@@ -267,7 +334,7 @@ fn main() {
 
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json =
-        String::from("{\n  \"schema\": \"anonet-bench-engine/4\",\n  \"workloads\": [\n");
+        String::from("{\n  \"schema\": \"anonet-bench-engine/5\",\n  \"workloads\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"rounds\": {}, \"ns_per_round\": {:.1}, \"rounds_per_sec\": {:.1}}}{}\n",

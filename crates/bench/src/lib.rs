@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use anonet_sim::PnAlgorithm;
+use anonet_sim::{BcastAlgorithm, PnAlgorithm};
 use std::fmt::Display;
 
 /// Shared engine-benchmark workload: gossip the running maximum of inputs,
@@ -35,6 +35,37 @@ impl PnAlgorithm for HaltingGossip {
         for m in out {
             *m = self.best;
         }
+    }
+    fn receive(&mut self, _: &(), round: u64, incoming: &[&u64]) -> Option<u64> {
+        for &&m in incoming {
+            self.best = self.best.max(m);
+        }
+        (round >= self.halt_at).then_some(self.best)
+    }
+}
+
+/// Broadcast-model twin of [`HaltingGossip`]: each node broadcasts its
+/// running maximum and halts at the round packed into its input's low byte.
+/// Same input encoding ([`halting_inputs`]), one message per node per round —
+/// this is the steady-state workload for the broadcast engine path and its
+/// round-global canonicalisation (the `bcast_steady_*` rows in
+/// `BENCH_engine.json`).
+pub struct HaltingBcastGossip {
+    best: u64,
+    halt_at: u64,
+}
+
+impl BcastAlgorithm for HaltingBcastGossip {
+    type Msg = u64;
+    type Input = u64;
+    type Output = u64;
+    type Config = ();
+
+    fn init(_: &(), _degree: usize, input: &u64) -> Self {
+        HaltingBcastGossip { best: *input >> 8, halt_at: (*input & 0xFF).max(1) }
+    }
+    fn send(&self, _: &(), _round: u64) -> u64 {
+        self.best
     }
     fn receive(&mut self, _: &(), round: u64, incoming: &[&u64]) -> Option<u64> {
         for &&m in incoming {

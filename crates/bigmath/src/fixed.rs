@@ -99,7 +99,78 @@ impl Rat128 {
         self.num as f64 / self.den as f64
     }
 
-    fn checked_mul(a: i128, b: i128) -> i128 {
+    /// Non-panicking [`new`](Rat128::new): `None` on a zero denominator or
+    /// when normalisation overflows (including the unreducible
+    /// `i128::MIN`, which has no representable absolute value).
+    pub fn checked_new(num: i128, den: i128) -> Option<Rat128> {
+        if den == 0 || num == i128::MIN || den == i128::MIN {
+            return None;
+        }
+        if num == 0 {
+            return Some(Rat128::ZERO);
+        }
+        let g = gcd_i128(num, den);
+        let (mut n, mut d) = (num / g, den / g);
+        if d < 0 {
+            n = n.checked_neg()?;
+            d = d.checked_neg()?;
+        }
+        Some(Rat128 { num: n, den: d })
+    }
+
+    /// Non-panicking negation (`None` only for the unreducible `i128::MIN`).
+    pub fn checked_neg(self) -> Option<Rat128> {
+        Some(Rat128 { num: self.num.checked_neg()?, den: self.den })
+    }
+
+    /// Non-panicking addition: `None` when any intermediate overflows.
+    pub fn checked_add(self, rhs: Rat128) -> Option<Rat128> {
+        // Reduce by gcd of denominators first to delay overflow.
+        let g = gcd_i128(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self.num.checked_mul(lhs_scale)?.checked_add(rhs.num.checked_mul(rhs_scale)?)?;
+        Rat128::checked_new(num, self.den.checked_mul(lhs_scale)?)
+    }
+
+    /// Non-panicking subtraction.
+    pub fn checked_sub(self, rhs: Rat128) -> Option<Rat128> {
+        self.checked_add(rhs.checked_neg()?)
+    }
+
+    /// Non-panicking multiplication.
+    pub fn checked_mul_rat(self, rhs: Rat128) -> Option<Rat128> {
+        if self.num == i128::MIN || rhs.num == i128::MIN {
+            return None; // gcd needs |num|
+        }
+        // Cross-reduce before multiplying to delay overflow.
+        let g1 = gcd_i128(self.num, rhs.den).max(1);
+        let g2 = gcd_i128(rhs.num, self.den).max(1);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Rat128::checked_new(num, den)
+    }
+
+    /// Non-panicking reciprocal (`None` on zero or `i128::MIN` numerator).
+    pub fn checked_recip(self) -> Option<Rat128> {
+        if self.num == 0 {
+            return None;
+        }
+        Rat128::checked_new(self.den, self.num)
+    }
+
+    /// Non-panicking division (`None` on a zero divisor or overflow).
+    pub fn checked_div_rat(self, rhs: Rat128) -> Option<Rat128> {
+        self.checked_mul_rat(rhs.checked_recip()?)
+    }
+
+    /// Non-panicking comparison: `None` when the cross-multiplication
+    /// overflows `i128` (the caller falls back to wide arithmetic).
+    pub fn checked_cmp(self, rhs: Rat128) -> Option<Ordering> {
+        Some(self.num.checked_mul(rhs.den)?.cmp(&rhs.num.checked_mul(self.den)?))
+    }
+
+    fn mul_exact(a: i128, b: i128) -> i128 {
         a.checked_mul(b).expect("Rat128 overflow (mul); use BigRat for this parameter regime")
     }
 }
@@ -112,7 +183,7 @@ impl Default for Rat128 {
 
 impl Ord for Rat128 {
     fn cmp(&self, other: &Self) -> Ordering {
-        Rat128::checked_mul(self.num, other.den).cmp(&Rat128::checked_mul(other.num, self.den))
+        Rat128::mul_exact(self.num, other.den).cmp(&Rat128::mul_exact(other.num, self.den))
     }
 }
 
@@ -129,10 +200,10 @@ impl Add for Rat128 {
         let g = gcd_i128(self.den, rhs.den);
         let lhs_scale = rhs.den / g;
         let rhs_scale = self.den / g;
-        let num = Rat128::checked_mul(self.num, lhs_scale)
-            .checked_add(Rat128::checked_mul(rhs.num, rhs_scale))
+        let num = Rat128::mul_exact(self.num, lhs_scale)
+            .checked_add(Rat128::mul_exact(rhs.num, rhs_scale))
             .expect("Rat128 overflow (add)");
-        Rat128::new(num, Rat128::checked_mul(self.den, lhs_scale))
+        Rat128::new(num, Rat128::mul_exact(self.den, lhs_scale))
     }
 }
 
@@ -150,8 +221,8 @@ impl Mul for Rat128 {
         let g1 = gcd_i128(self.num, rhs.den);
         let g2 = gcd_i128(rhs.num, self.den);
         Rat128::new(
-            Rat128::checked_mul(self.num / g1.max(1), rhs.num / g2.max(1)),
-            Rat128::checked_mul(self.den / g2.max(1), rhs.den / g1.max(1)),
+            Rat128::mul_exact(self.num / g1.max(1), rhs.num / g2.max(1)),
+            Rat128::mul_exact(self.den / g2.max(1), rhs.den / g1.max(1)),
         )
     }
 }

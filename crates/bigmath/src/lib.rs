@@ -22,12 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auto;
 pub mod fixed;
 pub mod ibig;
 pub mod rat;
 pub mod ubig;
 pub mod value;
 
+pub use auto::AutoRat;
 pub use fixed::Rat128;
 pub use ibig::{IBig, Sign};
 pub use rat::BigRat;

@@ -185,6 +185,11 @@ mod tests {
     }
 
     #[test]
+    fn autorat_implements_contract() {
+        exercise::<crate::auto::AutoRat>();
+    }
+
+    #[test]
     fn sum_helper() {
         let vals = vec![BigRat::from_frac(1, 2), BigRat::from_frac(1, 3), BigRat::from_frac(1, 6)];
         assert_eq!(sum::<BigRat>(&vals), BigRat::one());

@@ -4,7 +4,7 @@
 //! exactly the fixed round schedule, on both exact value types, and
 //! invariantly under covering lifts.
 
-use anonet_bigmath::{BigRat, PackingValue, Rat128};
+use anonet_bigmath::{AutoRat, BigRat, PackingValue, Rat128};
 use anonet_core::vc_pn::{run_edge_packing, run_edge_packing_with, VcConfig};
 use anonet_gen::{family, WeightSpec};
 use anonet_sim::cover::lift;
@@ -188,6 +188,35 @@ fn rat128_matches_bigrat() {
             assert_eq!(ya.numer().to_i128(), Some(yb.numer()), "edge {e} numerator, seed {seed}");
             assert_eq!(ya.denom().to_u128(), Some(yb.denom() as u128), "edge {e} denominator");
         }
+    }
+}
+
+#[test]
+fn autorat_matches_bigrat_across_promotion_boundary() {
+    // Weights straddling u32::MAX push intermediate star-phase rationals
+    // past i128 on some edges but not others, so the AutoRat run exercises
+    // both arms and the fixed↔big promotion/demotion transitions. The fast
+    // path must stay bit-identical to the all-BigRat reference: same covers,
+    // same packing values, and the same Trace (wire_bits agrees across arms).
+    for seed in 0..4u64 {
+        let g = family::gnp_capped(16, 0.3, 4, seed);
+        let w: Vec<u64> = (0..g.n() as u64)
+            .map(|v| {
+                if (v + seed) % 2 == 0 {
+                    u32::MAX as u64 - (v + seed) % 7
+                } else {
+                    u32::MAX as u64 + 1 + (v * 977 + seed)
+                }
+            })
+            .collect();
+        let a = run_edge_packing::<BigRat>(&g, &w).unwrap();
+        let b = run_edge_packing::<AutoRat>(&g, &w).unwrap();
+        assert_eq!(a.cover, b.cover, "seed {seed}");
+        assert_eq!(a.trace, b.trace, "trace must be bit-identical, seed {seed}");
+        for (e, (ya, yb)) in a.packing.y.iter().zip(&b.packing.y).enumerate() {
+            assert_eq!(*ya, yb.to_bigrat(), "edge {e} value, seed {seed}");
+        }
+        assert_eq!(a.packing.dual_value(), b.packing.dual_value().to_bigrat(), "seed {seed}");
     }
 }
 

@@ -1,0 +1,27 @@
+//! Clean fixture: allocation hoisted outside the marked region, reuse
+//! inside it, a waived exception, and test code that may allocate freely.
+
+pub fn sweep(xs: &[u32], scratch: &mut Vec<u32>) -> u64 {
+    let mut total = 0u64;
+    // hot-path: begin — fixture sweep
+    scratch.clear();
+    for &x in xs {
+        scratch.push(x);
+        total += u64::from(x);
+    }
+    let snapshot = scratch.to_vec(); // lint: allow(hot-path-alloc) — cold error-reporting branch, taken at most once per run
+    total += snapshot.len() as u64;
+    // hot-path: end
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate() {
+        // hot-path: begin — markers in tests still pair up
+        let v: Vec<u32> = (0..4).collect();
+        // hot-path: end
+        assert_eq!(super::sweep(&v, &mut Vec::new()), 10);
+    }
+}

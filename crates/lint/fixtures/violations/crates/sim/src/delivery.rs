@@ -1,0 +1,20 @@
+//! Violation fixture: per-item allocations inside a marked hot-path sweep
+//! region, plus an unpaired `end` marker.
+
+pub fn sweep(xs: &[u32]) -> Vec<u32> {
+    // hot-path: begin — fixture sweep
+    let mut out = Vec::new();
+    for &x in xs {
+        let boxed = Box::new(x);
+        let copy = vec![*boxed];
+        out.extend(copy.iter().copied());
+    }
+    let doubled: Vec<u32> = out.iter().map(|x| x * 2).collect();
+    let _ = doubled.to_vec();
+    // hot-path: end
+    out
+}
+
+pub fn stray() {
+    // hot-path: end
+}

@@ -26,6 +26,11 @@ pub enum CheckId {
     /// No panicking constructs or unchecked indexing in the wire decode and
     /// request-handling paths.
     PanicPath,
+    /// No per-item heap allocation (`Vec::new`, `vec!`, `Box::new`,
+    /// `.to_vec()`, `.collect()`) inside the engine's marked
+    /// `// hot-path:` sweep regions — buffers must come from
+    /// `EngineScratch`/arena reuse.
+    HotPathAlloc,
     /// Waivers must be well-formed, name a real check, and suppress
     /// something. Cannot itself be waived.
     WaiverAudit,
@@ -40,6 +45,7 @@ impl CheckId {
             CheckId::ThreadDiscipline => "thread-discipline",
             CheckId::LockHygiene => "lock-hygiene",
             CheckId::PanicPath => "panic-path",
+            CheckId::HotPathAlloc => "hot-path-alloc",
             CheckId::WaiverAudit => "waiver-audit",
         }
     }
@@ -51,12 +57,13 @@ impl CheckId {
 }
 
 /// Every check, in reporting order.
-pub const ALL_CHECKS: [CheckId; 6] = [
+pub const ALL_CHECKS: [CheckId; 7] = [
     CheckId::UnsafeAudit,
     CheckId::Determinism,
     CheckId::ThreadDiscipline,
     CheckId::LockHygiene,
     CheckId::PanicPath,
+    CheckId::HotPathAlloc,
     CheckId::WaiverAudit,
 ];
 
@@ -97,6 +104,9 @@ pub struct Config {
     /// Files whose non-literal slice indexing must be waived with a bounds
     /// argument (untrusted-length territory; subset of `panic_files`).
     pub index_files: Vec<String>,
+    /// Files whose `// hot-path: begin` / `// hot-path: end` regions forbid
+    /// per-item heap allocation.
+    pub hot_path_files: Vec<String>,
 }
 
 impl Config {
@@ -137,6 +147,10 @@ impl Config {
                 "crates/service/src/cache.rs",
             ]),
             index_files: s(&["crates/service/src/wire.rs"]),
+            // The engine's per-round sweeps: a `ns/round` regression from a
+            // stray per-node allocation is exactly what the data-oriented
+            // core removed, so the sweep bodies are marked and audited.
+            hot_path_files: s(&["crates/sim/src/engine.rs", "crates/sim/src/delivery.rs"]),
         }
     }
 }
@@ -257,6 +271,7 @@ pub fn run_checks(ctx: &FileCtx<'_>, cfg: &Config) -> Vec<Diagnostic> {
     thread_discipline(ctx, cfg, &mut out);
     lock_hygiene(ctx, cfg, &mut out);
     panic_path(ctx, cfg, &mut out);
+    hot_path_alloc(ctx, cfg, &mut out);
     out
 }
 
@@ -570,6 +585,110 @@ fn panic_path(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
                      waiver or use a checked accessor"
                         .to_string(),
                 );
+            }
+        }
+    }
+}
+
+/// ## `hot-path-alloc`
+///
+/// The data-oriented engine core holds a "no per-item allocation in the
+/// per-round sweeps" budget: every buffer the send/receive sweeps touch is
+/// recycled through `EngineScratch`, `GatherScratch` or a per-part arena.
+/// The sweep bodies are delimited with `// hot-path: begin` /
+/// `// hot-path: end` marker comments; inside a region (outside
+/// `#[cfg(test)]` code) the allocating constructs `Vec::new`, `vec!`,
+/// `Box::new`, `.to_vec()` and `.collect()` are forbidden. Unpaired or
+/// unknown markers are themselves diagnostics, so a refactor cannot
+/// silently drop a region. A justified exception takes the usual
+/// `// lint: allow(hot-path-alloc) — reason` waiver.
+fn hot_path_alloc(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.hot_path_files.iter().any(|f| f == ctx.rel) {
+        return;
+    }
+    // Pair the marker comments into regions, in line order.
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut open: Option<usize> = None;
+    for c in ctx.comments.iter().filter(|c| !c.block) {
+        let text = c.text.trim_start_matches(['/', '!']).trim_start();
+        let Some(kind) = text.strip_prefix("hot-path:") else { continue };
+        let kind = kind.trim_start();
+        if kind.starts_with("begin") {
+            if let Some(b) = open {
+                diag(
+                    out,
+                    ctx,
+                    b,
+                    CheckId::HotPathAlloc,
+                    "`hot-path: begin` without a matching `hot-path: end` before the next begin"
+                        .into(),
+                );
+            }
+            open = Some(c.line);
+        } else if kind.starts_with("end") {
+            match open.take() {
+                Some(b) => regions.push((b, c.line)),
+                None => diag(
+                    out,
+                    ctx,
+                    c.line,
+                    CheckId::HotPathAlloc,
+                    "`hot-path: end` without a preceding `hot-path: begin`".into(),
+                ),
+            }
+        } else {
+            diag(
+                out,
+                ctx,
+                c.line,
+                CheckId::HotPathAlloc,
+                "unknown `hot-path:` marker — only `begin` and `end` are defined".into(),
+            );
+        }
+    }
+    if let Some(b) = open {
+        diag(
+            out,
+            ctx,
+            b,
+            CheckId::HotPathAlloc,
+            "`hot-path: begin` region left open at end of file".into(),
+        );
+    }
+    let in_region = |l: usize| regions.iter().any(|&(a, b)| a <= l && l <= b);
+    let flag = |out: &mut Vec<Diagnostic>, line: usize, what: &str| {
+        diag(
+            out,
+            ctx,
+            line,
+            CheckId::HotPathAlloc,
+            format!(
+                "`{what}` inside a marked hot-path sweep region — per-item allocation is \
+                 forbidden here; reuse an `EngineScratch`/arena buffer hoisted outside the \
+                 region (or waive with a justification)"
+            ),
+        );
+    };
+    for i in 0..ctx.tokens.len() {
+        let line = ctx.tokens[i].line;
+        if !in_region(line) || ctx.in_test(line) {
+            continue;
+        }
+        if let Some(ty @ ("Vec" | "Box")) = ctx.ident(i) {
+            if ctx.punct(i + 1, ':')
+                && ctx.punct(i + 2, ':')
+                && ctx.ident(i + 3) == Some("new")
+                && ctx.punct(i + 4, '(')
+            {
+                flag(out, line, &format!("{ty}::new"));
+            }
+        }
+        if ctx.ident(i) == Some("vec") && ctx.punct(i + 1, '!') {
+            flag(out, line, "vec!");
+        }
+        if ctx.punct(i, '.') {
+            if let Some(m @ ("to_vec" | "collect")) = ctx.ident(i + 1) {
+                flag(out, ctx.tokens[i + 1].line, &format!(".{m}()"));
             }
         }
     }

@@ -98,6 +98,27 @@ fn panic_path_accepts_checked_waived_and_test_code() {
 }
 
 #[test]
+fn hot_path_alloc_fires_on_allocs_and_unpaired_marker() {
+    let d =
+        lint("crates/sim/src/delivery.rs", fixture!("violations", "crates/sim/src/delivery.rs"));
+    assert!(has(&d, CheckId::HotPathAlloc, "Vec::new"), "{d:?}");
+    assert!(has(&d, CheckId::HotPathAlloc, "Box::new"), "{d:?}");
+    assert!(has(&d, CheckId::HotPathAlloc, "vec!"), "{d:?}");
+    assert!(has(&d, CheckId::HotPathAlloc, ".collect()"), "{d:?}");
+    assert!(has(&d, CheckId::HotPathAlloc, ".to_vec()"), "{d:?}");
+    assert!(has(&d, CheckId::HotPathAlloc, "without a preceding"), "{d:?}");
+}
+
+#[test]
+fn hot_path_alloc_accepts_reuse_waivers_and_tests() {
+    let d = lint("crates/sim/src/delivery.rs", fixture!("clean", "crates/sim/src/delivery.rs"));
+    assert!(d.is_empty(), "{d:?}");
+    // The same allocations are fine in a file outside the hot-path list.
+    let d = lint("crates/sim/src/model.rs", fixture!("violations", "crates/sim/src/delivery.rs"));
+    assert!(!d.iter().any(|d| d.check == CheckId::HotPathAlloc), "{d:?}");
+}
+
+#[test]
 fn waiver_audit_fires_on_every_bad_waiver_shape() {
     let d =
         lint("crates/core/src/waivers.rs", fixture!("violations", "crates/core/src/waivers.rs"));
@@ -132,6 +153,7 @@ fn violations_tree_reports_and_clean_tree_is_silent() {
         "thread-discipline",
         "lock-hygiene",
         "panic-path",
+        "hot-path-alloc",
         "waiver-audit",
     ] {
         assert!(seen.contains(check), "no `{check}` diagnostic in the violations tree: {bad:?}");

@@ -53,7 +53,8 @@ use crate::config::NetworkConfig;
 use crate::events::{Event, EventKind, EventQueue, Payload};
 use anonet_gen::Rng;
 use anonet_sim::{
-    BcastAlgorithm, Broadcast, Delivery, Graph, MessageSize, PnAlgorithm, PortNumbering, Trace,
+    BcastAlgorithm, Broadcast, Delivery, GatherScratch, Graph, MessageSize, PnAlgorithm,
+    PortNumbering, Trace,
 };
 use std::fmt;
 
@@ -255,6 +256,9 @@ pub struct AsyncRuntime<'a, A, D: Delivery<A>> {
     /// Per-arc latest scheduled arrival, for the FIFO clamp.
     last_arrival: Vec<u64>,
     halted: usize,
+    /// Reusable rank/count tables for `Delivery::gather_local` (broadcast
+    /// counting canonicalisation; unused by port numbering).
+    gather_gs: GatherScratch,
     trace: AsyncTrace,
 }
 
@@ -324,6 +328,7 @@ impl<'a, A, D: Delivery<A>> AsyncRuntime<'a, A, D> {
             link_base,
             last_arrival: vec![0; g.arcs()],
             halted: 0,
+            gather_gs: GatherScratch::default(),
             trace: AsyncTrace {
                 // FNV-1a offset basis; every processed event folds in.
                 event_hash: 0xCBF2_9CE4_8422_2325,
@@ -658,7 +663,7 @@ impl<'a, A, D: Delivery<A>> AsyncRuntime<'a, A, D> {
                 });
             }
             let mut scratch: Vec<&D::Msg> = Vec::with_capacity(deg);
-            D::gather_local(&nd.inbox_cur, &mut scratch);
+            D::gather_local(&nd.inbox_cur, &mut self.gather_gs, &mut scratch);
             let out = D::receive(&mut nd.state, self.cfg, round, &scratch);
             drop(scratch);
             self.trace.rounds = self.trace.rounds.max(round);

@@ -28,7 +28,7 @@ use crate::wire::{
     self, ExecMode, Problem, Scenario, SolveRequest, SolveResponse, StatsSnapshot, WireTrace,
     FLAG_NO_CACHE, MSG_SOLVE_REQUEST, MSG_STATS_REQUEST,
 };
-use anonet_bigmath::BigRat;
+use anonet_bigmath::{AutoRat, BigRat};
 use anonet_core::canon::{self, ByteReader};
 use anonet_core::certify::{certify_set_cover, certify_vertex_cover, Certificate};
 use anonet_core::sc_bcast::{run_fractional_packing_many_with, ScInstance};
@@ -287,6 +287,17 @@ fn execute(shared: &Shared, req: &SolveRequest) -> Vec<u8> {
     wire::encode_solve_response_raw(&results)
 }
 
+/// Widens a fast-path certificate to the `BigRat` wire representation. The
+/// solvers run on [`AutoRat`] (fixed-width with checked promotion); the wire
+/// format and result cache stay on exact arbitrary precision.
+fn widen_cert(c: Certificate<AutoRat>) -> Certificate<BigRat> {
+    Certificate {
+        cover_weight: c.cover_weight,
+        dual_value: c.dual_value.to_bigrat(),
+        factor: c.factor,
+    }
+}
+
 /// Runs the not-cached instances `missing` (indices into `req.instances`),
 /// returning one outcome per index in order.
 fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<InstanceOutcome> {
@@ -309,7 +320,7 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                             VcInstance::with_bounds(&d.graph, &d.weights, d.delta, d.max_weight)
                         })
                         .collect();
-                    let mut runs = run_edge_packing_many::<BigRat>(&insts, threads).into_iter();
+                    let mut runs = run_edge_packing_many::<AutoRat>(&insts, threads).into_iter();
                     decoded
                         .iter()
                         .map(|dec| {
@@ -317,9 +328,10 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                             // lint: allow(panic-path) — `runs` holds exactly one entry per Ok-decoded instance, zipped back in order
                             let run = runs.next().expect("one run per good instance");
                             let vc = run.map_err(|e| format!("execution failed: {e}"))?;
-                            let cert =
+                            let cert = widen_cert(
                                 certify_vertex_cover(&d.graph, &d.weights, &vc.packing, &vc.cover)
-                                    .map_err(|e| format!("certification failed: {e}"))?;
+                                    .map_err(|e| format!("certification failed: {e}"))?,
+                            );
                             Ok((
                                 false,
                                 wire::encode_solved_body(&vc.cover, &cert, &sync_trace(&vc.trace)),
@@ -332,7 +344,7 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                         let d = dec.as_ref().map_err(|e| e.clone())?;
                         let cfg = VcConfig::new(d.delta, d.max_weight);
                         let net = scenario_config(s, seed);
-                        let res = run_async_pn::<EdgePackingNode<BigRat>>(
+                        let res = run_async_pn::<EdgePackingNode<AutoRat>>(
                             &d.graph,
                             &cfg,
                             &d.weights,
@@ -341,8 +353,10 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                         )
                         .map_err(|e| format!("async execution failed: {e}"))?;
                         let (cover, packing) = fold_vc_outputs(&d.graph, &res.outputs);
-                        let cert = certify_vertex_cover(&d.graph, &d.weights, &packing, &cover)
-                            .map_err(|e| format!("certification failed: {e}"))?;
+                        let cert = widen_cert(
+                            certify_vertex_cover(&d.graph, &d.weights, &packing, &cover)
+                                .map_err(|e| format!("certification failed: {e}"))?,
+                        );
                         Ok((
                             false,
                             wire::encode_solved_body(&cover, &cert, &async_trace(&res.trace)),
@@ -378,7 +392,7 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                 .iter()
                 .map(|d| VcInstance::with_bounds(&d.graph, &d.weights, d.delta, d.max_weight))
                 .collect();
-            let mut runs = run_vc_broadcast_many::<BigRat>(&insts, threads).into_iter();
+            let mut runs = run_vc_broadcast_many::<AutoRat>(&insts, threads).into_iter();
             decoded
                 .iter()
                 .map(|dec| {
@@ -392,8 +406,11 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                     let cover_weight: u64 =
                         (0..d.graph.n()).filter(|&v| vc.cover[v]).map(|v| d.weights[v]).sum();
                     let covers = d.graph.edge_iter().all(|(_, u, v)| vc.cover[u] || vc.cover[v]);
-                    let cert =
-                        Certificate { cover_weight, dual_value: vc.dual_value.clone(), factor: 2 };
+                    let cert = Certificate {
+                        cover_weight,
+                        dual_value: vc.dual_value.to_bigrat(),
+                        factor: 2,
+                    };
                     if !vc.all_saturated || !covers || !canon::certificate_bound_holds(&cert) {
                         return Err("certification failed: §5 invariants violated".into());
                     }
@@ -412,7 +429,7 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                 .iter()
                 .map(|d| ScInstance::with_bounds(&d.inst, d.f, d.k, d.max_weight))
                 .collect();
-            let mut runs = run_fractional_packing_many_with::<BigRat>(&insts, threads).into_iter();
+            let mut runs = run_fractional_packing_many_with::<AutoRat>(&insts, threads).into_iter();
             decoded
                 .iter()
                 .map(|dec| {
@@ -420,8 +437,10 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                     // lint: allow(panic-path) — `runs` holds exactly one entry per Ok-decoded instance, zipped back in order
                     let run = runs.next().expect("one run per good instance");
                     let sc = run.map_err(|e| format!("execution failed: {e}"))?;
-                    let cert = certify_set_cover(&d.inst, &sc.packing, &sc.cover)
-                        .map_err(|e| format!("certification failed: {e}"))?;
+                    let cert = widen_cert(
+                        certify_set_cover(&d.inst, &sc.packing, &sc.cover)
+                            .map_err(|e| format!("certification failed: {e}"))?,
+                    );
                     Ok((false, wire::encode_solved_body(&sc.cover, &cert, &sync_trace(&sc.trace))))
                 })
                 .collect()

@@ -26,11 +26,73 @@
 //! range of nodes owns a contiguous range of buffer slots
 //! ([`Delivery::slot_span`] is monotone), so per-thread buffer chunks are
 //! disjoint `&mut` slices with no locks.
+//!
+//! ## Counting-based multiset canonicalisation
+//!
+//! The broadcast model's canonical sorted multiset used to be produced by a
+//! per-node `sort()` of message *references* on every receive — `Θ(d log d)`
+//! message comparisons per node per round. The data-oriented core replaces
+//! that with a **round-global rank table** ([`CanonTable`]): after the send
+//! phase, [`Delivery::build_canon`] sorts the slot indices of the whole
+//! buffer once (`RANKED` deliveries only), assigns each distinct message
+//! value a dense rank, and records one representative slot per rank. A
+//! node's gather then sorts tiny `u32` rank keys (or, for high-degree nodes
+//! when the round has few distinct values, skips sorting entirely via a
+//! counting pass over the reusable [`GatherScratch`] table) and emits
+//! representative references — message comparisons happen once per round,
+//! not once per node. Equal ranks mean equal values, and receivers only
+//! observe values, so the produced multiset is observationally identical to
+//! the sorted one; a debug assertion checks sortedness on every gather.
 
 use crate::graph::Graph;
 use crate::model::{BcastAlgorithm, MessageSize, PnAlgorithm};
 use std::fmt::Debug;
 use std::ops::Range;
+
+/// Round-global canonicalisation table for `RANKED` deliveries (broadcast).
+///
+/// Built once per round by [`Delivery::build_canon`] from the post-send
+/// message buffer: `ranks[slot]` is the dense rank of `buf[slot]`'s value
+/// among the round's distinct message values (rank order = value order),
+/// and `reps[rank]` is one representative slot holding that value. All
+/// storage is recycled across rounds and engine runs (via
+/// [`EngineScratch`](crate::engine::EngineScratch)) — steady-state rounds
+/// allocate nothing.
+#[derive(Debug, Default)]
+pub struct CanonTable {
+    /// Slot indices `0..buf.len()` sorted by message value (build scratch).
+    idx: Vec<u32>,
+    /// `ranks[slot]` = dense rank of `buf[slot]`'s value.
+    ranks: Vec<u32>,
+    /// `reps[rank]` = a slot whose message has that rank's value.
+    reps: Vec<u32>,
+}
+
+impl CanonTable {
+    /// Number of distinct message values in the round this table was built
+    /// for (0 before any build).
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.reps.len()
+    }
+}
+
+/// Reusable per-part scratch for rank-based gathering: small `u32` key and
+/// count tables that replace per-node message sorts. `counts` maintains an
+/// all-zeroes invariant between gathers so the counting path never pays a
+/// clear proportional to the table size.
+#[derive(Debug, Default)]
+pub struct GatherScratch {
+    /// Rank keys of the gathering node's incoming messages.
+    keys: Vec<u32>,
+    /// Histogram indexed by rank (counting path) or per-distinct-value
+    /// multiplicities (`gather_local`).
+    counts: Vec<u32>,
+}
+
+/// Below this degree a tiny unstable sort of `u32` rank keys beats the
+/// counting pass (which walks every distinct rank of the round).
+const COUNTING_MIN_DEGREE: usize = 16;
 
 /// Delivery semantics of one computation model for algorithm `A`.
 ///
@@ -48,6 +110,12 @@ pub trait Delivery<A> {
     /// Global configuration known to all nodes.
     type Config: Sync;
 
+    /// True when gathering consults a round-global [`CanonTable`]: the
+    /// engine must call [`build_canon`](Delivery::build_canon) between the
+    /// send and receive phases of every round. Broadcast sets this; port
+    /// numbering is port-aligned and needs no canonicalisation.
+    const RANKED: bool = false;
+
     /// Creates the initial state of a node with `degree` ports.
     fn init(cfg: &Self::Config, degree: usize, input: &Self::Input) -> A;
 
@@ -61,9 +129,26 @@ pub trait Delivery<A> {
     /// node's `slot_span`, pre-filled with `Msg::default()`.
     fn send(state: &A, cfg: &Self::Config, round: u64, out: &mut [Self::Msg]);
 
+    /// Builds the round-global [`CanonTable`] from the post-send buffer.
+    /// Called once per round by the engine when
+    /// [`RANKED`](Delivery::RANKED) is set; the default is a no-op.
+    fn build_canon(g: &Graph, buf: &[Self::Msg], canon: &mut CanonTable) {
+        let _ = (g, buf, canon);
+    }
+
     /// Gathers node `v`'s incoming messages from the global buffer into
-    /// `scratch`, canonicalised as the model requires (broadcast sorts).
-    fn gather<'b>(g: &Graph, v: usize, buf: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>);
+    /// `scratch` (which must be empty on entry), canonicalised as the model
+    /// requires: broadcast emits the sorted multiset via the round's
+    /// [`CanonTable`] ranks, port numbering is port-aligned and ignores
+    /// `canon`/`gs` entirely.
+    fn gather<'b>(
+        g: &Graph,
+        v: usize,
+        buf: &'b [Self::Msg],
+        canon: &CanonTable,
+        gs: &mut GatherScratch,
+        scratch: &mut Vec<&'b Self::Msg>,
+    );
 
     /// Gathers one round's incoming messages from a node's **per-port inbox**
     /// (`inbox[p]` holds the message that arrived on port `p`), canonicalised
@@ -71,8 +156,14 @@ pub trait Delivery<A> {
     /// event-driven executor needs: `anonet-runtime` buffers arrivals per
     /// port instead of in a global slot buffer, and delegating the
     /// canonicalisation here keeps the model semantics (port alignment vs.
-    /// sorted multiset) defined in exactly one place.
-    fn gather_local<'b>(inbox: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>);
+    /// sorted multiset) defined in exactly one place. There is no
+    /// round-global table here; broadcast canonicalises by counting distinct
+    /// values through `gs` instead of sorting references.
+    fn gather_local<'b>(
+        inbox: &'b [Self::Msg],
+        gs: &mut GatherScratch,
+        scratch: &mut Vec<&'b Self::Msg>,
+    );
 
     /// Delivers `incoming` to the node; returning `Some` halts it.
     fn receive(
@@ -128,16 +219,29 @@ impl<A: PnAlgorithm> Delivery<A> for PortNumbering {
     }
 
     #[inline(always)]
-    fn gather<'b>(g: &Graph, v: usize, buf: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>) {
+    fn gather<'b>(
+        g: &Graph,
+        v: usize,
+        buf: &'b [Self::Msg],
+        _canon: &CanonTable,
+        _gs: &mut GatherScratch,
+        scratch: &mut Vec<&'b Self::Msg>,
+    ) {
         // Port-aligned: the message arriving on port p is what the neighbour
-        // wrote into the reverse arc of v's p-th out-arc.
-        for a in g.arc_range(v) {
-            scratch.push(&buf[g.rev(a)]);
-        }
+        // wrote into the reverse arc of v's p-th out-arc. The bulk rev-arc
+        // slice trades one bounds check per arc for one per node, and its
+        // exact length lets `extend` reserve once instead of per push.
+        // hot-path: begin — port-numbering gather
+        scratch.extend(g.rev_arcs(g.arc_range(v)).iter().map(|&r| &buf[r as usize]));
+        // hot-path: end
     }
 
     #[inline(always)]
-    fn gather_local<'b>(inbox: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>) {
+    fn gather_local<'b>(
+        inbox: &'b [Self::Msg],
+        _gs: &mut GatherScratch,
+        scratch: &mut Vec<&'b Self::Msg>,
+    ) {
         // Port-aligned: the inbox is already indexed by port.
         scratch.extend(inbox.iter());
     }
@@ -154,6 +258,12 @@ impl<A: PnAlgorithm> Delivery<A> for PortNumbering {
 
     #[inline]
     fn slot_bits(_g: &Graph, _v: usize, slots: &[Self::Msg]) -> (u64, u64) {
+        // Fixed-width messages: every slot measures the same, so the whole
+        // span is accounted without reading it back (`FIXED_BITS` promises
+        // equality with `approx_bits` for every value).
+        if let Some(b) = Self::Msg::FIXED_BITS {
+            return ((slots.len() as u64) * b, if slots.is_empty() { 0 } else { b });
+        }
         let mut total = 0;
         let mut max = 0;
         for m in slots {
@@ -172,6 +282,11 @@ impl<A: PnAlgorithm> Delivery<A> for PortNumbering {
 
     #[inline]
     fn chunk_bits(_g: &Graph, _nodes: Range<usize>, slots: &[Self::Msg]) -> (u64, u64) {
+        // O(1) for fixed-width messages — this is what removes the whole
+        // accounting read-back pass from the engine's dense send path.
+        if let Some(b) = Self::Msg::FIXED_BITS {
+            return ((slots.len() as u64) * b, if slots.is_empty() { 0 } else { b });
+        }
         let mut total = 0;
         let mut max = 0;
         for m in slots {
@@ -193,6 +308,8 @@ impl<A: BcastAlgorithm> Delivery<A> for Broadcast {
     type Output = A::Output;
     type Config = A::Config;
 
+    const RANKED: bool = true;
+
     #[inline(always)]
     fn init(cfg: &Self::Config, degree: usize, input: &Self::Input) -> A {
         A::init(cfg, degree, input)
@@ -208,19 +325,105 @@ impl<A: BcastAlgorithm> Delivery<A> for Broadcast {
         out[0] = state.send(cfg, round);
     }
 
-    #[inline(always)]
-    fn gather<'b>(g: &Graph, v: usize, buf: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>) {
-        scratch.extend(g.neighbors(v).map(|(_, u)| &buf[u]));
-        // Canonical multiset order: the algorithm cannot learn which
-        // neighbour sent which message.
-        scratch.sort();
+    fn build_canon(_g: &Graph, buf: &[Self::Msg], canon: &mut CanonTable) {
+        debug_assert!(buf.len() <= u32::MAX as usize);
+        // hot-path: begin — round-global canonicalisation build
+        let n = buf.len();
+        canon.idx.clear();
+        canon.idx.extend(0..n as u32);
+        canon.idx.sort_unstable_by(|&a, &b| buf[a as usize].cmp(&buf[b as usize]));
+        canon.ranks.clear();
+        canon.ranks.resize(n, 0);
+        canon.reps.clear();
+        for i in 0..n {
+            let s = canon.idx[i] as usize;
+            if i == 0 || buf[canon.idx[i - 1] as usize] != buf[s] {
+                canon.reps.push(s as u32);
+            }
+            canon.ranks[s] = (canon.reps.len() - 1) as u32;
+        }
+        // hot-path: end
     }
 
-    #[inline(always)]
-    fn gather_local<'b>(inbox: &'b [Self::Msg], scratch: &mut Vec<&'b Self::Msg>) {
-        scratch.extend(inbox.iter());
-        // Same canonical multiset order as `gather`.
-        scratch.sort();
+    #[inline]
+    fn gather<'b>(
+        g: &Graph,
+        v: usize,
+        buf: &'b [Self::Msg],
+        canon: &CanonTable,
+        gs: &mut GatherScratch,
+        scratch: &mut Vec<&'b Self::Msg>,
+    ) {
+        debug_assert_eq!(canon.ranks.len(), buf.len(), "build_canon must precede ranked gather");
+        debug_assert!(scratch.is_empty());
+        // hot-path: begin — ranked broadcast gather
+        gs.keys.clear();
+        gs.keys.extend(g.neighbors(v).map(|(_, u)| canon.ranks[u]));
+        let d = gs.keys.len();
+        let distinct = canon.reps.len();
+        if d >= COUNTING_MIN_DEGREE && distinct <= 2 * d {
+            // Counting emission: histogram the rank keys, then walk the
+            // rank space in order. `counts` is all-zeroes on entry and the
+            // walk re-zeroes every bin it visits, so the invariant is
+            // maintained without a table-sized clear.
+            if gs.counts.len() < distinct {
+                gs.counts.resize(distinct, 0);
+            }
+            for &k in &gs.keys {
+                gs.counts[k as usize] += 1;
+            }
+            for r in 0..distinct {
+                let c = std::mem::replace(&mut gs.counts[r], 0);
+                let rep = &buf[canon.reps[r] as usize];
+                for _ in 0..c {
+                    scratch.push(rep);
+                }
+            }
+        } else {
+            // Rank keys are plain u32s: an unstable sort of d of them is
+            // far cheaper than d log d message comparisons.
+            gs.keys.sort_unstable();
+            scratch.extend(gs.keys.iter().map(|&k| &buf[canon.reps[k as usize] as usize]));
+        }
+        // Canonical multiset order: the algorithm cannot learn which
+        // neighbour sent which message. Equal ranks are equal values, so
+        // emitting representatives is observationally identical to sorting
+        // the references — and this assertion catches any regression.
+        debug_assert!(scratch.windows(2).all(|w| w[0] <= w[1]));
+        // hot-path: end
+    }
+
+    #[inline]
+    fn gather_local<'b>(
+        inbox: &'b [Self::Msg],
+        gs: &mut GatherScratch,
+        scratch: &mut Vec<&'b Self::Msg>,
+    ) {
+        // Same canonical multiset order as `gather`, without a round-global
+        // table: maintain a sorted list of distinct values (as inbox
+        // indices) with multiplicities, then emit. Duplicate-heavy inboxes
+        // pay O(d log k) comparisons for k distinct values instead of
+        // O(d log d).
+        // hot-path: begin — local inbox canonicalisation
+        gs.keys.clear();
+        gs.counts.clear();
+        for (i, m) in inbox.iter().enumerate() {
+            match gs.keys.binary_search_by(|&k| inbox[k as usize].cmp(m)) {
+                Ok(p) => gs.counts[p] += 1,
+                Err(p) => {
+                    gs.keys.insert(p, i as u32);
+                    gs.counts.insert(p, 1);
+                }
+            }
+        }
+        for (p, &k) in gs.keys.iter().enumerate() {
+            let rep = &inbox[k as usize];
+            for _ in 0..gs.counts[p] {
+                scratch.push(rep);
+            }
+        }
+        debug_assert!(scratch.windows(2).all(|w| w[0] <= w[1]));
+        // hot-path: end
     }
 
     #[inline(always)]
@@ -249,6 +452,14 @@ impl<A: BcastAlgorithm> Delivery<A> for Broadcast {
 
     #[inline]
     fn chunk_bits(g: &Graph, nodes: Range<usize>, slots: &[Self::Msg]) -> (u64, u64) {
+        // Fixed-width messages: each node's broadcast counts `degree` times,
+        // and the degrees of a contiguous node range sum to its arc-span
+        // length — O(1) instead of a read-back over the chunk. The max
+        // matches the per-node accounting (isolated nodes still count).
+        if let Some(b) = Self::Msg::FIXED_BITS {
+            let arcs = g.arc_span(nodes.clone()).len() as u64;
+            return (b * arcs, if nodes.is_empty() { 0 } else { b });
+        }
         let mut total = 0;
         let mut max = 0;
         for (v, m) in nodes.zip(slots) {
@@ -257,5 +468,111 @@ impl<A: BcastAlgorithm> Delivery<A> for Broadcast {
             max = max.max(b);
         }
         (total, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::model::BcastAlgorithm;
+
+    /// Minimal broadcast algorithm used only to instantiate the delivery.
+    struct Echo;
+    impl BcastAlgorithm for Echo {
+        type Msg = u64;
+        type Input = u64;
+        type Output = ();
+        type Config = ();
+        fn init(_: &(), _: usize, _: &u64) -> Echo {
+            Echo
+        }
+        fn send(&self, _: &(), _: u64) -> u64 {
+            0
+        }
+        fn receive(&mut self, _: &(), _: u64, _: &[&u64]) -> Option<()> {
+            None
+        }
+    }
+
+    type D = Broadcast;
+
+    /// Reference canonicalisation: what the pre-table implementation did.
+    fn sorted_values(g: &Graph, v: usize, buf: &[u64]) -> Vec<u64> {
+        let mut vals: Vec<u64> = g.neighbors(v).map(|(_, u)| buf[u]).collect();
+        vals.sort();
+        vals
+    }
+
+    /// Deterministic xorshift so the equivalence sweep needs no rng dep.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    /// Table-based gather must emit exactly the multiset sort emitted,
+    /// value-for-value, across randomized duplicate-heavy buffers — on both
+    /// the counting-emission path (hub node, few distinct values) and the
+    /// key-sort path (low degree).
+    #[test]
+    fn counting_gather_matches_sort_reference() {
+        // Star forces a high-degree hub (counting path) plus leaves
+        // (key-sort path); the cycle chain exercises mid degrees.
+        let mut edges: Vec<(usize, usize)> = (1..40).map(|i| (0, i)).collect();
+        edges.extend((1..39).map(|i| (i, i + 1)));
+        let g = Graph::from_edges(40, &edges).unwrap();
+        let mut seed = 0x5eed_cafe_f00d_u64;
+        for dup_mod in [1u64, 2, 3, 8, 40] {
+            let buf: Vec<u64> = (0..g.n()).map(|_| xorshift(&mut seed) % dup_mod).collect();
+            let mut canon = CanonTable::default();
+            <D as Delivery<Echo>>::build_canon(&g, &buf, &mut canon);
+            let mut gs = GatherScratch::default();
+            for v in 0..g.n() {
+                let mut scratch: Vec<&u64> = Vec::new();
+                <D as Delivery<Echo>>::gather(&g, v, &buf, &canon, &mut gs, &mut scratch);
+                let got: Vec<u64> = scratch.iter().map(|m| **m).collect();
+                assert_eq!(got, sorted_values(&g, v, &buf), "node {v}, dup_mod {dup_mod}");
+            }
+        }
+    }
+
+    /// `gather_local`'s counting canonicalisation must match a plain sort
+    /// of the inbox values.
+    #[test]
+    fn gather_local_counting_matches_sort_reference() {
+        let mut seed = 0xdead_beef_u64;
+        for len in [0usize, 1, 2, 5, 17, 64] {
+            for dup_mod in [1u64, 2, 5, 1000] {
+                let inbox: Vec<u64> = (0..len).map(|_| xorshift(&mut seed) % dup_mod).collect();
+                let mut gs = GatherScratch::default();
+                let mut scratch: Vec<&u64> = Vec::new();
+                <D as Delivery<Echo>>::gather_local(&inbox, &mut gs, &mut scratch);
+                let got: Vec<u64> = scratch.iter().map(|m| **m).collect();
+                let mut want = inbox.clone();
+                want.sort();
+                assert_eq!(got, want, "len {len}, dup_mod {dup_mod}");
+            }
+        }
+    }
+
+    /// The rank table itself: ranks are value-ordered and dense, and every
+    /// representative actually holds its rank's value.
+    #[test]
+    fn canon_table_ranks_are_dense_and_value_ordered() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let buf: Vec<u64> = vec![7, 3, 7, 1, 3, 9];
+        let mut canon = CanonTable::default();
+        <D as Delivery<Echo>>::build_canon(&g, &buf, &mut canon);
+        assert_eq!(canon.distinct(), 4); // {1, 3, 7, 9}
+        for (s, &r) in canon.ranks.iter().enumerate() {
+            assert_eq!(buf[canon.reps[r as usize] as usize], buf[s]);
+        }
+        for w in canon.reps.windows(2) {
+            assert!(buf[w[0] as usize] < buf[w[1] as usize]);
+        }
     }
 }

@@ -35,6 +35,36 @@
 //! the fault-injection hooks ([`Engine::states`] / [`Engine::states_mut`]
 //! used by the self-stabilization experiments) — exists only here.
 //!
+//! ## Data-oriented core
+//!
+//! The hot state is laid out as parallel flat arrays (SoA), all indexed by
+//! node id and sliced per part by the CSR prefix sums:
+//!
+//! * `buf` — one message slot per arc (port numbering) or per node
+//!   (broadcast), addressed by [`Delivery::slot_span`], which is just the
+//!   graph's `arc_start` prefix-sum lookup: node `v` owns slots
+//!   `arc_start[v]..arc_start[v+1]`. Contiguous node ranges therefore own
+//!   contiguous, disjoint slot ranges — the property every `&mut` split
+//!   below relies on.
+//! * `done` — halted flags as a flat byte array, the branch source for both
+//!   sweep phases (no `Option<Output>` discriminant probing on the hot
+//!   path; `outputs` is only written once per node, at its halt).
+//! * `sweep` — the sorted active-node list; each part of the partition is a
+//!   contiguous range of it.
+//! * Per-part arenas (`PartArena`) — the receive phase's newly-halted lists and
+//!   [`GatherScratch`] rank/count tables, recycled across rounds.
+//!
+//! Per round the dense send path makes exactly one pass over the slot
+//! buffer (default-fill fused with `send`, per node, while the lines are
+//! L1-hot), and the [`Trace`] accounting is O(1) per chunk for fixed-width
+//! messages ([`MessageSize::FIXED_BITS`]) instead of a read-back pass over
+//! every slot. The receive phase chases reverse arcs through the bulk
+//! [`Graph::rev_arcs`] slice (one bounds check per node, not per arc).
+//! Broadcast rounds additionally build the round-global [`CanonTable`]
+//! between the phases (see [`crate::delivery`]) so no per-node sort runs in
+//! the receive sweep; [`Engine::canon_rounds`] counts those builds as the
+//! smoke signal that the counting path is actually exercised.
+//!
 //! **Halted-frontier skipping** (on by default, see [`EngineOptions`]): the
 //! engine maintains the sorted list of not-yet-halted nodes and sweeps only
 //! those, so per-round cost is O(active slots) instead of O(n + arcs). When
@@ -48,7 +78,7 @@
 //! produces bit-identical outputs and traces (tested), because phases are
 //! barriers and no node reads another node's *current*-round state.
 
-use crate::delivery::{Broadcast, Delivery, PortNumbering};
+use crate::delivery::{Broadcast, CanonTable, Delivery, GatherScratch, PortNumbering};
 use crate::graph::Graph;
 use crate::model::{BcastAlgorithm, MessageSize, PnAlgorithm};
 use crate::pool::{self, RoundPool};
@@ -165,6 +195,10 @@ pub struct EngineScratch<A, D: Delivery<A>> {
     outputs: Vec<Option<D::Output>>,
     buf: Vec<D::Msg>,
     sweep: Vec<u32>,
+    done: Vec<u8>,
+    newly: Vec<u32>,
+    canon: CanonTable,
+    arenas: Vec<PartArena>,
     parts: Vec<Range<usize>>,
     node_spans: Vec<Range<usize>>,
     buf_spans: Vec<Range<usize>>,
@@ -181,12 +215,26 @@ impl<A, D: Delivery<A>> Default for EngineScratch<A, D> {
             outputs: Vec::new(),
             buf: Vec::new(),
             sweep: Vec::new(),
+            done: Vec::new(),
+            newly: Vec::new(),
+            canon: CanonTable::default(),
+            arenas: Vec::new(),
             parts: Vec::new(),
             node_spans: Vec::new(),
             buf_spans: Vec::new(),
             pool: None,
         }
     }
+}
+
+/// Per-part persistent scratch for the receive phase: the part's
+/// newly-halted list and its [`GatherScratch`] rank/count tables. One per
+/// partition, recycled across rounds and engine constructions, so the
+/// receive sweep owns reusable storage without any cross-part sharing.
+#[derive(Debug, Default)]
+struct PartArena {
+    newly: Vec<u32>,
+    gs: GatherScratch,
 }
 
 impl<A, D: Delivery<A>> EngineScratch<A, D> {
@@ -264,21 +312,25 @@ fn receive_node<'b, A, D: Delivery<A>>(
     cfg: &D::Config,
     round: u64,
     buf: &'b [D::Msg],
+    canon: &CanonTable,
     span_start: usize,
     v: usize,
     states: &mut [A],
     outputs: &mut [Option<D::Output>],
+    done: &mut [u8],
+    gs: &mut GatherScratch,
     scratch: &mut Vec<&'b D::Msg>,
     newly: &mut Vec<u32>,
 ) {
     let i = v - span_start;
-    if outputs[i].is_some() {
+    if done[i] != 0 {
         return; // halted: output is fixed (frontier skipping off)
     }
     scratch.clear();
-    D::gather(g, v, buf, scratch);
+    D::gather(g, v, buf, canon, gs, scratch);
     if let Some(out) = D::receive(&mut states[i], cfg, round, scratch) {
         outputs[i] = Some(out);
+        done[i] = 1;
         newly.push(v as u32);
     }
 }
@@ -300,6 +352,19 @@ pub struct Engine<'a, A, D: Delivery<A>> {
     /// skipping this is exactly the active (not-yet-halted) frontier; with
     /// it off the list stays `0..n` and halted nodes are skipped per node.
     sweep: Vec<u32>,
+    /// Halted flags as a flat byte array (`1` = halted), the SoA twin of
+    /// `outputs`: both sweep phases branch on this cache-linear array
+    /// instead of probing `Option<Output>` discriminants.
+    done: Vec<u8>,
+    /// Merged newly-halted list of the current round (recycled storage).
+    newly: Vec<u32>,
+    /// Round-global canonicalisation table (`RANKED` deliveries only).
+    canon: CanonTable,
+    /// Rounds in which the canon table was (re)built — the smoke counter
+    /// that proves the counting canonicalisation path runs.
+    canon_rounds: u64,
+    /// Per-part receive-phase arenas, aligned with `parts`.
+    arenas: Vec<PartArena>,
     halted: usize,
     trace: Trace,
     opts: EngineOptions,
@@ -373,6 +438,16 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
         let mut sweep = std::mem::take(&mut scratch.sweep);
         sweep.clear();
         sweep.extend(0..graph.n() as u32);
+        let mut done = std::mem::take(&mut scratch.done);
+        done.clear();
+        done.resize(graph.n(), 0);
+        let mut newly = std::mem::take(&mut scratch.newly);
+        newly.clear();
+        let mut arenas = std::mem::take(&mut scratch.arenas);
+        for arena in &mut arenas {
+            arena.newly.clear();
+        }
+        let canon = std::mem::take(&mut scratch.canon);
         let mut parts = std::mem::take(&mut scratch.parts);
         parts.clear();
         let mut node_spans = std::mem::take(&mut scratch.node_spans);
@@ -405,6 +480,11 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
             outputs,
             buf,
             sweep,
+            done,
+            newly,
+            canon,
+            canon_rounds: 0,
+            arenas,
             halted: 0,
             trace: Trace::default(),
             opts: EngineOptions { threads, ..opts },
@@ -454,6 +534,14 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
         &self.trace
     }
 
+    /// Rounds in which the round-global canonicalisation table was built.
+    /// Zero for port numbering; equal to [`round`](Engine::round) for
+    /// broadcast. `perf_baseline` asserts this is non-zero on its broadcast
+    /// workload, so a silent fallback to per-node sorting fails the build.
+    pub fn canon_rounds(&self) -> u64 {
+        self.canon_rounds
+    }
+
     /// Runs one synchronous round; returns `true` when every node has halted.
     pub fn step(&mut self) -> bool {
         let round = self.trace.rounds + 1;
@@ -477,6 +565,9 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
                 .map(|r| self.sweep[r.start] as usize..self.sweep[r.end - 1] as usize + 1)
                 .collect();
             self.buf_spans = self.node_spans.iter().map(|s| D::slot_span(g, s.clone())).collect();
+            if self.arenas.len() < self.parts.len() {
+                self.arenas.resize_with(self.parts.len(), PartArena::default);
+            }
             self.spans_dirty = false;
         }
         let parts = &self.parts;
@@ -490,7 +581,7 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
         // Phase 1: send, fused with message accounting over the same sweep.
         let (bits, maxb) = {
             let states = &self.states;
-            let outputs = &self.outputs;
+            let done = &self.done;
             let sweep = &self.sweep;
             let chunks = split_spans(&mut self.buf, buf_spans);
             let send_part = |list: Range<usize>,
@@ -500,28 +591,30 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
              -> (u64, u64) {
                 if list.len() == nodes.len() {
                     // Dense part — every node in the span is swept (no
-                    // halted gaps): whole-chunk clear and one tight
-                    // accounting pass instead of per-node slicing.
-                    for slot in chunk.iter_mut() {
-                        *slot = D::Msg::default();
-                    }
+                    // unswept gaps): the default-fill is fused into the
+                    // per-node loop (the lines are L1-hot when `send`
+                    // overwrites them, instead of a second full pass over
+                    // the chunk), and the accounting is one `chunk_bits`
+                    // call — O(1) for fixed-width messages.
+                    // hot-path: begin — dense send sweep
                     for v in nodes.clone() {
+                        let slots = D::slot_span(g, v..v + 1);
+                        let own = &mut chunk[slots.start - slots_base..slots.end - slots_base];
+                        for slot in own.iter_mut() {
+                            *slot = D::Msg::default();
+                        }
                         // A halted node (frontier skipping off) keeps
-                        // sending the defaults cleared just above.
-                        if outputs[v].is_none() {
-                            let slots = D::slot_span(g, v..v + 1);
-                            D::send(
-                                &states[v],
-                                cfg,
-                                round,
-                                &mut chunk[slots.start - slots_base..slots.end - slots_base],
-                            );
+                        // sending the defaults just written.
+                        if done[v] == 0 {
+                            D::send(&states[v], cfg, round, own);
                         }
                     }
+                    // hot-path: end
                     return D::chunk_bits(g, nodes, chunk);
                 }
                 let mut total = 0u64;
                 let mut max = 0u64;
+                // hot-path: begin — sparse send sweep
                 for &v in &sweep[list] {
                     let v = v as usize;
                     let slots = D::slot_span(g, v..v + 1);
@@ -529,13 +622,14 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
                     for slot in own.iter_mut() {
                         *slot = D::Msg::default();
                     }
-                    if outputs[v].is_none() {
+                    if done[v] == 0 {
                         D::send(&states[v], cfg, round, own);
                     }
                     let (t, m) = D::slot_bits(g, v, own);
                     total += t;
                     max = max.max(m);
                 }
+                // hot-path: end
                 (total, max)
             };
             if parts.len() <= 1 {
@@ -572,57 +666,90 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
         self.trace.max_message_bits =
             self.trace.max_message_bits.max(maxb).max(self.skipped_max_bits);
 
-        // Phase 2: receive.
-        let newly: Vec<u32> = {
+        // Between the phases: (re)build the round-global canonicalisation
+        // table from the full post-send buffer, once — this replaces the
+        // per-node message sorts the receive phase used to pay.
+        if D::RANKED {
+            D::build_canon(g, &self.buf, &mut self.canon);
+            self.canon_rounds += 1;
+        }
+
+        // Phase 2: receive. Each part fills its own arena's newly-halted
+        // list and uses its arena's rank tables; the lists are merged in
+        // part order below (so the concatenation stays sorted regardless of
+        // which worker ran which part).
+        let parts_len = parts.len();
+        {
             let buf = &self.buf;
             let sweep = &self.sweep;
+            let canon = &self.canon;
+            let max_deg = g.max_degree();
             let state_chunks = split_spans(&mut self.states, node_spans);
             let out_chunks = split_spans(&mut self.outputs, node_spans);
+            let done_chunks = split_spans(&mut self.done, node_spans);
             let recv_part = |list: Range<usize>,
                              span: Range<usize>,
                              states: &mut [A],
-                             outputs: &mut [Option<D::Output>]|
-             -> Vec<u32> {
-                let mut scratch: Vec<&D::Msg> = Vec::new();
-                let mut newly = Vec::new();
+                             outputs: &mut [Option<D::Output>],
+                             done: &mut [u8],
+                             arena: &mut PartArena| {
+                // One allocation per part per round (the refs cannot outlive
+                // the round); sized to the worst-case degree up front so the
+                // sweep itself never grows it.
+                let mut scratch: Vec<&D::Msg> = Vec::with_capacity(max_deg);
+                arena.newly.clear();
                 if list.len() == span.len() {
                     // Dense part: iterate node ids directly.
+                    // hot-path: begin — dense receive sweep
                     for v in span.clone() {
                         receive_node::<A, D>(
                             g,
                             cfg,
                             round,
                             buf,
+                            canon,
                             span.start,
                             v,
                             states,
                             outputs,
+                            done,
+                            &mut arena.gs,
                             &mut scratch,
-                            &mut newly,
+                            &mut arena.newly,
                         );
                     }
+                    // hot-path: end
                 } else {
+                    // hot-path: begin — sparse receive sweep
                     for &v in &sweep[list] {
                         receive_node::<A, D>(
                             g,
                             cfg,
                             round,
                             buf,
+                            canon,
                             span.start,
                             v as usize,
                             states,
                             outputs,
+                            done,
+                            &mut arena.gs,
                             &mut scratch,
-                            &mut newly,
+                            &mut arena.newly,
                         );
                     }
+                    // hot-path: end
                 }
-                newly
             };
-            if parts.len() <= 1 {
-                match state_chunks.into_iter().next().zip(out_chunks.into_iter().next()) {
-                    Some((sc, oc)) => recv_part(parts[0].clone(), node_spans[0].clone(), sc, oc),
-                    None => Vec::new(),
+            let arenas = &mut self.arenas;
+            if parts_len <= 1 {
+                if let Some(((sc, oc), dc)) = state_chunks
+                    .into_iter()
+                    .next()
+                    .zip(out_chunks.into_iter().next())
+                    .zip(done_chunks.into_iter().next())
+                {
+                    recv_part(parts[0].clone(), node_spans[0].clone(), sc, oc, dc, &mut arenas[0]);
                 }
             } else {
                 let tasks: Vec<_> = parts
@@ -631,34 +758,41 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
                     .zip(node_spans.iter().cloned())
                     .zip(state_chunks)
                     .zip(out_chunks)
-                    .map(|(((list, span), sc), oc)| (list, span, sc, oc))
+                    .zip(done_chunks)
+                    .zip(arenas.iter_mut())
+                    .map(|(((((list, span), sc), oc), dc), arena)| (list, span, sc, oc, dc, arena))
                     .collect();
-                // Results come back in part order: the concatenation stays
-                // sorted regardless of which worker ran which part.
-                pool::map_with(worker_pool.as_mut(), tasks, |_, (list, span, sc, oc)| {
-                    recv_part(list, span, sc, oc)
-                })
-                .into_iter()
-                .flatten()
-                .collect()
+                pool::map_with(
+                    worker_pool.as_mut(),
+                    tasks,
+                    |_, (list, span, sc, oc, dc, arena)| recv_part(list, span, sc, oc, dc, arena),
+                );
             }
-        };
-        self.halted += newly.len();
+        }
+        // Merge the per-part newly-halted lists (part order keeps the merge
+        // sorted) into the engine's recycled list.
+        self.newly.clear();
+        for arena in self.arenas.iter_mut().take(parts_len) {
+            self.newly.append(&mut arena.newly);
+        }
+        self.halted += self.newly.len();
 
-        if self.opts.frontier_skipping && !newly.is_empty() {
+        if self.opts.frontier_skipping && !self.newly.is_empty() {
             // Write the halted nodes' default slots once — they are never
             // touched again — and cache their per-round Trace contribution.
-            for &v in &newly {
+            let newly = &self.newly;
+            let buf = &mut self.buf;
+            for &v in newly {
                 let slots = D::slot_span(g, v as usize..v as usize + 1);
-                for slot in &mut self.buf[slots] {
+                for slot in &mut buf[slots] {
                     *slot = D::Msg::default();
                 }
                 let (t, m) = D::halted_bits(g, v as usize, self.default_bits);
                 self.skipped_bits += t;
                 self.skipped_max_bits = self.skipped_max_bits.max(m);
             }
-            let outputs = &self.outputs;
-            self.sweep.retain(|&v| outputs[v as usize].is_none());
+            let done = &self.done;
+            self.sweep.retain(|&v| done[v as usize] == 0);
             self.spans_dirty = true;
         }
 
@@ -709,6 +843,10 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
         scratch.outputs = self.outputs;
         scratch.buf = self.buf;
         scratch.sweep = self.sweep;
+        scratch.done = self.done;
+        scratch.newly = self.newly;
+        scratch.canon = self.canon;
+        scratch.arenas = self.arenas;
         scratch.parts = self.parts;
         scratch.node_spans = self.node_spans;
         scratch.buf_spans = self.buf_spans;
@@ -1001,6 +1139,21 @@ mod tests {
         let a = run_bcast::<DegreeCensus>(&g, &(), &[(); 4], 5).unwrap();
         let b = run_bcast::<DegreeCensus>(&r, &(), &[(); 4], 5).unwrap();
         assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn broadcast_builds_canon_table_every_round() {
+        // The counting-canonicalisation path must actually run (one canon
+        // build per broadcast round); a silent fallback to per-node sorting
+        // would leave the counter at zero.
+        let g = star(40);
+        let mut engine = BcastEngine::<DegreeCensus>::new(&g, &(), &[(); 41], 1).unwrap();
+        engine.step();
+        assert_eq!(engine.canon_rounds(), 1);
+
+        let mut pn = PnEngine::<MaxDegreeProbe>::new(&g, &2, &[(); 41], 1).unwrap();
+        pn.step();
+        assert_eq!(pn.canon_rounds(), 0, "port numbering never builds the table");
     }
 
     #[test]

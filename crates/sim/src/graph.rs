@@ -240,6 +240,15 @@ impl Graph {
         self.arc_rev[arc] as usize
     }
 
+    /// The reverse-arc words of a contiguous arc range, as one slice — the
+    /// engine's gather walks this instead of paying a bounds check per
+    /// [`rev`](Graph::rev) call, and its exact length lets the caller
+    /// reserve once.
+    #[inline]
+    pub fn rev_arcs(&self, arcs: std::ops::Range<usize>) -> &[u32] {
+        &self.arc_rev[arcs]
+    }
+
     /// Undirected edge id of an arc.
     #[inline]
     pub fn edge_of(&self, arc: usize) -> usize {

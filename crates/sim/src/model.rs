@@ -23,17 +23,27 @@ use std::fmt::Debug;
 /// the cost the §5 simulation trades for fewer rounds. Sizes are
 /// *informational* estimates (payload bits, ignoring framing).
 pub trait MessageSize {
+    /// `Some(b)` when **every** value of the type measures exactly `b` bits
+    /// (fixed-width integers, `()`, `bool`, tuples thereof). The engine's
+    /// accounting uses this to charge a whole slot chunk in O(1) instead of
+    /// reading every message back; the value must therefore equal
+    /// [`approx_bits`](MessageSize::approx_bits) for every possible value.
+    /// Variable-size types (`Option`, `Vec`) keep the `None` default.
+    const FIXED_BITS: Option<u64> = None;
+
     /// Approximate payload size in bits.
     fn approx_bits(&self) -> u64;
 }
 
 impl MessageSize for () {
+    const FIXED_BITS: Option<u64> = Some(0);
     fn approx_bits(&self) -> u64 {
         0
     }
 }
 
 impl MessageSize for bool {
+    const FIXED_BITS: Option<u64> = Some(1);
     fn approx_bits(&self) -> u64 {
         1
     }
@@ -42,6 +52,7 @@ impl MessageSize for bool {
 macro_rules! impl_msgsize_int {
     ($($t:ty),*) => {$(
         impl MessageSize for $t {
+            const FIXED_BITS: Option<u64> = Some(<$t>::BITS as u64);
             fn approx_bits(&self) -> u64 {
                 <$t>::BITS as u64
             }
@@ -63,12 +74,20 @@ impl<T: MessageSize> MessageSize for Vec<T> {
 }
 
 impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    const FIXED_BITS: Option<u64> = match (A::FIXED_BITS, B::FIXED_BITS) {
+        (Some(a), Some(b)) => Some(a + b),
+        _ => None,
+    };
     fn approx_bits(&self) -> u64 {
         self.0.approx_bits() + self.1.approx_bits()
     }
 }
 
 impl<A: MessageSize, B: MessageSize, C: MessageSize> MessageSize for (A, B, C) {
+    const FIXED_BITS: Option<u64> = match (A::FIXED_BITS, B::FIXED_BITS, C::FIXED_BITS) {
+        (Some(a), Some(b), Some(c)) => Some(a + b + c),
+        _ => None,
+    };
     fn approx_bits(&self) -> u64 {
         self.0.approx_bits() + self.1.approx_bits() + self.2.approx_bits()
     }
@@ -156,5 +175,19 @@ mod tests {
         assert_eq!(vec![1u16, 2, 3].approx_bits(), 64 + 48);
         assert_eq!((1u8, 2u8).approx_bits(), 16);
         assert_eq!((1u8, 2u8, true).approx_bits(), 17);
+    }
+
+    #[test]
+    fn fixed_bits_agree_with_approx_bits() {
+        assert_eq!(<() as MessageSize>::FIXED_BITS, Some(0));
+        assert_eq!(<bool as MessageSize>::FIXED_BITS, Some(1));
+        assert_eq!(<u64 as MessageSize>::FIXED_BITS, Some(64));
+        assert_eq!(<(u8, u16) as MessageSize>::FIXED_BITS, Some(24));
+        assert_eq!(<(u8, bool, u32) as MessageSize>::FIXED_BITS, Some(41));
+        // Variable-size types must keep the None default — a wrong Some
+        // here would silently corrupt the Trace bit accounting.
+        assert_eq!(<Option<u8> as MessageSize>::FIXED_BITS, None);
+        assert_eq!(<Vec<u8> as MessageSize>::FIXED_BITS, None);
+        assert_eq!(<(u8, Vec<u8>) as MessageSize>::FIXED_BITS, None);
     }
 }
