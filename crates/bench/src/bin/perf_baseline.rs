@@ -22,9 +22,10 @@ use anonet_bench::{halting_inputs, HaltingBcastGossip, HaltingGossip};
 use anonet_gen::{family, WeightSpec};
 use anonet_runtime::{run_async_pn, DelayModel, NetworkConfig};
 use anonet_service::loadgen::{drive, synthesize, DriveConfig, FamilyKind, LoopMode, WorkloadSpec};
-use anonet_service::{Problem, Server, ServiceConfig};
+use anonet_service::{Client, Problem, Server, ServiceConfig};
 use anonet_sim::{
-    run_pn, BatchRunner, BcastEngine, EngineOptions, Graph, Job, PnEngine, PortNumbering,
+    run_engine_observed, run_pn, BatchRunner, BcastEngine, EngineOptions, EngineScratch, Graph,
+    Job, NoopObserver, PnEngine, PortNumbering, RoundObserver, RoundStats,
 };
 use std::time::{Duration, Instant};
 
@@ -95,6 +96,25 @@ fn main() {
         });
         assert!(engine.round() < 0xFF, "steady-state window exceeded the halt round");
         s.name = name;
+        samples.push(s);
+    }
+
+    // No-op-observer twin of the t1 steady row: the observer hook's
+    // acceptance bound is "no measurable ns/round when attached but idle",
+    // and this row is the number to eyeball against pn_steady_n10k_d8_t1.
+    {
+        let mut noop = NoopObserver;
+        let mut engine =
+            PnEngine::<HaltingGossip>::new(&g10k, &(), &steady_inputs, 1).expect("inputs match");
+        engine.set_observer(&mut noop);
+        let mut s = time_reps(5, || {
+            for _ in 0..20 {
+                engine.step();
+            }
+            20
+        });
+        assert!(engine.round() < 0xFF, "steady-state window exceeded the halt round");
+        s.name = "pn_steady_n10k_d8_t1_observed";
         samples.push(s);
     }
 
@@ -208,6 +228,44 @@ fn main() {
     }
     let g1k = family::random_regular(1_000, 8, 7);
     let rt_inputs = halting_inputs(1_000, |_| 10);
+
+    // RoundObserver cross-check on a fixed workload: the observer's
+    // per-round sums must reproduce the engine's own Trace accounting
+    // exactly — with frontier skipping off every slot is written every
+    // round, so summed slots-written equals the model's message count.
+    // A drift here means the hook is reading stale per-round state.
+    {
+        struct Sums {
+            rounds: u64,
+            bits: u64,
+            slots: u64,
+        }
+        impl RoundObserver for Sums {
+            fn on_round(&mut self, s: &RoundStats) {
+                self.rounds += 1;
+                self.bits += s.bits;
+                self.slots += s.slots_written;
+            }
+        }
+        let mut sums = Sums { rounds: 0, bits: 0, slots: 0 };
+        let opts = EngineOptions { threads: 1, frontier_skipping: false };
+        let res = run_engine_observed::<HaltingGossip, PortNumbering>(
+            &g1k,
+            &(),
+            &rt_inputs,
+            12,
+            opts,
+            &mut EngineScratch::new(),
+            &mut sums,
+        )
+        .expect("observed run");
+        assert_eq!(sums.rounds, res.trace.rounds, "observer must see every round");
+        assert_eq!(sums.bits, res.trace.total_bits, "observed bits must match Trace accounting");
+        assert_eq!(
+            sums.slots, res.trace.messages,
+            "observed slots-written must match Trace message accounting"
+        );
+    }
     let sync_wall = {
         let mut best = f64::MAX;
         run_pn::<HaltingGossip>(&g1k, &(), &rt_inputs, 12).expect("sync run");
@@ -257,7 +315,17 @@ fn main() {
         req_per_sec: f64,
         cache_hit_rate: f64,
     }
+    /// One service phase histogram row, ingested from the server's own
+    /// metrics frame after the drives.
+    struct PhaseSample {
+        name: String,
+        count: u64,
+        p50_us: u64,
+        p99_us: u64,
+        max_us: u64,
+    }
     let mut svc_samples: Vec<SvcSample> = Vec::new();
+    let mut phase_samples: Vec<PhaseSample> = Vec::new();
     {
         let server = Server::start(
             "127.0.0.1:0",
@@ -297,6 +365,39 @@ fn main() {
                 cache_hit_rate: report.cache_hit_rate(),
             });
         }
+        // Ingest the server's own phase metrics over the wire: every solve
+        // request above must have moved the per-phase histograms, and the
+        // per-problem-kind counter must account each request exactly once
+        // (cache hits included — the probe happens inside the solve phase).
+        let total_requests = 32 + 128u64;
+        let snap = {
+            let mut c = Client::connect(server.local_addr()).expect("metrics client");
+            c.metrics().expect("metrics frame")
+        };
+        assert_eq!(
+            snap.scalar("solve.kind.vc_pn"),
+            Some(total_requests),
+            "per-kind solve counter must count every driven request"
+        );
+        for (name, value) in &snap.entries {
+            let anonet_obs::MetricValue::Histo(h) = value else { continue };
+            if !(name.starts_with("phase.") || name.starts_with("request.total")) {
+                continue;
+            }
+            assert!(
+                h.count >= total_requests,
+                "{name}: phase histogram count {} < {total_requests} driven requests",
+                h.count
+            );
+            phase_samples.push(PhaseSample {
+                name: name.clone(),
+                count: h.count,
+                p50_us: h.p50(),
+                p99_us: h.p99(),
+                max_us: h.max,
+            });
+        }
+        assert!(!phase_samples.is_empty(), "metrics frame carried no phase histograms");
         server.shutdown();
     }
 
@@ -334,7 +435,7 @@ fn main() {
 
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json =
-        String::from("{\n  \"schema\": \"anonet-bench-engine/5\",\n  \"workloads\": [\n");
+        String::from("{\n  \"schema\": \"anonet-bench-engine/6\",\n  \"workloads\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"rounds\": {}, \"ns_per_round\": {:.1}, \"rounds_per_sec\": {:.1}}}{}\n",
@@ -367,6 +468,18 @@ fn main() {
             s.req_per_sec,
             s.cache_hit_rate,
             if i + 1 < svc_samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"service_phases\": [\n");
+    for (i, s) in phase_samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}{}\n",
+            s.name,
+            s.count,
+            s.p50_us,
+            s.p99_us,
+            s.max_us,
+            if i + 1 < phase_samples.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n  \"speedups\": [\n");

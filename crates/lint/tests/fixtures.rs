@@ -54,6 +54,17 @@ fn determinism_accepts_waived_membership_and_test_clocks() {
 }
 
 #[test]
+fn determinism_covers_obs_but_exempts_the_clock_adapter() {
+    // The metrics core is inside the determinism scope; the one audited
+    // wall-clock adapter file is exempt so every timestamp goes through it.
+    let src = "use std::time::Instant;\npub fn now() -> Instant { Instant::now() }\n";
+    let d = lint("crates/obs/src/lib.rs", src);
+    assert!(has(&d, CheckId::Determinism, "Instant"), "{d:?}");
+    let d = lint("crates/obs/src/clock.rs", src);
+    assert!(!d.iter().any(|d| d.check == CheckId::Determinism), "{d:?}");
+}
+
+#[test]
 fn thread_discipline_fires_on_ad_hoc_spawn() {
     let d = lint("crates/sim/src/engine.rs", fixture!("violations", "crates/sim/src/engine.rs"));
     assert!(d.iter().any(|d| d.check == CheckId::ThreadDiscipline), "{d:?}");

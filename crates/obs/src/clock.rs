@@ -1,0 +1,76 @@
+//! The one place `anonet-obs` reads real time.
+//!
+//! The metric types in the crate root are wall-clock-free so the
+//! deterministic layers can use them under `anonet-lint`'s `determinism`
+//! check; this adapter is where wall-clock-permitted layers
+//! (`crates/service`, `crates/bench`) convert real durations into the `u64`
+//! microsecond samples the histograms take. The lint config exempts exactly
+//! this file — importing it from sim/core/runtime sources is a lint error.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// A monotonic stopwatch for phase timing: `lap_us` returns the microseconds
+/// since the previous lap (or since start), so a request handler can walk
+/// through read → decode → … calling `lap_us` at each phase boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+    last: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        let now = Instant::now();
+        Stopwatch { start: now, last: now }
+    }
+
+    /// Microseconds since the previous lap (or since `start`), and reset the
+    /// lap marker. Saturates at `u64::MAX`.
+    pub fn lap_us(&mut self) -> u64 {
+        let now = Instant::now();
+        let us = now.duration_since(self.last).as_micros();
+        self.last = now;
+        u64::try_from(us).unwrap_or(u64::MAX)
+    }
+
+    /// Microseconds since `start`, without resetting the lap marker.
+    pub fn total_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+/// Milliseconds since the Unix epoch, for flight-recorder timestamps.
+/// Returns 0 if the system clock reads before the epoch.
+pub fn unix_millis() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .ok()
+        .and_then(|d| u64::try_from(d.as_millis()).ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_laps_are_monotone_and_partition_total() {
+        let mut sw = Stopwatch::start();
+        let a = sw.lap_us();
+        let b = sw.lap_us();
+        let total = sw.total_us();
+        assert!(total >= a + b);
+    }
+
+    #[test]
+    fn unix_millis_is_past_2020() {
+        assert!(unix_millis() > 1_577_836_800_000);
+    }
+}

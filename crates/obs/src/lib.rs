@@ -1,0 +1,526 @@
+//! `anonet-obs`: the workspace-wide observability core.
+//!
+//! ## Why the core is wall-clock-free
+//!
+//! Every type in this module operates on plain `u64` values supplied by the
+//! caller: a counter counts *events*, a histogram buckets *numbers*. Nothing
+//! here reads `Instant` or `SystemTime` — by design, not by accident. The
+//! deterministic layers of the workspace (`anonet-sim`, `anonet-core`,
+//! `anonet-runtime`, …) are guarded by `anonet-lint`'s `determinism` check,
+//! which rejects any wall-clock identifier in their sources; keeping the
+//! metric types clock-free means those layers can record logical quantities
+//! (rounds, slots, bits, virtual ticks) through the very same registry the
+//! service uses for wall-clock latencies, and the two kinds of run stay
+//! comparable in one schema. The only place this crate touches real time is
+//! the [`clock`] adapter module, which the lint config exempts explicitly —
+//! callers outside `crates/service` / `crates/bench` simply must not import
+//! it, and the lint enforces that.
+//!
+//! ## Shape of the core
+//!
+//! - [`Counter`] / [`Gauge`]: single relaxed atomics; `inc`/`add`/`set` are
+//!   one `fetch_add`/`store` — safe to call from any thread, never a lock.
+//! - [`Histo`]: a log₂-bucketed histogram over `u64` with a **fixed** array
+//!   of 65 atomic buckets (value 0, then one bucket per power of two).
+//!   Recording is four relaxed atomic ops; memory is constant no matter how
+//!   many samples arrive, which is what lets an open-loop soak run keep
+//!   percentiles without an unbounded sample vector.
+//! - [`HistoSnapshot`]: a plain-data copy of a histogram, mergeable
+//!   (associative, commutative) so per-thread or per-process histograms can
+//!   be combined; quantiles are *exact at bucket granularity* — the reported
+//!   p50/p90/p99 is the upper bound of the bucket holding the nearest-rank
+//!   sample, so it is never below the true quantile and at most one bucket
+//!   (2×) above it. `max` is tracked exactly.
+//! - [`Registry`]: a name → metric map. Registration takes a mutex once;
+//!   the returned [`Arc`] handle is lock-free to update forever after —
+//!   "lock-light": locks on the cold path, atomics on the hot path.
+//! - [`Snapshot`]: a point-in-time copy of a registry, with a hand-rolled
+//!   JSON encoding ([`Snapshot::to_json`]) shared by the service's metrics
+//!   frame, `loadgen --metrics-json`, and `perf_baseline` ingestion.
+//!
+//! Snapshots of a live histogram are not atomic across fields (a sample can
+//! land between reading `count` and `sum`); each field is monotone, so a
+//! snapshot is always a valid "some prefix of history" view — good enough
+//! for metrics, and the price of staying lock-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: value `0`, then one bucket per power of two
+/// (`[2^(i-1), 2^i)` for `i` in `1..64`), with bucket 64 absorbing
+/// `[2^63, u64::MAX]`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A monotone event counter. One relaxed `fetch_add` per increment.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-writer-wins instantaneous value (queue depth, connection count).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increment (for gauges tracked as up/down deltas).
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement, saturating at zero under races only in the sense that the
+    /// stored value wraps — callers pair every `dec` with a prior `inc`.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket index for a value: `0` for `0`, else `1 + floor(log2(v))`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` value range covered by bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1u64 << 63, u64::MAX),
+        _ => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+/// A log₂-bucketed histogram over `u64` with fixed memory and lock-free
+/// recording. See the crate docs for the accuracy contract.
+#[derive(Debug)]
+pub struct Histo {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histo {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histo {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample: four relaxed atomic operations, no allocation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Plain-data copy of the current state (see crate docs on atomicity).
+    pub fn snapshot(&self) -> HistoSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistoSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Mergeable plain-data copy of a [`Histo`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistoSnapshot {
+    /// Per-bucket sample counts (see [`bucket_bounds`]).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping only past `u64::MAX` total).
+    pub sum: u64,
+    /// Largest sample observed, exact.
+    pub max: u64,
+}
+
+impl Default for HistoSnapshot {
+    fn default() -> Self {
+        HistoSnapshot { buckets: [0; NUM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl HistoSnapshot {
+    /// Fold another snapshot into this one. Associative and commutative, so
+    /// per-thread histograms can be reduced in any order.
+    pub fn merge(&mut self, other: &HistoSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nearest-rank quantile at bucket granularity: the upper bound of the
+    /// bucket containing the `q`-quantile sample, clamped to the exact
+    /// observed `max`. Never below the true quantile; at most one bucket
+    /// (a factor of 2) above it. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`quantile`](Self::quantile) for the accuracy contract).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean sample value, rounded down; 0 on an empty histogram.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A handle to a registered metric.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// Monotone counter.
+    Counter(Arc<Counter>),
+    /// Instantaneous value.
+    Gauge(Arc<Gauge>),
+    /// Log₂-bucketed histogram.
+    Histo(Arc<Histo>),
+}
+
+/// Point-in-time value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(u64),
+    /// Histogram copy (boxed: a snapshot's bucket array dwarfs the scalar
+    /// variants, and snapshots clone entry vectors around).
+    Histo(Box<HistoSnapshot>),
+}
+
+/// Name → metric map. Registration locks a mutex once; updates through the
+/// returned handles are lock-free. Uses a `BTreeMap` so snapshots iterate in
+/// a stable, deterministic order.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        // A panic while holding this lock leaves only a name table behind —
+        // the map is append-only, never half-mutated — so poisoning carries
+        // no information here and recovery is always safe.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.inner.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Get or register the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.lock();
+        let m = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match m {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.lock();
+        let m =
+            map.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match m {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histo(&self, name: &str) -> Arc<Histo> {
+        let mut map = self.lock();
+        let m =
+            map.entry(name.to_string()).or_insert_with(|| Metric::Histo(Arc::new(Histo::new())));
+        match m {
+            Metric::Histo(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Copy every registered metric, in name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.lock();
+        let entries = map
+            .iter()
+            .map(|(name, m)| {
+                let value = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histo(h) => MetricValue::Histo(Box::new(h.snapshot())),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+/// Schema identifier stamped into every JSON metrics document and the wire
+/// metrics frame. Bump on incompatible layout changes.
+pub const METRICS_SCHEMA: &str = "anonet-metrics/1";
+
+/// Point-in-time copy of a [`Registry`], ordered by metric name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs in ascending name order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Counter or gauge reading by name, if present with that kind.
+    pub fn scalar(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => Some(*v),
+            MetricValue::Histo(_) => None,
+        }
+    }
+
+    /// Histogram copy by name, if present with that kind.
+    pub fn histo(&self, name: &str) -> Option<&HistoSnapshot> {
+        match self.get(name)? {
+            MetricValue::Histo(h) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Hand-rolled JSON encoding of the snapshot — the one schema shared by
+    /// the wire metrics frame consumers, `loadgen --metrics-json`, the
+    /// flight recorder, and `perf_baseline`:
+    ///
+    /// ```json
+    /// {"schema":"anonet-metrics/1","entries":[
+    ///   {"name":"served_ok","kind":"counter","value":12},
+    ///   {"name":"phase.solve_us","kind":"histo","count":12,"sum":340,
+    ///    "max":77,"p50":32,"p90":64,"p99":77,"buckets":[[5,3],[6,9]]}]}
+    /// ```
+    ///
+    /// Histogram `buckets` lists only non-empty `[index, count]` pairs; the
+    /// index → value-range mapping is [`bucket_bounds`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.entries.len() * 48);
+        out.push_str("{\"schema\":\"");
+        out.push_str(METRICS_SCHEMA);
+        out.push_str("\",\"entries\":[");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            json_escape_into(&mut out, name);
+            out.push_str("\",");
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("\"kind\":\"counter\",\"value\":{v}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("\"kind\":\"gauge\",\"value\":{v}"));
+                }
+                MetricValue::Histo(h) => {
+                    out.push_str(&format!(
+                        "\"kind\":\"histo\",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                        h.count,
+                        h.sum,
+                        h.max,
+                        h.p50(),
+                        h.p90(),
+                        h.p99()
+                    ));
+                    let mut first = true;
+                    for (idx, &c) in h.buckets.iter().enumerate() {
+                        if c != 0 {
+                            if !first {
+                                out.push(',');
+                            }
+                            first = false;
+                            out.push_str(&format!("[{idx},{c}]"));
+                        }
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape `s` for inclusion inside a JSON string literal.
+pub fn json_escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_of(1u64 << 63), 64);
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_of(lo), i);
+            assert_eq!(bucket_of(hi), i);
+        }
+    }
+
+    #[test]
+    fn registry_snapshot_roundtrip() {
+        let reg = Registry::new();
+        reg.counter("a").add(3);
+        reg.gauge("b").set(7);
+        reg.histo("c").record(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.scalar("a"), Some(3));
+        assert_eq!(snap.scalar("b"), Some(7));
+        assert_eq!(snap.histo("c").map(|h| h.count), Some(1));
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"schema\":\"anonet-metrics/1\""));
+        assert!(json.contains("\"name\":\"c\",\"kind\":\"histo\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn registry_kind_conflict_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.histo("x");
+    }
+}

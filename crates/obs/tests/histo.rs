@@ -1,0 +1,139 @@
+//! Integration tests for the metrics core: exactness under concurrency,
+//! snapshot-merge algebra, bucket boundaries, and the percentile accuracy
+//! contract against the exact sorted-vector answer.
+
+use anonet_obs::{bucket_bounds, bucket_of, Counter, Histo, HistoSnapshot, Registry, NUM_BUCKETS};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn concurrent_increments_sum_exactly() {
+    let histo = Arc::new(Histo::new());
+    let counter = Arc::new(Counter::new());
+    let threads = 8;
+    let per_thread = 10_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let histo = Arc::clone(&histo);
+            let counter = Arc::clone(&counter);
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    histo.record(t * per_thread + i);
+                    counter.inc();
+                }
+            });
+        }
+    });
+    let snap = histo.snapshot();
+    let n = threads * per_thread;
+    assert_eq!(counter.get(), n);
+    assert_eq!(snap.count, n);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), n);
+    // Sum of 0..n is exact: every add must have landed.
+    assert_eq!(snap.sum, n * (n - 1) / 2);
+    assert_eq!(snap.max, n - 1);
+}
+
+#[test]
+fn snapshot_merge_is_associative_and_commutative() {
+    let mk = |vals: &[u64]| {
+        let h = Histo::new();
+        for &v in vals {
+            h.record(v);
+        }
+        h.snapshot()
+    };
+    let a = mk(&[0, 1, 5, 1000]);
+    let b = mk(&[2, 2, u64::MAX]);
+    let c = mk(&[7]);
+
+    let mut ab_c = a.clone();
+    ab_c.merge(&b);
+    ab_c.merge(&c);
+
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut a_bc = a.clone();
+    a_bc.merge(&bc);
+
+    let mut ba = b.clone();
+    ba.merge(&a);
+    let mut ab = a.clone();
+    ab.merge(&b);
+
+    assert_eq!(ab_c, a_bc);
+    assert_eq!(ab, ba);
+
+    // Identity: merging an empty snapshot changes nothing.
+    let mut with_empty = a.clone();
+    with_empty.merge(&HistoSnapshot::default());
+    assert_eq!(with_empty, a);
+}
+
+#[test]
+fn bucket_boundary_edge_cases() {
+    let h = Histo::new();
+    h.record(0);
+    h.record(1);
+    h.record(u64::MAX);
+    let snap = h.snapshot();
+    assert_eq!(snap.buckets[0], 1);
+    assert_eq!(snap.buckets[1], 1);
+    assert_eq!(snap.buckets[64], 1);
+    assert_eq!(snap.count, 3);
+    assert_eq!(snap.max, u64::MAX);
+    // sum wraps past u64::MAX by contract: 0 + 1 + MAX ≡ 0 (mod 2^64).
+    assert_eq!(snap.sum, 0);
+    // Quantiles stay within the recorded set's bucket bounds.
+    assert_eq!(snap.quantile(0.01), 0);
+    assert_eq!(snap.quantile(1.0), u64::MAX);
+    // Every bucket boundary maps back into its own bucket.
+    for i in 0..NUM_BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(bucket_of(lo), i);
+        assert_eq!(bucket_of(hi), i);
+        assert!(lo <= hi);
+    }
+}
+
+#[test]
+fn registry_snapshot_is_name_ordered() {
+    let reg = Registry::new();
+    reg.counter("zebra").inc();
+    reg.counter("alpha").inc();
+    reg.histo("mid").record(1);
+    let snap = reg.snapshot();
+    let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["alpha", "mid", "zebra"]);
+}
+
+/// Exact nearest-rank percentile from a sorted sample vector.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// The bucketed quantile is never below the exact nearest-rank answer
+    /// and is within one bucket's relative error above it: for an exact
+    /// answer `e` in bucket `[lo, hi]`, the histogram reports at most
+    /// `min(hi, max)`, i.e. under 2× of `e` (exact for `e` ∈ {0, max}).
+    #[test]
+    fn bucket_percentiles_match_sorted_vec_within_one_bucket(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..300),
+        q in 0.01f64..1.0,
+    ) {
+        let h = Histo::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = exact_percentile(&sorted, q);
+        let approx = h.snapshot().quantile(q);
+        prop_assert!(approx >= exact, "approx {approx} < exact {exact}");
+        let (_, hi) = bucket_bounds(bucket_of(exact));
+        prop_assert!(approx <= hi.min(*sorted.last().unwrap()),
+            "approx {approx} above bucket hi {hi} for exact {exact}");
+    }
+}

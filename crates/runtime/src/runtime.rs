@@ -137,6 +137,43 @@ impl AsyncTrace {
             max_message_bits: self.max_message_bits,
         }
     }
+
+    /// Exports the trace into an `anonet-obs` registry as `runtime.*`
+    /// gauges — the bridge from the runtime's own accounting to the
+    /// workspace metrics schema ([`anonet_obs::Snapshot::to_json`], the
+    /// service's metrics frame). Gauges, not counters: a trace is a
+    /// consistent snapshot of one run, and re-exporting a newer trace
+    /// overwrites rather than double-counts. Purely logical quantities —
+    /// no wall clock is involved, so this is callable from deterministic
+    /// code. The default is simply not to call it: the runtime itself never
+    /// touches a registry.
+    pub fn export_metrics(&self, registry: &anonet_obs::Registry) {
+        for (name, value) in [
+            ("runtime.rounds", self.rounds),
+            ("runtime.messages", self.messages),
+            ("runtime.payload_bits", self.payload_bits),
+            ("runtime.max_message_bits", self.max_message_bits),
+            ("runtime.sent", self.sent),
+            ("runtime.delivered", self.delivered),
+            ("runtime.duplicates", self.duplicates),
+            ("runtime.retransmissions", self.retransmissions),
+            ("runtime.retransmitted_bits", self.retransmitted_bits),
+            ("runtime.dropped_data", self.dropped_data),
+            ("runtime.dropped_data_bits", self.dropped_data_bits),
+            ("runtime.acks", self.acks),
+            ("runtime.ack_bits", self.ack_bits),
+            ("runtime.dropped_acks", self.dropped_acks),
+            ("runtime.tag_bits", self.tag_bits),
+            ("runtime.sync_overhead_bits", self.sync_overhead_bits()),
+            ("runtime.crashes", self.crashes),
+            ("runtime.restarts", self.restarts),
+            ("runtime.events", self.events),
+            ("runtime.virtual_time", self.virtual_time),
+            ("runtime.event_hash", self.event_hash),
+        ] {
+            registry.gauge(name).set(value);
+        }
+    }
 }
 
 /// Errors from an asynchronous run.
@@ -850,6 +887,23 @@ mod tests {
         let sync = run_pn::<Gossip>(&g, &(), &ins, 20).unwrap();
         let res = run_async_pn::<Gossip>(&g, &(), &ins, 20, &NetworkConfig::ideal()).unwrap();
         assert_eq!(res.outputs, sync.outputs);
+    }
+
+    #[test]
+    fn trace_exports_to_metrics_registry() {
+        let g = ring(16);
+        let ins = inputs(16, |v| v % 5 + 1);
+        let res = run_async_pn::<Gossip>(&g, &(), &ins, 20, &NetworkConfig::ideal()).unwrap();
+        let reg = anonet_obs::Registry::new();
+        res.trace.export_metrics(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.scalar("runtime.rounds"), Some(res.trace.rounds));
+        assert_eq!(snap.scalar("runtime.messages"), Some(res.trace.messages));
+        assert_eq!(snap.scalar("runtime.event_hash"), Some(res.trace.event_hash));
+        assert_eq!(snap.scalar("runtime.sync_overhead_bits"), Some(res.trace.sync_overhead_bits()));
+        // Re-exporting a trace overwrites: gauges, not counters.
+        res.trace.export_metrics(&reg);
+        assert_eq!(reg.snapshot().scalar("runtime.rounds"), Some(res.trace.rounds));
     }
 
     #[test]

@@ -17,7 +17,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: anonet-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
          \x20                 [--cache-cap N] [--cache-bytes N] [--threads-per-job N|0=auto]\n\
-         \x20                 [--max-conns N] [--idle-timeout-ms N]"
+         \x20                 [--max-conns N] [--idle-timeout-ms N] [--flight-cap N]\n\
+         \x20                 [--dump-on-exit]"
     );
     std::process::exit(2)
 }
@@ -25,6 +26,7 @@ fn usage() -> ! {
 fn main() {
     let mut addr = "127.0.0.1:7411".to_string();
     let mut cfg = ServiceConfig::default();
+    let mut dump_on_exit = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut val = || args.next().unwrap_or_else(|| usage());
@@ -37,10 +39,12 @@ fn main() {
             "--threads-per-job" => cfg.threads_per_job = val().parse().unwrap_or_else(|_| usage()),
             "--max-conns" => cfg.max_conns = val().parse().unwrap_or_else(|_| usage()),
             "--idle-timeout-ms" => cfg.idle_timeout_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--flight-cap" => cfg.flight_cap = val().parse().unwrap_or_else(|_| usage()),
+            "--dump-on-exit" => dump_on_exit = true,
             _ => usage(),
         }
     }
-    let server = Server::start(&addr, cfg).unwrap_or_else(|e| {
+    let mut server = Server::start(&addr, cfg).unwrap_or_else(|e| {
         eprintln!("anonet-serve: cannot bind {addr}: {e}");
         std::process::exit(1);
     });
@@ -52,4 +56,7 @@ fn main() {
         cfg.cache_cap
     );
     server.join();
+    if dump_on_exit {
+        println!("{}", server.flight_dump_json("exit"));
+    }
 }

@@ -22,7 +22,8 @@ fn usage() -> ! {
          \x20             [--family cycle|regular|gnp|tree] [--n N] [--degree D]\n\
          \x20             [--instances K] [--requests N] [--batch B] [--concurrency C]\n\
          \x20             [--open RATE] [--weights unit|uniform:W|loguniform:W] [--seed S]\n\
-         \x20             [--no-cache] [--assert-certified] [--once] [--stats]"
+         \x20             [--no-cache] [--assert-certified] [--once] [--stats]\n\
+         \x20             [--metrics-json] [--server-metrics] [--debug-dump]"
     );
     std::process::exit(2)
 }
@@ -48,6 +49,7 @@ fn main() {
     };
     let mut cfg = DriveConfig::default();
     let (mut once, mut stats_only, mut assert_certified) = (false, false, false);
+    let (mut metrics_json, mut server_metrics, mut debug_dump) = (false, false, false);
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut val = || args.next().unwrap_or_else(|| usage());
@@ -85,6 +87,9 @@ fn main() {
             "--assert-certified" => assert_certified = true,
             "--once" => once = true,
             "--stats" => stats_only = true,
+            "--metrics-json" => metrics_json = true,
+            "--server-metrics" => server_metrics = true,
+            "--debug-dump" => debug_dump = true,
             _ => usage(),
         }
     }
@@ -98,11 +103,21 @@ fn main() {
         }
     }
 
-    if stats_only {
+    if stats_only || server_metrics || debug_dump {
         let mut c = Client::connect_retry(cfg.addr.as_str(), Duration::from_secs(5))
             .unwrap_or_else(|e| fail(&format!("connect {}: {e}", cfg.addr)));
-        let s = c.stats().unwrap_or_else(|e| fail(&format!("stats: {e}")));
-        println!("{s:#?}");
+        if stats_only {
+            let s = c.stats().unwrap_or_else(|e| fail(&format!("stats: {e}")));
+            println!("{s:#?}");
+        }
+        if server_metrics {
+            let snap = c.metrics().unwrap_or_else(|e| fail(&format!("metrics: {e}")));
+            println!("{}", snap.to_json());
+        }
+        if debug_dump {
+            let dump = c.debug_dump().unwrap_or_else(|e| fail(&format!("debug dump: {e}")));
+            println!("{dump}");
+        }
         return;
     }
 
@@ -114,7 +129,11 @@ fn main() {
 
     let report =
         drive(spec.problem, &blobs, &cfg).unwrap_or_else(|e| fail(&format!("loadgen drive: {e}")));
-    println!("{}", report.render());
+    if metrics_json {
+        println!("{}", report.metrics_snapshot().to_json());
+    } else {
+        println!("{}", report.render());
+    }
     if assert_certified {
         if report.errors > 0 || report.certified_instances != report.solved_instances {
             fail(&format!(

@@ -2,8 +2,8 @@
 //! protocol, plus request-building conveniences over `anonet_core::canon`.
 
 use crate::wire::{
-    self, Problem, SolveRequest, SolveResponse, StatsSnapshot, MSG_SOLVE_RESPONSE,
-    MSG_STATS_RESPONSE,
+    self, Problem, SolveRequest, SolveResponse, StatsSnapshot, MSG_DEBUG_DUMP_RESPONSE,
+    MSG_METRICS_RESPONSE, MSG_SOLVE_RESPONSE, MSG_STATS_RESPONSE,
 };
 use anonet_core::canon::{self, ByteReader};
 use anonet_core::vc_pn::VcInstance;
@@ -65,6 +65,30 @@ impl Client {
             return Err(wire::WireError::BadMessageType(t).into());
         }
         Ok(wire::decode_stats_response(&mut r)?)
+    }
+
+    /// Fetches the server's self-describing metrics snapshot (phase
+    /// histograms, per-problem solve counters, legacy stats counters).
+    pub fn metrics(&mut self) -> io::Result<anonet_obs::Snapshot> {
+        let reply = self.roundtrip(&wire::encode_metrics_request())?;
+        let mut r = ByteReader::new(&reply);
+        let t = wire::read_header(&mut r)?;
+        if t != MSG_METRICS_RESPONSE {
+            return Err(wire::WireError::BadMessageType(t).into());
+        }
+        Ok(wire::decode_metrics_response(&mut r)?)
+    }
+
+    /// Fetches the server's flight-recorder dump: the last N request
+    /// records as a JSON document.
+    pub fn debug_dump(&mut self) -> io::Result<String> {
+        let reply = self.roundtrip(&wire::encode_debug_dump_request())?;
+        let mut r = ByteReader::new(&reply);
+        let t = wire::read_header(&mut r)?;
+        if t != MSG_DEBUG_DUMP_RESPONSE {
+            return Err(wire::WireError::BadMessageType(t).into());
+        }
+        Ok(wire::decode_debug_dump_response(&mut r)?)
     }
 }
 

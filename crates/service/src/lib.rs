@@ -24,6 +24,11 @@
 //!   bytes, with hit/miss/eviction counters surfaced through the stats
 //!   endpoint;
 //! * [`client`] — a blocking client plus request-building helpers;
+//! * [`telemetry`] — per-request phase tracing into `anonet-obs` histograms
+//!   (read / decode / queue / solve / encode / write), per-problem-kind
+//!   solve counters, and the flight recorder: a ring of the last N request
+//!   records dumped as JSON on panic, on a wire debug-dump request, or at
+//!   exit;
 //! * [`loadgen`] — workload synthesis from `anonet-gen` families and an
 //!   open/closed-loop driver reporting throughput and latency percentiles.
 //!
@@ -58,6 +63,7 @@ pub mod cache;
 pub mod client;
 pub mod loadgen;
 pub mod server;
+pub mod telemetry;
 pub mod wire;
 
 pub use client::Client;

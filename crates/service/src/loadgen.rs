@@ -17,6 +17,7 @@ use crate::client::Client;
 use crate::wire::{InstanceResult, Problem, Scenario, SolveRequest, SolveResponse};
 use anonet_core::canon;
 use anonet_gen::{family, setcover, WeightSpec};
+use anonet_obs::{Histo, HistoSnapshot, MetricValue, Snapshot};
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -167,12 +168,15 @@ pub struct Report {
     pub certified_instances: u64,
     /// Wall-clock of the whole drive.
     pub elapsed: Duration,
-    /// Per-request latencies of **fully solved (`ok`) requests only**,
-    /// sorted ascending. `Busy` rejections and error responses are excluded
-    /// so the percentiles describe solved requests — a server shedding 90%
-    /// of its load with instant `Busy` replies can no longer advertise a
-    /// spectacular p99.
-    pub latencies: Vec<Duration>,
+    /// Latency histogram (microseconds) of **fully solved (`ok`) requests
+    /// only**. `Busy` rejections and error responses are excluded so the
+    /// percentiles describe solved requests — a server shedding 90% of its
+    /// load with instant `Busy` replies can no longer advertise a
+    /// spectacular p99. A log₂ `anonet-obs` histogram rather than a sample
+    /// vector, so an open-loop soak run's memory stays constant; quantiles
+    /// are exact at bucket granularity (within 2× above the true value,
+    /// `max` exact).
+    pub latency_us: HistoSnapshot,
 }
 
 impl Report {
@@ -199,14 +203,10 @@ impl Report {
         }
     }
 
-    /// The `q`-quantile latency (`0.0 ..= 1.0`) by nearest rank.
+    /// The `q`-quantile latency (`0.0 ..= 1.0`) by nearest rank, at the
+    /// histogram's bucket granularity (see [`Report::latency_us`]).
     pub fn percentile(&self, q: f64) -> Duration {
-        if self.latencies.is_empty() {
-            return Duration::ZERO;
-        }
-        let rank =
-            ((q * self.latencies.len() as f64).ceil() as usize).clamp(1, self.latencies.len());
-        self.latencies[rank - 1]
+        Duration::from_micros(self.latency_us.quantile(q))
     }
 
     /// Observed cache-hit rate over solved instances.
@@ -234,9 +234,34 @@ impl Report {
             self.percentile(0.50),
             self.percentile(0.90),
             self.percentile(0.99),
-            self.latencies.last().copied().unwrap_or_default(),
+            Duration::from_micros(self.latency_us.max),
             self.elapsed,
         )
+    }
+
+    /// The report as an `anonet-obs` snapshot — the same key/value schema
+    /// the server's metrics frame uses, so `loadgen --metrics-json` output
+    /// and server-side metrics can be joined by one consumer
+    /// (`perf_baseline` BENCH rows do exactly that).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        Snapshot {
+            entries: vec![
+                ("driven.busy".to_string(), MetricValue::Counter(self.busy)),
+                ("driven.elapsed_us".to_string(), {
+                    let us = self.elapsed.as_micros();
+                    MetricValue::Gauge(u64::try_from(us).unwrap_or(u64::MAX))
+                }),
+                ("driven.errors".to_string(), MetricValue::Counter(self.errors)),
+                ("driven.ok".to_string(), MetricValue::Counter(self.ok)),
+                ("instances.cached".to_string(), MetricValue::Counter(self.cached_instances)),
+                ("instances.certified".to_string(), MetricValue::Counter(self.certified_instances)),
+                ("instances.solved".to_string(), MetricValue::Counter(self.solved_instances)),
+                (
+                    "latency.ok_us".to_string(),
+                    MetricValue::Histo(Box::new(self.latency_us.clone())),
+                ),
+            ],
+        }
     }
 }
 
@@ -260,6 +285,7 @@ pub fn drive(problem: Problem, blobs: &[Vec<u8>], cfg: &DriveConfig) -> io::Resu
                 s.spawn(move || -> io::Result<()> {
                     let mut client = Client::connect_retry(cfg.addr.as_str(), cfg.connect_timeout)?;
                     let mut local = Report::default();
+                    let latencies = Histo::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= cfg.requests {
@@ -311,7 +337,8 @@ pub fn drive(problem: Problem, blobs: &[Vec<u8>], cfg: &DriveConfig) -> io::Resu
                                     // percentiles; Busy/error replies would
                                     // drag p99 toward the (cheap) rejection
                                     // path instead of the solve path.
-                                    local.latencies.push(rtt);
+                                    let us = rtt.as_micros();
+                                    latencies.record(u64::try_from(us).unwrap_or(u64::MAX));
                                 }
                             }
                             SolveResponse::Busy { retry_after_ms, .. } => {
@@ -340,7 +367,9 @@ pub fn drive(problem: Problem, blobs: &[Vec<u8>], cfg: &DriveConfig) -> io::Resu
                     agg.cached_instances += local.cached_instances;
                     agg.solved_instances += local.solved_instances;
                     agg.certified_instances += local.certified_instances;
-                    agg.latencies.extend(local.latencies);
+                    // Merge order across threads doesn't matter: snapshot
+                    // merge is associative and commutative.
+                    agg.latency_us.merge(&latencies.snapshot());
                     Ok(())
                 })
             })
@@ -359,7 +388,6 @@ pub fn drive(problem: Problem, blobs: &[Vec<u8>], cfg: &DriveConfig) -> io::Resu
     }
     let mut report = agg.into_inner().expect("report poisoned");
     report.elapsed = start.elapsed();
-    report.latencies.sort_unstable();
     Ok(report)
 }
 

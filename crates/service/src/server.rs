@@ -24,9 +24,11 @@
 //! carries the `AsyncTrace` summary instead of the engine `Trace`.
 
 use crate::cache::LruCache;
+use crate::telemetry::{outcome, RequestRecord, Telemetry};
 use crate::wire::{
     self, ExecMode, Problem, Scenario, SolveRequest, SolveResponse, StatsSnapshot, WireTrace,
-    FLAG_NO_CACHE, MSG_SOLVE_REQUEST, MSG_STATS_REQUEST,
+    FLAG_NO_CACHE, MSG_DEBUG_DUMP_REQUEST, MSG_METRICS_REQUEST, MSG_SOLVE_REQUEST,
+    MSG_STATS_REQUEST,
 };
 use anonet_bigmath::{AutoRat, BigRat};
 use anonet_core::canon::{self, ByteReader};
@@ -36,6 +38,8 @@ use anonet_core::vc_bcast::run_vc_broadcast_many;
 use anonet_core::vc_pn::{
     fold_vc_outputs, run_edge_packing_many, EdgePackingNode, VcConfig, VcInstance,
 };
+use anonet_obs::clock::{unix_millis, Stopwatch};
+use anonet_obs::MetricValue;
 use anonet_runtime::{run_async_pn, scenario, AsyncTrace, NetworkConfig};
 use anonet_sim::pool as sim_pool;
 use anonet_sim::Trace;
@@ -74,6 +78,9 @@ pub struct ServiceConfig {
     /// Without one, `max_conns` stalled peers that never send a byte would
     /// pin every slot forever and lock all new clients out.
     pub idle_timeout_ms: u64,
+    /// Flight-recorder capacity: the last N request records kept for debug
+    /// dumps (`0` disables recording; phase histograms still run).
+    pub flight_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -87,13 +94,27 @@ impl Default for ServiceConfig {
             retry_after_ms: 50,
             max_conns: 256,
             idle_timeout_ms: 60_000,
+            flight_cap: 256,
         }
     }
 }
 
+/// Phase measurements the worker hands back alongside the response payload,
+/// so the connection thread can commit one complete flight record.
+#[derive(Clone, Copy, Debug, Default)]
+struct ExecPhases {
+    queue_us: u64,
+    solve_us: u64,
+    encode_us: u64,
+    cache_hits: u32,
+    cache_misses: u32,
+    outcome: &'static str,
+}
+
 struct Job {
     req: SolveRequest,
-    reply: mpsc::Sender<Vec<u8>>,
+    reply: mpsc::Sender<(Vec<u8>, ExecPhases)>,
+    queued: Stopwatch,
 }
 
 #[derive(Default)]
@@ -113,6 +134,7 @@ struct Shared {
     counters: Counters,
     conns: AtomicUsize,
     stop: AtomicBool,
+    telemetry: Telemetry,
 }
 
 impl Shared {
@@ -151,7 +173,7 @@ impl Shared {
     }
 
     /// Enqueues a request or returns the encoded `Busy` payload.
-    fn submit(&self, req: SolveRequest) -> Result<mpsc::Receiver<Vec<u8>>, Vec<u8>> {
+    fn submit(&self, req: SolveRequest) -> Result<mpsc::Receiver<(Vec<u8>, ExecPhases)>, Vec<u8>> {
         let mut q = self.lock_queue();
         if self.stop.load(Ordering::Relaxed) || q.len() >= self.cfg.queue_cap {
             self.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
@@ -161,7 +183,7 @@ impl Shared {
             }));
         }
         let (tx, rx) = mpsc::channel();
-        q.push_back(Job { req, reply: tx });
+        q.push_back(Job { req, reply: tx, queued: Stopwatch::start() });
         drop(q);
         self.cv.notify_one();
         Ok(rx)
@@ -186,6 +208,42 @@ impl Shared {
             workers: self.cfg.workers as u64,
             shed_conns: self.counters.shed_conns.load(Ordering::Relaxed),
         }
+    }
+
+    /// The self-describing metrics view: phase histograms and solve counters
+    /// from the telemetry registry, merged with the legacy stats counters
+    /// (whose sources — cache, queue — live outside the registry), in one
+    /// name-sorted snapshot.
+    fn metrics_snapshot(&self) -> anonet_obs::Snapshot {
+        let stats = self.snapshot();
+        let mut snap = self.telemetry.registry.snapshot();
+        let legacy = [
+            ("served_ok", MetricValue::Counter(stats.served_ok)),
+            ("rejected_busy", MetricValue::Counter(stats.rejected_busy)),
+            ("malformed", MetricValue::Counter(stats.malformed)),
+            ("exec_errors", MetricValue::Counter(stats.exec_errors)),
+            ("cache_hits", MetricValue::Counter(stats.cache_hits)),
+            ("cache_misses", MetricValue::Counter(stats.cache_misses)),
+            ("cache_evictions", MetricValue::Counter(stats.cache_evictions)),
+            ("cache_len", MetricValue::Gauge(stats.cache_len)),
+            ("queue_len", MetricValue::Gauge(stats.queue_len)),
+            ("workers", MetricValue::Gauge(stats.workers)),
+            ("shed_conns", MetricValue::Counter(stats.shed_conns)),
+        ];
+        for (name, value) in legacy {
+            snap.entries.push((name.to_string(), value));
+        }
+        snap.entries.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+}
+
+/// Flight-recorder label for a problem kind.
+fn problem_label(p: Problem) -> &'static str {
+    match p {
+        Problem::VcPn => "vc_pn",
+        Problem::VcBcast => "vc_bcast",
+        Problem::SetCover => "set_cover",
     }
 }
 
@@ -228,8 +286,9 @@ fn scenario_config(s: Scenario, seed: u64) -> NetworkConfig {
 /// error message. `body` is `wire::encode_solved_body` output.
 type InstanceOutcome = Result<(bool, Vec<u8>), String>;
 
-/// Executes one request end to end, returning the response payload.
-fn execute(shared: &Shared, req: &SolveRequest) -> Vec<u8> {
+/// Executes one request end to end, returning the response payload and
+/// filling in the worker-side phase measurements.
+fn execute(shared: &Shared, req: &SolveRequest, phases: &mut ExecPhases) -> Vec<u8> {
     if cfg!(debug_assertions) && req.flags & wire::FLAG_TEST_PANIC != 0 {
         // lint: allow(panic-path) — deliberate test instrumentation, debug builds only, and the worker_loop catch_unwind is exactly what it exercises
         panic!("FLAG_TEST_PANIC set: deliberate worker panic (test instrumentation)");
@@ -244,6 +303,8 @@ fn execute(shared: &Shared, req: &SolveRequest) -> Vec<u8> {
         )));
     }
 
+    shared.telemetry.kind_counter(req.problem).inc();
+    let mut sw = Stopwatch::start();
     let k = req.instances.len();
     let mut outcomes: Vec<Option<InstanceOutcome>> = (0..k).map(|_| None).collect();
     let use_cache = req.flags & FLAG_NO_CACHE == 0 && shared.cfg.cache_cap > 0;
@@ -279,12 +340,18 @@ fn execute(shared: &Shared, req: &SolveRequest) -> Vec<u8> {
     let results: Vec<InstanceOutcome> =
         // lint: allow(panic-path) — every slot is filled by construction: the cache pass writes hits, the execute pass writes the rest
         outcomes.into_iter().map(|o| o.expect("every instance resolved")).collect();
+    let cache_hits = results.iter().filter(|r| matches!(r, Ok((true, _)))).count() as u32;
+    phases.cache_hits = cache_hits;
+    phases.cache_misses = k as u32 - cache_hits;
     let errors = results.iter().filter(|r| r.is_err()).count() as u64;
     if errors > 0 {
         shared.counters.exec_errors.fetch_add(errors, Ordering::Relaxed);
     }
     shared.counters.served_ok.fetch_add(1, Ordering::Relaxed);
-    wire::encode_solve_response_raw(&results)
+    phases.solve_us = sw.lap_us();
+    let payload = wire::encode_solve_response_raw(&results);
+    phases.encode_us = sw.lap_us();
+    payload
 }
 
 /// Widens a fast-path certificate to the `BigRat` wire representation. The
@@ -332,10 +399,9 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                                 certify_vertex_cover(&d.graph, &d.weights, &vc.packing, &vc.cover)
                                     .map_err(|e| format!("certification failed: {e}"))?,
                             );
-                            Ok((
-                                false,
-                                wire::encode_solved_body(&vc.cover, &cert, &sync_trace(&vc.trace)),
-                            ))
+                            let t = sync_trace(&vc.trace);
+                            shared.telemetry.record_solve_trace(t.rounds, t.bits);
+                            Ok((false, wire::encode_solved_body(&vc.cover, &cert, &t)))
                         })
                         .collect()
                 }
@@ -357,10 +423,9 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                             certify_vertex_cover(&d.graph, &d.weights, &packing, &cover)
                                 .map_err(|e| format!("certification failed: {e}"))?,
                         );
-                        Ok((
-                            false,
-                            wire::encode_solved_body(&cover, &cert, &async_trace(&res.trace)),
-                        ))
+                        let t = async_trace(&res.trace);
+                        shared.telemetry.record_solve_trace(t.rounds, t.bits);
+                        Ok((false, wire::encode_solved_body(&cover, &cert, &t)))
                     };
                     // Each instance is an independent, per-seed-deterministic
                     // run, so fan the batch across the job's pool width like
@@ -414,7 +479,9 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                     if !vc.all_saturated || !covers || !canon::certificate_bound_holds(&cert) {
                         return Err("certification failed: §5 invariants violated".into());
                     }
-                    Ok((false, wire::encode_solved_body(&vc.cover, &cert, &sync_trace(&vc.trace))))
+                    let t = sync_trace(&vc.trace);
+                    shared.telemetry.record_solve_trace(t.rounds, t.bits);
+                    Ok((false, wire::encode_solved_body(&vc.cover, &cert, &t)))
                 })
                 .collect()
         }
@@ -441,7 +508,9 @@ fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<Instan
                         certify_set_cover(&d.inst, &sc.packing, &sc.cover)
                             .map_err(|e| format!("certification failed: {e}"))?,
                     );
-                    Ok((false, wire::encode_solved_body(&sc.cover, &cert, &sync_trace(&sc.trace))))
+                    let t = sync_trace(&sc.trace);
+                    shared.telemetry.record_solve_trace(t.rounds, t.bits);
+                    Ok((false, wire::encode_solved_body(&sc.cover, &cert, &t)))
                 })
                 .collect()
         }
@@ -471,21 +540,32 @@ fn worker_loop(shared: Arc<Shared>) {
                 };
             }
         };
+        let queue_us = job.queued.total_us();
         // A panicking job must not take the worker down with it (a handful
         // of hostile requests would otherwise silently drain the pool until
         // nothing drains the queue): unwind here, answer with per-instance
-        // errors, and keep the thread.
-        let payload =
-            catch_unwind(AssertUnwindSafe(|| execute(&shared, &job.req))).unwrap_or_else(|_| {
+        // errors, and keep the thread. The unwind path also dumps the
+        // flight recorder to stderr — the records preceding the panic are
+        // exactly the evidence a post-mortem needs.
+        let (payload, phases) = match catch_unwind(AssertUnwindSafe(|| {
+            let mut ph = ExecPhases { queue_us, outcome: outcome::OK, ..ExecPhases::default() };
+            let payload = execute(&shared, &job.req, &mut ph);
+            (payload, ph)
+        })) {
+            Ok(done) => done,
+            Err(_) => {
+                shared.telemetry.dump_on_panic();
                 let n = job.req.instances.len();
                 shared.counters.exec_errors.fetch_add(n as u64, Ordering::Relaxed);
                 shared.counters.served_ok.fetch_add(1, Ordering::Relaxed);
                 let errs: Vec<InstanceOutcome> =
                     (0..n).map(|_| Err("internal error: execution panicked".to_string())).collect();
-                wire::encode_solve_response_raw(&errs)
-            });
+                let ph = ExecPhases { queue_us, outcome: outcome::PANIC, ..ExecPhases::default() };
+                (wire::encode_solve_response_raw(&errs), ph)
+            }
+        };
         // The client may have gone away; that is its problem, not ours.
-        let _ = job.reply.send(payload);
+        let _ = job.reply.send((payload, phases));
     }
 }
 
@@ -511,38 +591,89 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
             .set_read_timeout(Some(std::time::Duration::from_millis(shared.cfg.idle_timeout_ms)));
     }
     loop {
+        // One stopwatch walks the whole request: laps are the phase splits,
+        // `total_us` at the end is read start → write end. The read phase of
+        // a keep-alive connection includes the wait for the next frame.
+        let mut sw = Stopwatch::start();
         let payload = match wire::read_frame(&mut stream) {
             Ok(Some(p)) => p,
             _ => return, // clean close or broken transport
         };
+        let mut rec = RequestRecord {
+            t_unix_ms: unix_millis(),
+            bytes_in: payload.len() as u64,
+            read_us: sw.lap_us(),
+            outcome: outcome::INFO,
+            ..RequestRecord::default()
+        };
         let mut r = ByteReader::new(&payload);
         let reply = match wire::read_header(&mut r) {
-            Ok(MSG_SOLVE_REQUEST) => match wire::decode_solve_request(&mut r) {
-                Ok(req) => match shared.submit(req) {
-                    Ok(rx) => match rx.recv() {
-                        Ok(p) => p,
-                        Err(_) => return, // service shut down mid-flight
-                    },
-                    Err(busy) => busy,
-                },
-                Err(e) => {
-                    shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
-                    wire::encode_solve_response(&SolveResponse::Malformed(e.to_string()))
+            Ok(MSG_SOLVE_REQUEST) => {
+                rec.msg_type = MSG_SOLVE_REQUEST;
+                match wire::decode_solve_request(&mut r) {
+                    Ok(req) => {
+                        rec.decode_us = sw.lap_us();
+                        rec.problem = problem_label(req.problem);
+                        rec.instances = req.instances.len() as u32;
+                        match shared.submit(req) {
+                            Ok(rx) => match rx.recv() {
+                                Ok((p, ph)) => {
+                                    rec.queue_us = ph.queue_us;
+                                    rec.solve_us = ph.solve_us;
+                                    rec.encode_us = ph.encode_us;
+                                    rec.cache_hits = ph.cache_hits;
+                                    rec.cache_misses = ph.cache_misses;
+                                    rec.outcome = ph.outcome;
+                                    p
+                                }
+                                Err(_) => return, // service shut down mid-flight
+                            },
+                            Err(busy) => {
+                                rec.outcome = outcome::BUSY;
+                                busy
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        rec.decode_us = sw.lap_us();
+                        rec.outcome = outcome::MALFORMED;
+                        shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                        wire::encode_solve_response(&SolveResponse::Malformed(e.to_string()))
+                    }
                 }
-            },
-            Ok(MSG_STATS_REQUEST) => wire::encode_stats_response(&shared.snapshot()),
+            }
+            Ok(MSG_STATS_REQUEST) => {
+                rec.msg_type = MSG_STATS_REQUEST;
+                wire::encode_stats_response(&shared.snapshot())
+            }
+            Ok(MSG_METRICS_REQUEST) => {
+                rec.msg_type = MSG_METRICS_REQUEST;
+                wire::encode_metrics_response(&shared.metrics_snapshot())
+            }
+            Ok(MSG_DEBUG_DUMP_REQUEST) => {
+                rec.msg_type = MSG_DEBUG_DUMP_REQUEST;
+                wire::encode_debug_dump_response(&shared.telemetry.dump_json("on-demand"))
+            }
             Ok(t) => {
+                rec.msg_type = t;
+                rec.outcome = outcome::MALFORMED;
                 shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
                 wire::encode_solve_response(&SolveResponse::Malformed(format!(
                     "unexpected message type {t}"
                 )))
             }
             Err(e) => {
+                rec.outcome = outcome::MALFORMED;
                 shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
                 wire::encode_solve_response(&SolveResponse::Malformed(e.to_string()))
             }
         };
-        if wire::write_frame(&mut stream, &reply).is_err() {
+        rec.bytes_out = reply.len() as u64;
+        let write_ok = wire::write_frame(&mut stream, &reply).is_ok();
+        rec.write_us = sw.lap_us();
+        rec.total_us = sw.total_us();
+        shared.telemetry.commit(rec);
+        if !write_ok {
             return;
         }
     }
@@ -573,6 +704,7 @@ impl Server {
             counters: Counters::default(),
             conns: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
+            telemetry: Telemetry::new(cfg.flight_cap),
         });
         let workers = (0..cfg.workers)
             .map(|_| {
@@ -615,8 +747,21 @@ impl Server {
         self.shared.snapshot()
     }
 
+    /// The self-describing metrics snapshot (also served over the wire as
+    /// the metrics frame): phase histograms, per-problem solve counters,
+    /// and the legacy stats counters, name-sorted.
+    pub fn metrics(&self) -> anonet_obs::Snapshot {
+        self.shared.metrics_snapshot()
+    }
+
+    /// The flight-recorder JSON document (also served over the wire as the
+    /// debug dump response). `reason` is stamped into the document.
+    pub fn flight_dump_json(&self, reason: &str) -> String {
+        self.shared.telemetry.dump_json(reason)
+    }
+
     /// Blocks until the accept loop exits — "serve forever" for the CLI.
-    pub fn join(mut self) {
+    pub fn join(&mut self) {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -661,6 +806,7 @@ mod tests {
             counters: Counters::default(),
             conns: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
+            telemetry: Telemetry::new(8),
         };
         shared.lock_cache().insert(vec![1], vec![2]);
         // Poison the mutex: panic while holding the guard. The accessor is

@@ -16,6 +16,8 @@
 //! header     := magic "ANSV" (4 bytes) | version: u16 (= 1) | msg_type: u8
 //! msg_type   := 1 solve request | 2 solve response
 //!             | 3 stats request | 4 stats response
+//!             | 5 metrics request | 6 metrics response
+//!             | 7 debug dump request | 8 debug dump response
 //!
 //! solve req  := header | problem: u8 | mode: u8 | seed: u64 | flags: u8
 //!             | count: u32 | count × instance blob
@@ -50,7 +52,25 @@
 //!               served_ok, rejected_busy, malformed, exec_errors,
 //!               cache_hits, cache_misses, cache_evictions, cache_len,
 //!               queue_len, workers, shed_conns
+//!
+//! metrics resp := header | schema: u16 (= 1) | entry_count: u32
+//!               | entry_count × metric entry
+//! metric entry := name blob (UTF-8) | kind: u8
+//! kind         := 0 counter | 1 gauge — both followed by value: u64
+//!               | 2 histogram, followed by:
+//!                 count: u64 | sum: u64 | max: u64 | nbuckets: u16
+//!                 | nbuckets × (bucket_idx: u8 | bucket_count: u64)
+//!                 (log₂ buckets, `anonet_obs::bucket_bounds`; only
+//!                 non-empty buckets travel)
+//!
+//! debug dump resp := header | JSON blob (flight-recorder document)
 //! ```
+//!
+//! The legacy fixed-width stats frame (msg 3/4) is kept byte-for-byte
+//! compatible for old clients — its exact encoding is pinned by a
+//! regression test. New fields land in the self-describing metrics frame
+//! (msg 5/6), which carries its own schema version and entry count, so
+//! adding a metric is not a wire break.
 //!
 //! The per-instance `result` bytes after the `from_cache` flag are exactly
 //! what the server's result cache stores, so a cache hit is a byte copy.
@@ -84,6 +104,22 @@ pub const MSG_SOLVE_RESPONSE: u8 = 2;
 pub const MSG_STATS_REQUEST: u8 = 3;
 /// Stats response tag.
 pub const MSG_STATS_RESPONSE: u8 = 4;
+/// Metrics request tag (self-describing key/value frame).
+pub const MSG_METRICS_REQUEST: u8 = 5;
+/// Metrics response tag.
+pub const MSG_METRICS_RESPONSE: u8 = 6;
+/// Debug dump request tag (flight-recorder JSON).
+pub const MSG_DEBUG_DUMP_REQUEST: u8 = 7;
+/// Debug dump response tag.
+pub const MSG_DEBUG_DUMP_RESPONSE: u8 = 8;
+
+/// Schema version of the metrics frame body. Bump only on incompatible
+/// layout changes; adding entries is not a break (the frame is key/value).
+pub const METRICS_SCHEMA_VERSION: u16 = 1;
+
+/// Maximum metric entries accepted when decoding a metrics frame —
+/// hostile-peer allocation bound, far above any honest registry size.
+pub const MAX_METRICS: usize = 4096;
 
 /// Which covering problem a request asks for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -693,6 +729,116 @@ pub fn decode_stats_response(r: &mut ByteReader<'_>) -> Result<StatsSnapshot, Wi
     })
 }
 
+/// Encodes a metrics request payload.
+pub fn encode_metrics_request() -> Vec<u8> {
+    header(MSG_METRICS_REQUEST).into_bytes()
+}
+
+/// Encodes a metrics response payload from a registry snapshot: a
+/// self-describing, versioned key/value frame (see the module docs for the
+/// layout). Histograms travel as their non-empty log₂ buckets.
+pub fn encode_metrics_response(snap: &anonet_obs::Snapshot) -> Vec<u8> {
+    let mut w = header(MSG_METRICS_RESPONSE);
+    w.put_bytes(&METRICS_SCHEMA_VERSION.to_le_bytes());
+    w.put_u32(snap.entries.len() as u32);
+    for (name, value) in &snap.entries {
+        w.put_blob(name.as_bytes());
+        match value {
+            anonet_obs::MetricValue::Counter(v) => {
+                w.put_u8(0);
+                w.put_u64(*v);
+            }
+            anonet_obs::MetricValue::Gauge(v) => {
+                w.put_u8(1);
+                w.put_u64(*v);
+            }
+            anonet_obs::MetricValue::Histo(h) => {
+                w.put_u8(2);
+                w.put_u64(h.count);
+                w.put_u64(h.sum);
+                w.put_u64(h.max);
+                let nonzero = h.buckets.iter().filter(|&&c| c != 0).count();
+                w.put_bytes(&(nonzero as u16).to_le_bytes());
+                for (idx, &c) in h.buckets.iter().enumerate() {
+                    if c != 0 {
+                        w.put_u8(idx as u8);
+                        w.put_u64(c);
+                    }
+                }
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a metrics response body (header already consumed).
+pub fn decode_metrics_response(r: &mut ByteReader<'_>) -> Result<anonet_obs::Snapshot, WireError> {
+    let lo = r.get_u8()?;
+    let hi = r.get_u8()?;
+    let schema = u16::from_le_bytes([lo, hi]);
+    if schema != METRICS_SCHEMA_VERSION {
+        return Err(WireError::Invalid(format!("unsupported metrics schema {schema}")));
+    }
+    let count = r.get_u32()? as usize;
+    if count > MAX_METRICS {
+        return Err(WireError::Invalid(format!("metric count {count} exceeds MAX_METRICS")));
+    }
+    let mut entries = Vec::new();
+    for _ in 0..count {
+        let name = String::from_utf8_lossy(r.get_blob()?).into_owned();
+        let kind = r.get_u8()?;
+        let value = match kind {
+            0 => anonet_obs::MetricValue::Counter(r.get_u64()?),
+            1 => anonet_obs::MetricValue::Gauge(r.get_u64()?),
+            2 => {
+                let mut h = anonet_obs::HistoSnapshot {
+                    count: r.get_u64()?,
+                    sum: r.get_u64()?,
+                    max: r.get_u64()?,
+                    ..anonet_obs::HistoSnapshot::default()
+                };
+                let lo = r.get_u8()?;
+                let hi = r.get_u8()?;
+                let nbuckets = u16::from_le_bytes([lo, hi]) as usize;
+                if nbuckets > anonet_obs::NUM_BUCKETS {
+                    return Err(WireError::Invalid(format!("{nbuckets} histogram buckets")));
+                }
+                for _ in 0..nbuckets {
+                    let idx = r.get_u8()? as usize;
+                    let c = r.get_u64()?;
+                    if idx >= anonet_obs::NUM_BUCKETS {
+                        return Err(WireError::Invalid(format!("bucket index {idx}")));
+                    }
+                    // lint: allow(panic-path) — `idx` is range-checked against NUM_BUCKETS on the line above
+                    h.buckets[idx] = c;
+                }
+                anonet_obs::MetricValue::Histo(Box::new(h))
+            }
+            other => return Err(WireError::Invalid(format!("bad metric kind {other}"))),
+        };
+        entries.push((name, value));
+    }
+    Ok(anonet_obs::Snapshot { entries })
+}
+
+/// Encodes a debug dump request payload.
+pub fn encode_debug_dump_request() -> Vec<u8> {
+    header(MSG_DEBUG_DUMP_REQUEST).into_bytes()
+}
+
+/// Encodes a debug dump response: the flight-recorder JSON document as one
+/// blob. The document is self-describing; the wire adds only framing.
+pub fn encode_debug_dump_response(json: &str) -> Vec<u8> {
+    let mut w = header(MSG_DEBUG_DUMP_RESPONSE);
+    w.put_blob(json.as_bytes());
+    w.into_bytes()
+}
+
+/// Decodes a debug dump response body (header already consumed).
+pub fn decode_debug_dump_response(r: &mut ByteReader<'_>) -> Result<String, WireError> {
+    Ok(String::from_utf8_lossy(r.get_blob()?).into_owned())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -864,6 +1010,109 @@ mod tests {
         let mut r = ByteReader::new(&payload);
         assert_eq!(read_header(&mut r).unwrap(), MSG_STATS_RESPONSE);
         assert_eq!(decode_stats_response(&mut r).unwrap(), s);
+    }
+
+    #[test]
+    fn legacy_stats_bytes_are_pinned() {
+        // Old clients parse msg 4 as a fixed 11 × u64 body with no count
+        // prefix. This test pins the exact bytes so the legacy frame can
+        // never drift while the metrics frame evolves. If it fails, a new
+        // field leaked into the legacy message — put it in msg 6 instead.
+        let s = StatsSnapshot {
+            served_ok: 1,
+            rejected_busy: 2,
+            malformed: 3,
+            exec_errors: 4,
+            cache_hits: 5,
+            cache_misses: 6,
+            cache_evictions: 7,
+            cache_len: 8,
+            queue_len: 9,
+            workers: 10,
+            shed_conns: 0x1122334455667788,
+        };
+        let mut expected = Vec::new();
+        expected.extend_from_slice(b"ANSV"); // magic
+        expected.extend_from_slice(&1u16.to_le_bytes()); // version
+        expected.push(MSG_STATS_RESPONSE);
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0x1122334455667788] {
+            expected.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(encode_stats_response(&s), expected);
+        assert_eq!(expected.len(), 4 + 2 + 1 + 11 * 8);
+    }
+
+    #[test]
+    fn metrics_frame_roundtrip() {
+        let reg = anonet_obs::Registry::new();
+        reg.counter("served_ok").add(42);
+        reg.gauge("queue_len").set(3);
+        let h = reg.histo("phase.solve_us");
+        for v in [0u64, 1, 5, 5, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let payload = encode_metrics_response(&snap);
+        let mut r = ByteReader::new(&payload);
+        assert_eq!(read_header(&mut r).unwrap(), MSG_METRICS_RESPONSE);
+        let dec = decode_metrics_response(&mut r).unwrap();
+        assert_eq!(dec, snap);
+        assert_eq!(dec.scalar("served_ok"), Some(42));
+        let histo = dec.histo("phase.solve_us").unwrap();
+        assert_eq!(histo.count, 6);
+        assert_eq!(histo.max, u64::MAX);
+    }
+
+    #[test]
+    fn metrics_frame_rejects_hostile_counts() {
+        // Hostile entry count.
+        let mut w = ByteWriter::new();
+        w.put_bytes(&MAGIC);
+        w.put_bytes(&VERSION.to_le_bytes());
+        w.put_u8(MSG_METRICS_RESPONSE);
+        w.put_bytes(&METRICS_SCHEMA_VERSION.to_le_bytes());
+        w.put_u32(u32::MAX);
+        let payload = w.into_bytes();
+        let mut r = ByteReader::new(&payload);
+        read_header(&mut r).unwrap();
+        assert!(matches!(decode_metrics_response(&mut r), Err(WireError::Invalid(_))));
+
+        // Out-of-range bucket index.
+        let mut w = header(MSG_METRICS_RESPONSE);
+        w.put_bytes(&METRICS_SCHEMA_VERSION.to_le_bytes());
+        w.put_u32(1);
+        w.put_blob(b"h");
+        w.put_u8(2); // histo
+        w.put_u64(1); // count
+        w.put_u64(1); // sum
+        w.put_u64(1); // max
+        w.put_bytes(&1u16.to_le_bytes()); // nbuckets
+        w.put_u8(200); // bucket index past NUM_BUCKETS
+        w.put_u64(1);
+        let payload = w.into_bytes();
+        let mut r = ByteReader::new(&payload);
+        read_header(&mut r).unwrap();
+        assert!(matches!(decode_metrics_response(&mut r), Err(WireError::Invalid(_))));
+    }
+
+    #[test]
+    fn metrics_frame_rejects_unknown_schema() {
+        let mut w = header(MSG_METRICS_RESPONSE);
+        w.put_bytes(&(METRICS_SCHEMA_VERSION + 1).to_le_bytes());
+        w.put_u32(0);
+        let payload = w.into_bytes();
+        let mut r = ByteReader::new(&payload);
+        read_header(&mut r).unwrap();
+        assert!(matches!(decode_metrics_response(&mut r), Err(WireError::Invalid(_))));
+    }
+
+    #[test]
+    fn debug_dump_roundtrip() {
+        let doc = "{\"schema\":\"anonet-flight/1\",\"records\":[]}";
+        let payload = encode_debug_dump_response(doc);
+        let mut r = ByteReader::new(&payload);
+        assert_eq!(read_header(&mut r).unwrap(), MSG_DEBUG_DUMP_RESPONSE);
+        assert_eq!(decode_debug_dump_response(&mut r).unwrap(), doc);
     }
 
     #[test]

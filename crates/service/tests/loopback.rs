@@ -407,6 +407,113 @@ fn idle_connections_time_out_and_free_their_slot() {
     server.shutdown();
 }
 
+/// Every phase histogram the telemetry module defines, in wire order.
+const PHASES: [&str; 9] = [
+    "phase.read_us",
+    "phase.decode_us",
+    "phase.queue_us",
+    "phase.solve_us",
+    "phase.encode_us",
+    "phase.write_us",
+    "request.total_us",
+    "request.bytes_in",
+    "request.bytes_out",
+];
+
+#[test]
+fn metrics_frame_and_flight_recorder_over_the_wire() {
+    let server = start(ServiceConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let g = family::petersen();
+    let w = vec![2u64; 10];
+    let instances = [VcInstance::new(&g, &w), VcInstance::new(&g, &w)];
+    let resp = c.solve(&client::vc_request(Problem::VcPn, &instances)).unwrap();
+    assert_eq!(solved(&resp).len(), 2);
+
+    // One served request moves *every* phase histogram by exactly one
+    // (phases a record never entered are committed as 0 so counts stay
+    // comparable), and the per-problem-kind counter accounts it.
+    let snap = c.metrics().unwrap();
+    for phase in PHASES {
+        let h = snap.histo(phase).unwrap_or_else(|| panic!("{phase} missing from the frame"));
+        assert_eq!(h.count, 1, "{phase} histogram must have recorded the solve");
+    }
+    assert!(snap.histo("request.bytes_in").unwrap().sum > 0, "request payload was non-empty");
+    assert!(snap.histo("solve.rounds").unwrap().count >= 1, "computed solves record rounds");
+    assert_eq!(snap.scalar("solve.kind.vc_pn"), Some(1));
+    assert_eq!(snap.scalar("solve.kind.vc_bcast"), Some(0));
+    assert_eq!(snap.scalar("solve.kind.set_cover"), Some(0));
+    // The legacy stats counters ride in the same self-describing frame …
+    assert_eq!(snap.scalar("served_ok"), Some(1));
+    assert_eq!(snap.scalar("cache_misses"), Some(2));
+    // … and the fixed legacy stats message still answers alongside.
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.served_ok, 1);
+
+    // Monotone: a later snapshot has seen every earlier request (the
+    // metrics and stats requests above included — info requests are
+    // committed like any other), and histogram counts never decrease.
+    let snap2 = c.metrics().unwrap();
+    for phase in PHASES {
+        let (h1, h2) = (snap.histo(phase).unwrap(), snap2.histo(phase).unwrap());
+        assert!(h2.count > h1.count, "{phase} must have grown: {} -> {}", h1.count, h2.count);
+    }
+
+    // The JSON rendering carries the schema header and every entry.
+    let json = snap2.to_json();
+    assert!(json.starts_with("{\"schema\":\"anonet-metrics/1\""));
+    for phase in PHASES {
+        assert!(json.contains(&format!("\"name\":\"{phase}\"")), "{phase} missing from JSON");
+    }
+
+    // The flight recorder answers over the wire with per-request records:
+    // the solve (problem kind, instance count, ok) and the info requests.
+    let dump = c.debug_dump().unwrap();
+    assert!(dump.contains("\"schema\":\"anonet-flight/1\""), "{dump}");
+    assert!(dump.contains("\"reason\":\"on-demand\""), "{dump}");
+    assert!(dump.contains("\"problem\":\"vc_pn\""), "{dump}");
+    assert!(dump.contains("\"instances\":2"), "{dump}");
+    assert!(dump.contains("\"outcome\":\"ok\""), "{dump}");
+    assert!(dump.contains("\"outcome\":\"info\""), "{dump}");
+
+    server.shutdown();
+}
+
+// FLAG_TEST_PANIC is honoured in debug builds only (as in
+// `worker_pool_survives_panicking_jobs`).
+#[cfg(debug_assertions)]
+#[test]
+fn flight_recorder_captures_panicking_requests() {
+    let server = start(ServiceConfig { workers: 1, ..Default::default() });
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let g = family::cycle(4);
+    let w = vec![1u64; 4];
+    let blob = canon::encode_vc(&g, &w, 2, 1);
+    let mut req = SolveRequest::new(Problem::VcPn, vec![blob]);
+    req.flags |= wire::FLAG_TEST_PANIC;
+    assert!(matches!(c.solve(&req).unwrap(), SolveResponse::Ok(_)));
+    // The panicking request's record lands in the ring with its outcome,
+    // and the panic counter moves — the on-demand dump shows both.
+    let dump = c.debug_dump().unwrap();
+    assert!(dump.contains("\"outcome\":\"panic\""), "{dump}");
+    assert_eq!(c.metrics().unwrap().scalar("worker.panics"), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn flight_cap_zero_disables_the_ring_but_not_metrics() {
+    let server = start(ServiceConfig { flight_cap: 0, ..Default::default() });
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let g = family::cycle(5);
+    let w = vec![1u64; 5];
+    let blob = canon::encode_vc(&g, &w, 2, 1);
+    c.solve(&SolveRequest::new(Problem::VcPn, vec![blob])).unwrap();
+    let dump = c.debug_dump().unwrap();
+    assert!(dump.contains("\"records\":[]"), "{dump}");
+    assert_eq!(c.metrics().unwrap().histo("request.total_us").map(|h| h.count), Some(2));
+    server.shutdown();
+}
+
 #[test]
 fn lru_eviction_over_the_wire() {
     // cache_cap 2: three distinct instances evict the first.

@@ -104,6 +104,53 @@ pub struct Trace {
     pub max_message_bits: u64,
 }
 
+/// Logical-time statistics for one completed round, handed to a
+/// [`RoundObserver`] after the round's barrier.
+///
+/// Everything here is counted in **logical time** (rounds, nodes, slots,
+/// bits) — no wall clocks, so observers are safe in the deterministic
+/// crates and observed runs stay bit-reproducible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// The 1-based round that just completed.
+    pub round: u64,
+    /// Nodes swept this round (the active frontier with skipping on; `n`
+    /// otherwise).
+    pub active_nodes: u64,
+    /// Nodes that halted during this round.
+    pub newly_halted: u64,
+    /// Message slots written by the send sweep this round (active nodes'
+    /// slots only; frontier-skipped halted nodes' slots were written once at
+    /// halt and are not rewritten).
+    pub slots_written: u64,
+    /// Whether the round-global canonicalisation table was (re)built between
+    /// the phases this round (`RANKED` deliveries only).
+    pub canon_pass: bool,
+    /// Payload bits accounted to [`Trace::total_bits`] this round (including
+    /// the cached contribution of frontier-skipped halted nodes).
+    pub bits: u64,
+}
+
+/// Per-round engine instrumentation hook.
+///
+/// Attached with [`Engine::set_observer`] or the [`run_engine_observed`]
+/// wrapper; the default is no observer, which costs one branch per round.
+/// The observer runs on the engine's calling thread, after the round's
+/// receive barrier, so it never races the parallel sweep phases.
+pub trait RoundObserver {
+    /// Called once after every completed round.
+    fn on_round(&mut self, stats: &RoundStats);
+}
+
+/// The do-nothing observer (useful for overhead measurements: attaching it
+/// exercises the dispatch path without doing any work).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl RoundObserver for NoopObserver {
+    fn on_round(&mut self, _stats: &RoundStats) {}
+}
+
 /// Errors from an engine run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
@@ -381,6 +428,12 @@ pub struct Engine<'a, A, D: Delivery<A>> {
     node_spans: Vec<Range<usize>>,
     buf_spans: Vec<Range<usize>>,
     spans_dirty: bool,
+    /// Message slots owned by the current sweep list — what one send sweep
+    /// writes. Recomputed with the partition (frontier changes only).
+    active_slots: u64,
+    /// Per-round instrumentation hook ([`Engine::set_observer`]); `None`
+    /// (the default) costs one branch per round.
+    observer: Option<&'a mut dyn RoundObserver>,
     /// Persistent phase workers (`None` when the effective width is 1).
     /// Spawned once at construction — never inside [`Engine::step`].
     pool: Option<RoundPool>,
@@ -495,9 +548,18 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
             node_spans,
             buf_spans,
             spans_dirty: true,
+            active_slots: 0,
+            observer: None,
             pool: worker_pool,
             _model: PhantomData,
         })
+    }
+
+    /// Attaches a per-round observer; it is notified after every
+    /// [`Engine::step`] from here on. [`EngineOptions`] stays `Copy`, so the
+    /// hook lives on the engine, not the options.
+    pub fn set_observer(&mut self, observer: &'a mut dyn RoundObserver) {
+        self.observer = Some(observer);
     }
 
     /// Number of nodes that have halted.
@@ -568,6 +630,15 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
             if self.arenas.len() < self.parts.len() {
                 self.arenas.resize_with(self.parts.len(), PartArena::default);
             }
+            // What one send sweep writes: the sweep list's own slots (dense
+            // parts have no gaps, sparse parts only touch swept nodes'
+            // slots, so the same sum covers both). Cached with the
+            // partition — steady rounds pay nothing for it.
+            self.active_slots = self
+                .sweep
+                .iter()
+                .map(|&v| D::slot_span(g, v as usize..v as usize + 1).len() as u64)
+                .sum();
             self.spans_dirty = false;
         }
         let parts = &self.parts;
@@ -662,7 +733,13 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
             }
         };
         self.trace.messages += g.arcs() as u64;
-        self.trace.total_bits += bits + self.skipped_bits;
+        // Captured for the observer before the post-receive halt bookkeeping
+        // below grows `skipped_bits`: this is exactly what the round adds to
+        // `Trace::total_bits`.
+        let round_bits = bits + self.skipped_bits;
+        let active_nodes = self.sweep.len() as u64;
+        let slots_written = self.active_slots;
+        self.trace.total_bits += round_bits;
         self.trace.max_message_bits =
             self.trace.max_message_bits.max(maxb).max(self.skipped_max_bits);
 
@@ -797,6 +874,19 @@ impl<'a, A: Send + Sync, D: Delivery<A>> Engine<'a, A, D> {
         }
 
         self.trace.rounds = round;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            // hot-path: begin — observer notify (logical counters only; no
+            // allocation is allowed here, same rule as the sweeps)
+            obs.on_round(&RoundStats {
+                round,
+                active_nodes,
+                newly_halted: self.newly.len() as u64,
+                slots_written,
+                canon_pass: D::RANKED,
+                bits: round_bits,
+            });
+            // hot-path: end
+        }
         self.halted == g.n()
     }
 
@@ -888,6 +978,30 @@ pub fn run_engine_scratch<A: Send + Sync, D: Delivery<A>>(
     scratch: &mut EngineScratch<A, D>,
 ) -> Result<RunResult<D::Output>, SimError> {
     let mut engine = Engine::<A, D>::with_scratch(graph, cfg, inputs, opts, scratch)?;
+    for _ in 0..max_rounds {
+        if engine.step() {
+            return Ok(engine.finish_scratch(scratch).expect("all halted"));
+        }
+    }
+    let halted = engine.halted();
+    engine.finish_scratch(scratch);
+    Err(SimError::RoundLimit { limit: max_rounds, halted, n: graph.n() })
+}
+
+/// [`run_engine_scratch`] with a [`RoundObserver`] attached for the whole
+/// run. Outputs and [`Trace`] are bit-identical to the unobserved run — the
+/// observer only *reads* per-round statistics.
+pub fn run_engine_observed<A: Send + Sync, D: Delivery<A>>(
+    graph: &Graph,
+    cfg: &D::Config,
+    inputs: &[D::Input],
+    max_rounds: u64,
+    opts: EngineOptions,
+    scratch: &mut EngineScratch<A, D>,
+    observer: &mut dyn RoundObserver,
+) -> Result<RunResult<D::Output>, SimError> {
+    let mut engine = Engine::<A, D>::with_scratch(graph, cfg, inputs, opts, scratch)?;
+    engine.set_observer(observer);
     for _ in 0..max_rounds {
         if engine.step() {
             return Ok(engine.finish_scratch(scratch).expect("all halted"));
@@ -1093,6 +1207,74 @@ mod tests {
         // All-nodes-send semantics: arcs × rounds messages, 64 bits each.
         assert_eq!(res.trace.messages, 3 * g.arcs() as u64);
         assert_eq!(res.trace.total_bits, 3 * g.arcs() as u64 * 64);
+    }
+
+    /// Observer that accumulates every [`RoundStats`] it sees.
+    #[derive(Default)]
+    struct Tally {
+        stats: Vec<RoundStats>,
+    }
+
+    impl RoundObserver for Tally {
+        fn on_round(&mut self, stats: &RoundStats) {
+            self.stats.push(*stats);
+        }
+    }
+
+    #[test]
+    fn observer_sums_match_trace_accounting() {
+        let n = 64;
+        let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let inputs: Vec<u64> = (0..n as u64).map(|v| v % 8 + 1).collect();
+        let base =
+            run_engine::<Staggered, PortNumbering>(&g, &(), &inputs, 20, EngineOptions::default())
+                .unwrap();
+        for frontier_skipping in [false, true] {
+            let mut tally = Tally::default();
+            let opts = EngineOptions { threads: 1, frontier_skipping };
+            let res = run_engine_observed::<Staggered, PortNumbering>(
+                &g,
+                &(),
+                &inputs,
+                20,
+                opts,
+                &mut EngineScratch::new(),
+                &mut tally,
+            )
+            .unwrap();
+            // The observer never perturbs the run.
+            assert_eq!(res.outputs, base.outputs, "skip={frontier_skipping}");
+            assert_eq!(res.trace, base.trace, "skip={frontier_skipping}");
+            // Per-round bits sum to exactly the trace's total.
+            assert_eq!(tally.stats.len() as u64, res.trace.rounds);
+            let bits: u64 = tally.stats.iter().map(|s| s.bits).sum();
+            assert_eq!(bits, res.trace.total_bits, "skip={frontier_skipping}");
+            assert!(tally.stats.iter().all(|s| !s.canon_pass), "PN never builds canon tables");
+            // Rounds are 1-based and consecutive; the frontier never grows.
+            for (i, s) in tally.stats.iter().enumerate() {
+                assert_eq!(s.round, i as u64 + 1);
+            }
+            if frontier_skipping {
+                // Active-node counts track the halting schedule exactly.
+                let mut active = n as u64;
+                for s in &tally.stats {
+                    assert_eq!(s.active_nodes, active);
+                    // Cycle graph: every active node owns 2 slots.
+                    assert_eq!(s.slots_written, 2 * active);
+                    active -= s.newly_halted;
+                }
+                assert_eq!(active, 0);
+            } else {
+                // Full sweep: every round writes every slot.
+                assert!(tally.stats.iter().all(|s| s.active_nodes == n as u64));
+                assert!(tally.stats.iter().all(|s| s.slots_written == g.arcs() as u64));
+                // With skipping off the per-round slot count ties directly
+                // to the model's message accounting.
+                let slots: u64 = tally.stats.iter().map(|s| s.slots_written).sum();
+                assert_eq!(slots, res.trace.messages);
+            }
+        }
     }
 
     /// Broadcast test algorithm: nodes exchange degree multisets; output is

@@ -63,8 +63,9 @@ pub use batch::{run_bcast_many, run_pn_many, BatchRunner, BcastJob, Job, PnJob};
 pub use bipartite::{SetCoverError, SetCoverInstance};
 pub use delivery::{Broadcast, CanonTable, Delivery, GatherScratch, PortNumbering};
 pub use engine::{
-    run_bcast, run_bcast_threads, run_engine, run_engine_scratch, run_pn, run_pn_threads,
-    BcastEngine, Engine, EngineOptions, EngineScratch, PnEngine, RunResult, SimError, Trace,
+    run_bcast, run_bcast_threads, run_engine, run_engine_observed, run_engine_scratch, run_pn,
+    run_pn_threads, BcastEngine, Engine, EngineOptions, EngineScratch, NoopObserver, PnEngine,
+    RoundObserver, RoundStats, RunResult, SimError, Trace,
 };
 pub use graph::{Graph, GraphError};
 pub use model::{BcastAlgorithm, MessageSize, PnAlgorithm};
