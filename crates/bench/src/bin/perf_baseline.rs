@@ -22,7 +22,7 @@ use anonet_bench::{halting_inputs, HaltingBcastGossip, HaltingGossip};
 use anonet_gen::{family, WeightSpec};
 use anonet_runtime::{run_async_pn, DelayModel, NetworkConfig};
 use anonet_service::loadgen::{drive, synthesize, DriveConfig, FamilyKind, LoopMode, WorkloadSpec};
-use anonet_service::{Client, Problem, Server, ServiceConfig};
+use anonet_service::{Client, ConnModel, Problem, Server, ServiceConfig};
 use anonet_sim::{
     run_engine_observed, run_pn, BatchRunner, BcastEngine, EngineOptions, EngineScratch, Graph,
     Job, NoopObserver, PnEngine, PortNumbering, RoundObserver, RoundStats,
@@ -351,6 +351,7 @@ fn main() {
             no_cache,
             scenario: None,
             connect_timeout: Duration::from_secs(5),
+            conns: 0,
         };
         for (name, requests, no_cache) in
             [("svc_vc_pn_x32_cold", 32usize, true), ("svc_vc_pn_x32_r4_hot", 128, false)]
@@ -401,6 +402,87 @@ fn main() {
         server.shutdown();
     }
 
+    // C10K service rows: a reactor-model server driven by the loadgen's
+    // epoll-multiplexed `conns` mode — N persistent connections, each
+    // pipelining requests, all multiplexed onto one client thread and one
+    // server reactor thread. Goodput and p99 at 1k and 10k connections are
+    // the headline numbers for the connection layer. Client and server
+    // share this process, so each connection costs two fds; the 10k row
+    // self-caps to the soft fd limit where needed (the recorded `conns`
+    // field says what actually ran).
+    struct ConnSample {
+        name: &'static str,
+        conns: usize,
+        requests: u64,
+        req_per_sec: f64,
+        p99_us: u64,
+    }
+    let mut conn_samples: Vec<ConnSample> = Vec::new();
+    {
+        let fd_cap = {
+            let text = std::fs::read_to_string("/proc/self/limits").unwrap_or_default();
+            text.lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3))
+                .and_then(|v| v.parse::<usize>().ok())
+                .map_or(usize::MAX, |soft| soft.saturating_sub(256) / 2)
+        };
+        let spec = WorkloadSpec {
+            problem: Problem::VcPn,
+            family: FamilyKind::Regular,
+            n: 48,
+            degree: 4,
+            instances: 32,
+            weights: WeightSpec::Uniform(1 << 10),
+            seed: 5,
+        };
+        let blobs = synthesize(&spec);
+        for (name, want) in [("svc_conns_1k", 1_000usize), ("svc_conns_10k", 10_000)] {
+            let conns = want.min(fd_cap);
+            let server = Server::start(
+                "127.0.0.1:0",
+                ServiceConfig {
+                    workers: 2,
+                    threads_per_job: 1,
+                    max_conns: conns + 16,
+                    // One pipelined request per connection arrives nearly at
+                    // once; size the queue so the row measures solve
+                    // throughput, not the backpressure path.
+                    queue_cap: 4 * conns,
+                    conn_model: ConnModel::Reactor,
+                    ..ServiceConfig::default()
+                },
+            )
+            .expect("bind reactor loopback");
+            let cfg = DriveConfig {
+                addr: server.local_addr().to_string(),
+                concurrency: 1,
+                requests: conns,
+                batch: 1,
+                mode: LoopMode::Closed,
+                no_cache: false,
+                scenario: None,
+                connect_timeout: Duration::from_secs(10),
+                conns,
+            };
+            let report = drive(Problem::VcPn, &blobs, &cfg).expect("conns drive");
+            assert_eq!(report.errors, 0, "{name}: {} errored requests", report.errors);
+            assert_eq!(report.ok, conns as u64, "{name}: every request must be solved");
+            assert_eq!(
+                report.certified_instances, report.solved_instances,
+                "{name}: every solved instance must carry a verifying certificate"
+            );
+            conn_samples.push(ConnSample {
+                name,
+                conns,
+                requests: report.ok,
+                req_per_sec: report.goodput(),
+                p99_us: report.latency_us.p99(),
+            });
+            server.shutdown();
+        }
+    }
+
     // Parallel speedup ratios (t1 ns / t4 ns; > 1 means threads help). The
     // CI guard (`--assert-parallel`) keys off these.
     let ns_of = |name: &str| {
@@ -435,7 +517,7 @@ fn main() {
 
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json =
-        String::from("{\n  \"schema\": \"anonet-bench-engine/6\",\n  \"workloads\": [\n");
+        String::from("{\n  \"schema\": \"anonet-bench-engine/7\",\n  \"workloads\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"rounds\": {}, \"ns_per_round\": {:.1}, \"rounds_per_sec\": {:.1}}}{}\n",
@@ -468,6 +550,18 @@ fn main() {
             s.req_per_sec,
             s.cache_hit_rate,
             if i + 1 < svc_samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"service_conn_workloads\": [\n");
+    for (i, s) in conn_samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"conns\": {}, \"requests\": {}, \"req_per_sec\": {:.1}, \"p99_us\": {}}}{}\n",
+            s.name,
+            s.conns,
+            s.requests,
+            s.req_per_sec,
+            s.p99_us,
+            if i + 1 < conn_samples.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n  \"service_phases\": [\n");

@@ -1,0 +1,43 @@
+//! Clean twin: single nonblocking `read`/`write` calls per readiness event
+//! (partial progress goes to the FSM / write queue, never a retry loop),
+//! with the blocking idioms confined to `#[cfg(test)]` code, where loopback
+//! harnesses drive blocking peer sockets on purpose.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// One read per readiness event; the caller feeds whatever arrived to the
+/// framing FSM and returns to the poll loop.
+pub fn on_readable(sock: &mut TcpStream, scratch: &mut [u8]) -> std::io::Result<usize> {
+    sock.read(scratch)
+}
+
+/// One write per writability event; whatever the socket did not accept
+/// stays queued for the next event.
+pub fn on_writable(sock: &mut TcpStream, pending: &[u8]) -> std::io::Result<usize> {
+    sock.write(pending)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let (b, _) = l.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn loopback_peers_may_block() {
+        let (mut a, mut b) = pair();
+        b.write_all(b"ping").unwrap();
+        drop(b);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let mut buf = Vec::new();
+        a.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"ping");
+    }
+}

@@ -1,0 +1,14 @@
+//! Seeded `nonblocking-discipline` violations: every blocking call the
+//! reactor bans, in plain (non-test) code on the event-loop path.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+pub fn drain_blocking(sock: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<()> {
+    let mut hdr = [0u8; 4];
+    sock.read_exact(&mut hdr)?; // blocks the whole event loop on one peer
+    sock.read_to_end(buf)?; // blocks until the peer closes
+    sock.write_all(&hdr)?; // spins on WouldBlock under a full send buffer
+    std::thread::sleep(std::time::Duration::from_millis(10)); // stalls every conn
+    Ok(())
+}

@@ -31,6 +31,10 @@ pub enum CheckId {
     /// `// hot-path:` sweep regions — buffers must come from
     /// `EngineScratch`/arena reuse.
     HotPathAlloc,
+    /// No blocking I/O (`read_to_end`, `read_exact`, `write_all`) or
+    /// `thread::sleep` in the reactor crate outside tests — one blocking
+    /// call on the event loop stalls every multiplexed connection.
+    NonblockingDiscipline,
     /// Waivers must be well-formed, name a real check, and suppress
     /// something. Cannot itself be waived.
     WaiverAudit,
@@ -46,6 +50,7 @@ impl CheckId {
             CheckId::LockHygiene => "lock-hygiene",
             CheckId::PanicPath => "panic-path",
             CheckId::HotPathAlloc => "hot-path-alloc",
+            CheckId::NonblockingDiscipline => "nonblocking-discipline",
             CheckId::WaiverAudit => "waiver-audit",
         }
     }
@@ -57,13 +62,14 @@ impl CheckId {
 }
 
 /// Every check, in reporting order.
-pub const ALL_CHECKS: [CheckId; 7] = [
+pub const ALL_CHECKS: [CheckId; 8] = [
     CheckId::UnsafeAudit,
     CheckId::Determinism,
     CheckId::ThreadDiscipline,
     CheckId::LockHygiene,
     CheckId::PanicPath,
     CheckId::HotPathAlloc,
+    CheckId::NonblockingDiscipline,
     CheckId::WaiverAudit,
 ];
 
@@ -111,6 +117,9 @@ pub struct Config {
     /// Files whose `// hot-path: begin` / `// hot-path: end` regions forbid
     /// per-item heap allocation.
     pub hot_path_files: Vec<String>,
+    /// Path prefixes where blocking I/O and `thread::sleep` are forbidden
+    /// outside tests (the single-threaded reactor's event-loop code).
+    pub nonblocking_paths: Vec<String>,
 }
 
 impl Config {
@@ -118,9 +127,12 @@ impl Config {
     pub fn workspace() -> Config {
         let s = |v: &[&str]| v.iter().map(|p| p.to_string()).collect();
         Config {
-            // PR 5's soundness argument: the *only* unsafe in the workspace
-            // is the audited lifetime erasure in the round-worker pool.
-            unsafe_files: s(&["crates/sim/src/pool.rs"]),
+            // The workspace soundness argument admits exactly two audited
+            // unsafe regions: the lifetime erasure in the round-worker pool
+            // (PR 5) and the raw epoll/eventfd syscall shim the reactor
+            // stands on (no libc dependency, so the FFI boundary is ours to
+            // audit — every site carries a `// SAFETY:` argument).
+            unsafe_files: s(&["crates/sim/src/pool.rs", "crates/net/src/epoll.rs"]),
             // The engine_props / runtime_props bit-identity oracles and the
             // seeded generators: any wall-clock read or hash-order iteration
             // here can silently break Trace reproducibility.
@@ -139,11 +151,13 @@ impl Config {
             ]),
             determinism_exempt: s(&["crates/obs/src/clock.rs"]),
             // `RoundPool` (the engine's only parallelism), the service's
-            // accept/worker spawns, and loadgen's scoped client threads.
+            // accept/worker spawns, loadgen's scoped client threads, and
+            // the one thread the reactor event loop runs on.
             thread_files: s(&[
                 "crates/sim/src/pool.rs",
                 "crates/service/src/server.rs",
                 "crates/service/src/loadgen.rs",
+                "crates/service/src/reactor.rs",
             ]),
             // PR 4's hardening: service shared-state mutexes recover from
             // poisoning via `clear_poison` accessors, never unwrap.
@@ -155,12 +169,21 @@ impl Config {
                 "crates/service/src/server.rs",
                 "crates/service/src/client.rs",
                 "crates/service/src/cache.rs",
+                // A panic in reactor-path code takes down every multiplexed
+                // connection at once, not just one — held to the same bar.
+                "crates/service/src/reactor.rs",
+                "crates/net/src/frame.rs",
+                "crates/net/src/reactor.rs",
+                "crates/net/src/wheel.rs",
             ]),
             index_files: s(&["crates/service/src/wire.rs"]),
             // The engine's per-round sweeps: a `ns/round` regression from a
             // stray per-node allocation is exactly what the data-oriented
             // core removed, so the sweep bodies are marked and audited.
             hot_path_files: s(&["crates/sim/src/engine.rs", "crates/sim/src/delivery.rs"]),
+            // The reactor multiplexes every connection on one thread: a
+            // single blocking call (or sleep) there stalls them all.
+            nonblocking_paths: s(&["crates/net/src/"]),
         }
     }
 }
@@ -282,6 +305,7 @@ pub fn run_checks(ctx: &FileCtx<'_>, cfg: &Config) -> Vec<Diagnostic> {
     lock_hygiene(ctx, cfg, &mut out);
     panic_path(ctx, cfg, &mut out);
     hot_path_alloc(ctx, cfg, &mut out);
+    nonblocking_discipline(ctx, cfg, &mut out);
     out
 }
 
@@ -320,9 +344,10 @@ fn has_adjacent_safety(ctx: &FileCtx<'_>, line: usize) -> bool {
 
 /// ## `unsafe-audit`
 ///
-/// The workspace-wide soundness argument (PR 5) is: *all* `unsafe` lives in
-/// `sim::pool`, each occurrence carries an adjacent `// SAFETY:` comment,
-/// and every crate root backs the claim with `deny`/`forbid(unsafe_code)`.
+/// The workspace-wide soundness argument is: *all* `unsafe` lives in
+/// `sim::pool` (PR 5) and the reactor's `net::epoll` syscall shim, each
+/// occurrence carries an adjacent `// SAFETY:` comment, and every crate
+/// root backs the claim with `deny`/`forbid(unsafe_code)`.
 fn unsafe_audit(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
     let allowed = cfg.unsafe_files.iter().any(|f| f == ctx.rel);
     let mut sites: Vec<usize> = Vec::new();
@@ -352,7 +377,7 @@ fn unsafe_audit(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
                 line,
                 CheckId::UnsafeAudit,
                 "`unsafe` outside the audited allowlist — the workspace soundness argument \
-                 admits unsafe code only in crates/sim/src/pool.rs"
+                 admits unsafe code only in crates/sim/src/pool.rs and crates/net/src/epoll.rs"
                     .into(),
             );
         } else if !has_adjacent_safety(ctx, line) {
@@ -702,6 +727,63 @@ fn hot_path_alloc(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
         if ctx.punct(i, '.') {
             if let Some(m @ ("to_vec" | "collect")) = ctx.ident(i + 1) {
                 flag(out, ctx.tokens[i + 1].line, &format!(".{m}()"));
+            }
+        }
+    }
+}
+
+/// ## `nonblocking-discipline`
+///
+/// The reactor serves every connection from one event-loop thread on
+/// nonblocking sockets. A blocking read loop (`read_to_end`, `read_exact`),
+/// a blocking drain (`write_all`), or a `thread::sleep` there either stalls
+/// every multiplexed connection behind one slow peer or busy-spins on
+/// `WouldBlock` — the two failure modes the `FrameFsm`/`WriteQueue`/
+/// `DeadlineWheel` machinery exists to prevent. Test code (loopback
+/// harnesses drive blocking peer sockets on purpose) is exempt.
+fn nonblocking_discipline(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.nonblocking_paths.iter().any(|p| ctx.rel.starts_with(p.as_str())) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        let line = ctx.tokens[i].line;
+        if ctx.in_test(line) {
+            continue;
+        }
+        if ctx.punct(i, '.') {
+            if let Some(m @ ("read_to_end" | "read_exact" | "write_all")) = ctx.ident(i + 1) {
+                if ctx.punct(i + 2, '(') {
+                    diag(
+                        out,
+                        ctx,
+                        ctx.tokens[i + 1].line,
+                        CheckId::NonblockingDiscipline,
+                        format!(
+                            "`.{m}(…)` in reactor code — a blocking call on the event loop \
+                             stalls every multiplexed connection (or busy-spins on \
+                             `WouldBlock`); feed partial reads to `FrameFsm` and queue \
+                             partial writes in `WriteQueue` instead"
+                        ),
+                    );
+                }
+            }
+        }
+        if ctx.ident(i) == Some("sleep") {
+            let qualified = i >= 3
+                && ctx.ident(i - 3) == Some("thread")
+                && ctx.punct(i - 2, ':')
+                && ctx.punct(i - 1, ':');
+            if qualified {
+                diag(
+                    out,
+                    ctx,
+                    line,
+                    CheckId::NonblockingDiscipline,
+                    "`thread::sleep` in reactor code — the event loop must never sleep; \
+                     schedule a deadline on the `DeadlineWheel` and let `epoll_wait`'s \
+                     timeout do the waiting"
+                        .to_string(),
+                );
             }
         }
     }

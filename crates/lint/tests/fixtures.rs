@@ -130,6 +130,26 @@ fn hot_path_alloc_accepts_reuse_waivers_and_tests() {
 }
 
 #[test]
+fn nonblocking_discipline_fires_on_every_blocking_call() {
+    let d = lint("crates/net/src/reactor.rs", fixture!("violations", "crates/net/src/reactor.rs"));
+    assert!(has(&d, CheckId::NonblockingDiscipline, "read_exact"), "{d:?}");
+    assert!(has(&d, CheckId::NonblockingDiscipline, "read_to_end"), "{d:?}");
+    assert!(has(&d, CheckId::NonblockingDiscipline, "write_all"), "{d:?}");
+    assert!(has(&d, CheckId::NonblockingDiscipline, "thread::sleep"), "{d:?}");
+    assert_eq!(d.iter().filter(|d| d.check == CheckId::NonblockingDiscipline).count(), 4, "{d:?}");
+}
+
+#[test]
+fn nonblocking_discipline_accepts_nonblocking_io_and_test_code() {
+    let d = lint("crates/net/src/reactor.rs", fixture!("clean", "crates/net/src/reactor.rs"));
+    assert!(d.is_empty(), "{d:?}");
+    // The same blocking calls are fine outside the reactor crate (the
+    // thread-per-connection server blocks by design).
+    let d = lint("crates/service/src/conn.rs", fixture!("violations", "crates/net/src/reactor.rs"));
+    assert!(!d.iter().any(|d| d.check == CheckId::NonblockingDiscipline), "{d:?}");
+}
+
+#[test]
 fn waiver_audit_fires_on_every_bad_waiver_shape() {
     let d =
         lint("crates/core/src/waivers.rs", fixture!("violations", "crates/core/src/waivers.rs"));
@@ -165,6 +185,7 @@ fn violations_tree_reports_and_clean_tree_is_silent() {
         "lock-hygiene",
         "panic-path",
         "hot-path-alloc",
+        "nonblocking-discipline",
         "waiver-audit",
     ] {
         assert!(seen.contains(check), "no `{check}` diagnostic in the violations tree: {bad:?}");

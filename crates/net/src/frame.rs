@@ -1,0 +1,375 @@
+//! The length-prefix framing state machine and the vectored write queue.
+//!
+//! [`FrameFsm`] is a **pure function of the byte stream**: feed it the
+//! bytes of a connection in any chunking whatsoever and it emits exactly
+//! the frame sequence a single contiguous read would produce — the
+//! property test in `tests/frame_props.rs` drives random payloads through
+//! random chunk boundaries and asserts the equivalence. That purity is
+//! what makes the reactor testable: all protocol state lives here, and the
+//! readiness loop only moves bytes.
+//!
+//! The wire format matches `anonet_service::wire`: a 4-byte little-endian
+//! payload length, then the payload. The length is validated against the
+//! configured frame cap *before* any payload allocation, so a hostile
+//! 4-byte prefix cannot reserve memory; the payload buffer then grows only
+//! with bytes actually received (initial reservation is capped), which is
+//! the same incremental-read budget discipline the blocking
+//! `wire::read_frame` applies with `Read::take`.
+//!
+//! States and transitions (all hardening rules are explicit here):
+//!
+//! ```text
+//!            +-------- len complete, len <= max --------+
+//!            v                                          |
+//!   ReadingLen{got<4} --len complete, len>max--> Dead   |
+//!            ^                                          v
+//!            +------ payload complete (emit) ---- ReadingPayload{got<len}
+//! ```
+//!
+//! [`FrameFsm::close`] classifies end-of-stream: a close at a frame
+//! boundary is *clean* (keep-alive peer done), a close mid-prefix or
+//! mid-payload is *torn* (the same distinction `wire::read_frame` reports
+//! as `Ok(None)` vs. a "connection torn" error).
+
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Write};
+
+/// Cap on the initial payload reservation: a declared length reserves at
+/// most this much up front; anything larger grows with received bytes.
+const MAX_PREFETCH: usize = 64 * 1024;
+
+/// Most slices handed to one `writev`; more buffers simply take another
+/// readiness round. (Linux `UIO_MAXIOV` is 1024; staying far below keeps
+/// the stack frame small.)
+const MAX_IOVECS: usize = 32;
+
+/// A framing violation. Every variant is a protocol error that closes the
+/// connection; none are recoverable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer declared a frame longer than the configured cap.
+    Oversize {
+        /// The declared payload length.
+        len: u64,
+        /// The configured cap it exceeded.
+        max: usize,
+    },
+    /// The stream ended inside the 4-byte length prefix.
+    TornPrefix {
+        /// Prefix bytes received before the close.
+        got: usize,
+    },
+    /// The stream ended inside a frame's payload.
+    TornPayload {
+        /// Payload bytes received before the close.
+        got: usize,
+        /// The declared payload length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversize { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max}")
+            }
+            FrameError::TornPrefix { got } => {
+                write!(f, "connection torn mid length prefix ({got}/4 bytes)")
+            }
+            FrameError::TornPayload { got, len } => {
+                write!(f, "connection torn mid frame ({got}/{len} payload bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+enum State {
+    /// Accumulating the 4-byte little-endian length prefix.
+    Len { buf: [u8; 4], got: usize },
+    /// Accumulating `len` payload bytes.
+    Payload { len: usize, buf: Vec<u8> },
+    /// A framing violation occurred; every later feed re-reports it.
+    Dead(FrameError),
+}
+
+/// The incremental framing state machine. See the module docs for the
+/// invariants.
+pub struct FrameFsm {
+    max_frame: usize,
+    state: State,
+    ready: VecDeque<Vec<u8>>,
+}
+
+impl FrameFsm {
+    /// A machine accepting payloads up to `max_frame` bytes.
+    pub fn new(max_frame: usize) -> FrameFsm {
+        FrameFsm { max_frame, state: State::Len { buf: [0; 4], got: 0 }, ready: VecDeque::new() }
+    }
+
+    /// Consumes one chunk of stream bytes, queuing every frame it
+    /// completes. Chunk boundaries are invisible: any split of the same
+    /// stream yields the same frame sequence. An error poisons the
+    /// machine (subsequent feeds re-report it).
+    pub fn feed(&mut self, mut chunk: &[u8]) -> Result<(), FrameError> {
+        while !chunk.is_empty() {
+            match &mut self.state {
+                State::Dead(e) => return Err(e.clone()),
+                State::Len { buf, got } => {
+                    let take = (4 - *got).min(chunk.len());
+                    buf[*got..*got + take].copy_from_slice(&chunk[..take]);
+                    *got += take;
+                    chunk = &chunk[take..];
+                    if *got == 4 {
+                        let len = u32::from_le_bytes(*buf) as usize;
+                        if len > self.max_frame {
+                            let e = FrameError::Oversize { len: len as u64, max: self.max_frame };
+                            self.state = State::Dead(e.clone());
+                            return Err(e);
+                        }
+                        if len == 0 {
+                            self.ready.push_back(Vec::new());
+                            self.state = State::Len { buf: [0; 4], got: 0 };
+                        } else {
+                            // Reserve at most MAX_PREFETCH up front: the
+                            // declared length is attacker-controlled; the
+                            // buffer earns further growth byte by byte.
+                            self.state = State::Payload {
+                                len,
+                                buf: Vec::with_capacity(len.min(MAX_PREFETCH)),
+                            };
+                        }
+                    }
+                }
+                State::Payload { len, buf } => {
+                    let take = (*len - buf.len()).min(chunk.len());
+                    buf.extend_from_slice(&chunk[..take]);
+                    chunk = &chunk[take..];
+                    if buf.len() == *len {
+                        let frame = std::mem::take(buf);
+                        self.ready.push_back(frame);
+                        self.state = State::Len { buf: [0; 4], got: 0 };
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pops the next complete frame, in stream order.
+    pub fn next_frame(&mut self) -> Option<Vec<u8>> {
+        self.ready.pop_front()
+    }
+
+    /// Complete frames currently queued.
+    pub fn ready_frames(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// True at a frame boundary: no partial prefix or payload buffered.
+    pub fn at_boundary(&self) -> bool {
+        matches!(self.state, State::Len { got: 0, .. })
+    }
+
+    /// Classifies end-of-stream: `Ok` for a clean close at a frame
+    /// boundary, the torn-stream error otherwise.
+    pub fn close(&self) -> Result<(), FrameError> {
+        match &self.state {
+            State::Len { got: 0, .. } => Ok(()),
+            State::Len { got, .. } => Err(FrameError::TornPrefix { got: *got }),
+            State::Payload { len, buf } => {
+                Err(FrameError::TornPayload { got: buf.len(), len: *len })
+            }
+            State::Dead(e) => Err(e.clone()),
+        }
+    }
+
+    /// Bytes buffered for the in-progress (incomplete) frame.
+    pub fn partial_bytes(&self) -> usize {
+        match &self.state {
+            State::Len { got, .. } => *got,
+            State::Payload { buf, .. } => 4 + buf.len(),
+            State::Dead(_) => 0,
+        }
+    }
+}
+
+/// The outbound side: a queue of pre-encoded buffers drained with vectored
+/// writes. Response payloads are **moved** in (the 4-byte prefix is the
+/// only per-frame allocation), so a cached response body reaches the
+/// socket without a copy; a half-written frame resumes at `head_off` on
+/// the next writability event.
+#[derive(Default)]
+pub struct WriteQueue {
+    bufs: VecDeque<Vec<u8>>,
+    /// Bytes of `bufs[0]` already written.
+    head_off: usize,
+    /// Total unwritten bytes across the queue.
+    bytes: usize,
+}
+
+impl WriteQueue {
+    /// An empty queue.
+    pub fn new() -> WriteQueue {
+        WriteQueue::default()
+    }
+
+    /// Enqueues one frame: the length prefix, then the payload (moved, not
+    /// copied). The caller guarantees `payload.len() <= u32::MAX`; the
+    /// service layer enforces its own `MAX_FRAME` far below that.
+    pub fn push_frame(&mut self, payload: Vec<u8>) {
+        let prefix = (payload.len() as u32).to_le_bytes();
+        self.bytes += 4 + payload.len();
+        self.bufs.push_back(prefix.to_vec());
+        if !payload.is_empty() {
+            self.bufs.push_back(payload);
+        }
+    }
+
+    /// Unwritten bytes queued.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    /// One vectored write: up to [`MAX_IOVECS`] buffers in a single call,
+    /// advancing the queue by however many bytes the sink took. Returns
+    /// the bytes written (`Ok(0)` iff the queue is empty — a sink that
+    /// accepts zero bytes from a non-empty queue is reported as
+    /// `WriteZero`). The caller loops until empty or `WouldBlock`.
+    pub fn write_to<W: Write>(&mut self, w: &mut W) -> io::Result<usize> {
+        if self.bufs.is_empty() {
+            return Ok(0);
+        }
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(self.bufs.len().min(MAX_IOVECS));
+        for (i, buf) in self.bufs.iter().take(MAX_IOVECS).enumerate() {
+            let off = if i == 0 { self.head_off } else { 0 };
+            slices.push(IoSlice::new(&buf[off..]));
+        }
+        let n = w.write_vectored(&slices)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::WriteZero, "sink accepted no bytes"));
+        }
+        self.consume(n);
+        Ok(n)
+    }
+
+    /// Advances the queue past `n` written bytes.
+    fn consume(&mut self, mut n: usize) {
+        self.bytes -= n.min(self.bytes);
+        while n > 0 {
+            let Some(head) = self.bufs.front() else { break };
+            let remaining = head.len() - self.head_off;
+            if n >= remaining {
+                n -= remaining;
+                self.head_off = 0;
+                self.bufs.pop_front();
+            } else {
+                self.head_off += n;
+                n = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+        let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn contiguous_and_byte_at_a_time_feeds_agree() {
+        let mut stream = Vec::new();
+        for p in [&b"hello"[..], b"", b"world!!"] {
+            stream.extend_from_slice(&frame_bytes(p));
+        }
+        let mut whole = FrameFsm::new(1 << 20);
+        whole.feed(&stream).unwrap();
+        let mut trickle = FrameFsm::new(1 << 20);
+        for b in &stream {
+            trickle.feed(std::slice::from_ref(b)).unwrap();
+        }
+        for fsm in [&mut whole, &mut trickle] {
+            assert_eq!(fsm.next_frame().unwrap(), b"hello");
+            assert_eq!(fsm.next_frame().unwrap(), b"");
+            assert_eq!(fsm.next_frame().unwrap(), b"world!!");
+            assert!(fsm.next_frame().is_none());
+            assert!(fsm.at_boundary());
+            assert!(fsm.close().is_ok());
+        }
+    }
+
+    #[test]
+    fn oversize_is_rejected_before_any_payload_arrives() {
+        let mut fsm = FrameFsm::new(16);
+        let err = fsm.feed(&17u32.to_le_bytes()).unwrap_err();
+        assert_eq!(err, FrameError::Oversize { len: 17, max: 16 });
+        // Poisoned: later bytes re-report instead of resyncing mid-stream.
+        assert_eq!(fsm.feed(b"x").unwrap_err(), err);
+        assert!(fsm.close().is_err());
+    }
+
+    #[test]
+    fn close_classifies_torn_prefix_and_payload() {
+        let mut fsm = FrameFsm::new(64);
+        fsm.feed(&[5, 0]).unwrap();
+        assert_eq!(fsm.close().unwrap_err(), FrameError::TornPrefix { got: 2 });
+        fsm.feed(&[0, 0]).unwrap(); // prefix complete: len = 5
+        fsm.feed(b"ab").unwrap();
+        assert_eq!(fsm.close().unwrap_err(), FrameError::TornPayload { got: 2, len: 5 });
+        fsm.feed(b"cde").unwrap();
+        assert!(fsm.close().is_ok());
+        assert_eq!(fsm.next_frame().unwrap(), b"abcde");
+    }
+
+    #[test]
+    fn write_queue_resumes_half_written_frames() {
+        // A sink that takes at most 3 bytes per call, forcing mid-frame
+        // and mid-prefix suspensions.
+        struct Dribble(Vec<u8>);
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut wq = WriteQueue::new();
+        wq.push_frame(b"hello".to_vec());
+        wq.push_frame(Vec::new());
+        wq.push_frame(b"world!!".to_vec());
+        let total = wq.bytes();
+        assert_eq!(total, (4 + 5) + 4 + (4 + 7));
+
+        let mut sink = Dribble(Vec::new());
+        let mut written = 0;
+        while !wq.is_empty() {
+            written += wq.write_to(&mut sink).unwrap();
+        }
+        assert_eq!(written, total);
+        assert_eq!(wq.bytes(), 0);
+        assert_eq!(wq.write_to(&mut sink).unwrap(), 0);
+
+        // The byte stream decodes back to the exact frame sequence.
+        let mut fsm = FrameFsm::new(1 << 20);
+        fsm.feed(&sink.0).unwrap();
+        assert_eq!(fsm.next_frame().unwrap(), b"hello");
+        assert_eq!(fsm.next_frame().unwrap(), b"");
+        assert_eq!(fsm.next_frame().unwrap(), b"world!!");
+        assert!(fsm.close().is_ok());
+    }
+}

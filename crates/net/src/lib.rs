@@ -1,0 +1,78 @@
+//! # anonet-net
+//!
+//! The event-driven connection layer: everything needed to hold tens of
+//! thousands of client sockets with per-connection state O(1) and I/O
+//! threads O(cores) — the serving-tier analogue of the source paper's
+//! "per-node work stays constant while the network scales" discipline
+//! (Åstrand & Suomela, SPAA 2010).
+//!
+//! Four layers, each usable on its own:
+//!
+//! * [`epoll`] — a small vendored syscall shim over `epoll_create1` /
+//!   `epoll_ctl` / `epoll_pwait` / `eventfd2`, the workspace's **second**
+//!   audited `unsafe` region (the first is the lifetime erasure in
+//!   `anonet_sim::pool`). No `libc` crate: raw `syscall(2)` FFI with
+//!   cfg-gated syscall numbers, a `// SAFETY:` argument per site, and an
+//!   `anonet-lint` `unsafe-audit` allowlist entry.
+//! * [`frame`] — the **pure framing state machine** ([`frame::FrameFsm`]):
+//!   length-prefix accumulation fed arbitrary byte chunks, emitting exactly
+//!   the frame sequence a contiguous read would (property-tested over
+//!   random chunk boundaries), plus [`frame::WriteQueue`], the vectored
+//!   writer that drains pre-encoded response buffers copy-free.
+//! * [`wheel`] — [`wheel::DeadlineWheel`], the O(1) idle-timeout structure:
+//!   coarse slots plus lazy reinsertion, so refreshing a deadline is a
+//!   field write and expiry cost is amortised over ticks, never a scan of
+//!   all connections.
+//! * [`reactor`] — the readiness loop tying them together: one thread,
+//!   one `epoll` instance, a slab of connection state machines, a
+//!   completion queue (plus [`epoll::EventFd`] waker) through which worker
+//!   threads deliver asynchronous replies, and a [`reactor::Handler`]
+//!   trait carrying the protocol logic.
+//!
+//! ## Readiness and state-machine invariants
+//!
+//! The reactor is **level-triggered** and enforces, by construction:
+//!
+//! 1. **Bounded reads** — each readable connection consumes at most
+//!    [`reactor::ReactorConfig::read_budget`] bytes per readiness sweep;
+//!    a firehose peer cannot starve the rest of the slab because the
+//!    level-triggered epoll re-reports it on the next sweep.
+//! 2. **Frame-boundary deadline refresh** — a connection's idle deadline
+//!    advances only when a *complete* frame arrives or its write queue
+//!    makes progress. A slow-loris peer trickling one byte per tick still
+//!    expires: partial frames never count as liveness.
+//! 3. **In-order pipelined replies** — requests on one connection are
+//!    answered strictly in arrival order even when their jobs complete out
+//!    of order; completed-early replies park in a per-connection reorder
+//!    buffer.
+//! 4. **Write-interest parsimony** — `EPOLLOUT` is registered only while a
+//!    connection's write queue is non-empty, so an idle-but-writable slab
+//!    costs zero wakeups. Half-written frames resume exactly where they
+//!    stopped on the next writability event.
+//! 5. **Backpressure by deregistration** — a connection exceeding the
+//!    in-flight pipeline cap or the write-queue byte cap has its read
+//!    interest dropped (not its socket closed); TCP flow control pushes
+//!    back to the peer, and interest resumes once the queue drains.
+//! 6. **Slot-accurate accounting** — the connection gauge and the shed
+//!    counter are maintained on the single reactor thread; a token is a
+//!    slab index plus a generation, so late completions for a closed
+//!    connection are dropped instead of corrupting a reused slot.
+//!
+//! Blocking calls (`read_exact`, `write_all`, `read_to_end`,
+//! `thread::sleep`) are banned from this crate outside tests by the
+//! `nonblocking-discipline` lint check — one blocking call on the reactor
+//! thread would re-serialise every connection behind one peer.
+
+#![deny(unsafe_code)] // sole exception: the audited syscall shim in `epoll`
+#![warn(missing_docs)]
+
+pub mod epoll;
+pub mod frame;
+pub mod reactor;
+pub mod wheel;
+
+pub use frame::{FrameError, FrameFsm, WriteQueue};
+pub use reactor::{
+    Action, Completion, CompletionSender, Handler, NetMetrics, Reactor, ReactorConfig, Token, Waker,
+};
+pub use wheel::DeadlineWheel;

@@ -1,0 +1,151 @@
+//! A coarse timing wheel for idle deadlines.
+//!
+//! The reactor needs "expire connections idle longer than T" without
+//! scanning every connection per tick and without re-sorting anything when
+//! a deadline is refreshed (which happens on every completed frame — the
+//! hottest path). The classic answer is a timing wheel with **lazy
+//! reinsertion**:
+//!
+//! * [`DeadlineWheel::insert`] hashes the deadline into one of `S` coarse
+//!   slots of `R` milliseconds each — O(1), deadlines beyond the
+//!   `S × R` horizon clamp to the farthest slot;
+//! * refreshing a deadline is **not** a wheel operation at all: the owner
+//!   just overwrites its own `deadline` field;
+//! * [`DeadlineWheel::advance`] drains every slot the clock has passed and
+//!   hands back the tokens as *candidates*. The caller compares each
+//!   candidate's true deadline with `now`: expired → act; refreshed →
+//!   re-[`insert`](DeadlineWheel::insert) at the true deadline. A token
+//!   whose connection is gone is simply dropped.
+//!
+//! Cost: each token is touched once per horizon it survives, so a
+//! connection refreshed every few seconds costs O(1) amortised per
+//! horizon, not per refresh — exactly the O(1)-per-connection discipline
+//! the reactor promises.
+
+/// The timing wheel. Tokens are opaque `u64`s (the reactor uses its slab
+/// tokens); time is caller-supplied milliseconds from an arbitrary epoch.
+pub struct DeadlineWheel {
+    slots: Vec<Vec<u64>>,
+    resolution_ms: u64,
+    /// The last tick `advance` has drained through.
+    cursor_tick: u64,
+    /// Entries currently in the wheel (diagnostics only).
+    len: usize,
+}
+
+impl DeadlineWheel {
+    /// A wheel of `slots` buckets, each `resolution_ms` wide (both are
+    /// clamped to at least 1 ms / 2 slots). The horizon is their product;
+    /// later deadlines clamp to it and lazily re-enter on fire.
+    pub fn new(resolution_ms: u64, slots: usize) -> DeadlineWheel {
+        DeadlineWheel {
+            slots: vec![Vec::new(); slots.max(2)],
+            resolution_ms: resolution_ms.max(1),
+            cursor_tick: 0,
+            len: 0,
+        }
+    }
+
+    /// The slot width in milliseconds — a sensible poll timeout for the
+    /// loop driving [`advance`](DeadlineWheel::advance).
+    pub fn resolution_ms(&self) -> u64 {
+        self.resolution_ms
+    }
+
+    /// Entries currently held (including stale ones not yet drained).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Files `token` to fire no later than `deadline_ms` (never earlier
+    /// than the next tick, so a deadline in the past still fires — on the
+    /// upcoming `advance`, not silently never).
+    pub fn insert(&mut self, token: u64, deadline_ms: u64) {
+        let horizon = self.cursor_tick + self.slots.len() as u64;
+        let tick = (deadline_ms / self.resolution_ms).clamp(self.cursor_tick + 1, horizon);
+        let idx = (tick % self.slots.len() as u64) as usize;
+        self.slots[idx].push(token);
+        self.len += 1;
+    }
+
+    /// Drains every slot between the previous call and `now_ms` into
+    /// `candidates`. Each drained token is a *candidate*: the caller
+    /// checks its true deadline and reinserts the not-yet-due.
+    pub fn advance(&mut self, now_ms: u64, candidates: &mut Vec<u64>) {
+        let now_tick = now_ms / self.resolution_ms;
+        if now_tick <= self.cursor_tick {
+            return;
+        }
+        // A clock jump larger than the wheel still drains each slot once.
+        let steps = (now_tick - self.cursor_tick).min(self.slots.len() as u64);
+        for s in 1..=steps {
+            let idx = ((self.cursor_tick + s) % self.slots.len() as u64) as usize;
+            let drained = &mut self.slots[idx];
+            self.len -= drained.len();
+            candidates.append(drained);
+        }
+        self.cursor_tick = now_tick;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut DeadlineWheel, now: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        w.advance(now, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn tokens_fire_after_their_deadline_and_not_before() {
+        let mut w = DeadlineWheel::new(10, 8);
+        w.insert(1, 25);
+        w.insert(2, 61);
+        assert_eq!(w.len(), 2);
+        assert!(drain(&mut w, 9).is_empty());
+        assert_eq!(drain(&mut w, 39), vec![1]);
+        assert!(drain(&mut w, 59).is_empty());
+        assert_eq!(drain(&mut w, 79), vec![2]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_advance() {
+        let mut w = DeadlineWheel::new(10, 8);
+        drain(&mut w, 500); // move the cursor forward first
+        w.insert(7, 100); // already long past
+        assert_eq!(drain(&mut w, 520), vec![7]);
+    }
+
+    #[test]
+    fn beyond_horizon_clamps_and_refires_as_candidate() {
+        let mut w = DeadlineWheel::new(10, 4); // horizon = 40 ms
+        w.insert(3, 10_000);
+        // Fires (as a candidate) within one horizon; the caller's true-
+        // deadline check is what turns candidates into expiries.
+        let fired = drain(&mut w, 50);
+        assert_eq!(fired, vec![3]);
+        // Lazy reinsertion: the caller re-files it toward the true deadline.
+        w.insert(3, 10_000);
+        assert!(drain(&mut w, 60).is_empty());
+    }
+
+    #[test]
+    fn clock_jumps_larger_than_the_wheel_drain_every_slot_once() {
+        let mut w = DeadlineWheel::new(10, 4);
+        for t in 0..8u64 {
+            w.insert(t, 10 + t * 10);
+        }
+        let fired = drain(&mut w, 1_000_000);
+        assert_eq!(fired, (0..8).collect::<Vec<_>>());
+        assert!(w.is_empty());
+    }
+}

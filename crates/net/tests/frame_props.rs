@@ -1,0 +1,183 @@
+//! Property tests for the framing state machine as a **pure function of
+//! the byte stream**: chunk boundaries must be invisible, torn streams
+//! must classify identically however they were fed, and an oversize
+//! declaration must be rejected at the prefix regardless of chunking.
+
+use anonet_net::{FrameError, FrameFsm};
+use proptest::prelude::*;
+
+const MAX: usize = 4096;
+
+/// Splitmix-style step for deterministic auxiliary randomness derived
+/// from a proptest-drawn seed.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Encodes `frames` as a contiguous length-prefixed stream.
+fn encode(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in frames {
+        out.extend_from_slice(&(f.len() as u32).to_le_bytes());
+        out.extend_from_slice(f);
+    }
+    out
+}
+
+/// Builds a deterministic frame sequence from a seed: lengths cover the
+/// edge cases (0, 1, around the prefix size, near MAX).
+fn frames_from_seed(seed: u64, count: usize) -> Vec<Vec<u8>> {
+    let mut s = seed;
+    (0..count)
+        .map(|_| {
+            let len = match mix(&mut s) % 6 {
+                0 => 0,
+                1 => 1,
+                2 => 3,
+                3 => 4,
+                4 => (mix(&mut s) % 64) as usize,
+                _ => (mix(&mut s) as usize) % MAX,
+            };
+            (0..len).map(|_| mix(&mut s) as u8).collect()
+        })
+        .collect()
+}
+
+/// Emitted frames plus the feed and close classifications of one run.
+type ChunkedRun = (Vec<Vec<u8>>, Result<(), FrameError>, Result<(), FrameError>);
+
+/// Feeds `stream` in chunks whose boundaries are derived from `seed`,
+/// collecting the emitted frames and the final close classification.
+fn feed_chunked(stream: &[u8], seed: u64) -> ChunkedRun {
+    let mut fsm = FrameFsm::new(MAX);
+    let mut s = seed;
+    let mut off = 0;
+    let mut feed_result = Ok(());
+    while off < stream.len() {
+        // Chunk sizes from 0 (empty feeds must be harmless) to 9 bytes,
+        // so boundaries land inside prefixes and payloads constantly.
+        let take = ((mix(&mut s) % 10) as usize).min(stream.len() - off);
+        feed_result = fsm.feed(&stream[off..off + take]);
+        if feed_result.is_err() {
+            break;
+        }
+        off += take;
+        if take == 0 {
+            // Guarantee progress despite the 0-byte chunks in the mix.
+            feed_result = fsm.feed(&stream[off..off + 1]);
+            if feed_result.is_err() {
+                break;
+            }
+            off += 1;
+        }
+    }
+    let close = fsm.close();
+    let mut frames = Vec::new();
+    while let Some(f) = fsm.next_frame() {
+        frames.push(f);
+    }
+    (frames, feed_result, close)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chunk_boundaries_are_invisible(seed in any::<u64>(), count in 0usize..8) {
+        let frames = frames_from_seed(seed, count);
+        let stream = encode(&frames);
+
+        // Oracle: one contiguous feed.
+        let mut whole = FrameFsm::new(MAX);
+        whole.feed(&stream).unwrap();
+        prop_assert!(whole.close().is_ok());
+        let mut expect = Vec::new();
+        while let Some(f) = whole.next_frame() {
+            expect.push(f);
+        }
+        prop_assert_eq!(&expect, &frames);
+
+        // Same stream, adversarial chunking: identical frame sequence and
+        // an identical clean-close classification.
+        let (got, fed, close) = feed_chunked(&stream, seed ^ 0xdead_beef);
+        prop_assert!(fed.is_ok());
+        prop_assert!(close.is_ok());
+        prop_assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn torn_streams_classify_identically_under_any_chunking(
+        seed in any::<u64>(),
+        count in 1usize..6,
+        cut_seed in any::<u64>(),
+    ) {
+        let frames = frames_from_seed(seed, count);
+        let stream = encode(&frames);
+        prop_assume!(!stream.is_empty());
+        // Cut strictly inside the stream so something is always torn or
+        // cleanly truncated.
+        let cut = (cut_seed % stream.len() as u64) as usize;
+        let truncated = &stream[..cut];
+
+        let mut whole = FrameFsm::new(MAX);
+        whole.feed(truncated).unwrap();
+        let expect_close = whole.close();
+        let mut expect_frames = Vec::new();
+        while let Some(f) = whole.next_frame() {
+            expect_frames.push(f);
+        }
+
+        let (got, fed, close) = feed_chunked(truncated, seed ^ cut_seed);
+        prop_assert!(fed.is_ok());
+        prop_assert_eq!(close, expect_close);
+        prop_assert_eq!(got, expect_frames);
+
+        // A cut at a frame boundary is clean; anywhere else is torn.
+        let boundary = {
+            let mut at = 0usize;
+            let mut boundaries = vec![0usize];
+            for f in &frames {
+                at += 4 + f.len();
+                boundaries.push(at);
+            }
+            boundaries.contains(&cut)
+        };
+        prop_assert_eq!(whole.close().is_ok(), boundary);
+    }
+
+    #[test]
+    fn oversize_is_rejected_at_the_prefix_under_any_chunking(
+        over in 1u64..1024,
+        seed in any::<u64>(),
+    ) {
+        let len = (MAX as u64 + over) as u32;
+        let mut stream = len.to_le_bytes().to_vec();
+        // Trailing garbage the machine must never interpret as payload.
+        stream.extend_from_slice(&[0xAB; 32]);
+
+        let mut whole = FrameFsm::new(MAX);
+        let e = whole.feed(&stream).unwrap_err();
+        prop_assert_eq!(&e, &FrameError::Oversize { len: len as u64, max: MAX });
+
+        let (got, fed, close) = feed_chunked(&stream, seed);
+        prop_assert_eq!(fed.unwrap_err(), e);
+        prop_assert!(close.is_err());
+        prop_assert!(got.is_empty());
+    }
+
+    #[test]
+    fn max_frame_exactly_at_the_cap_is_accepted(seed in any::<u64>()) {
+        let mut s = seed;
+        let payload: Vec<u8> = (0..MAX).map(|_| mix(&mut s) as u8).collect();
+        let stream = encode(std::slice::from_ref(&payload));
+        let (got, fed, close) = feed_chunked(&stream, seed);
+        prop_assert!(fed.is_ok());
+        prop_assert!(close.is_ok());
+        prop_assert_eq!(got.len(), 1);
+        prop_assert_eq!(&got[0], &payload);
+    }
+}

@@ -1,0 +1,321 @@
+//! Reactor integration tests over real loopback sockets: pipelining and
+//! reply ordering, idle/slow-loris expiry on the deadline wheel, load
+//! shedding, half-written-frame resume, and the C10K headline — ten
+//! thousand concurrent idle connections serviced by **one** reactor
+//! thread.
+
+use anonet_net::{
+    Action, CompletionSender, Handler, NetMetrics, Reactor, ReactorConfig, Token, Waker,
+};
+use anonet_obs::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Echoes every frame back inline.
+struct Echo;
+
+impl Handler for Echo {
+    fn on_frame(&mut self, _token: Token, _seq: u64, frame: Vec<u8>) -> Action {
+        Action::Reply(frame)
+    }
+}
+
+struct Running {
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    stop: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+    thread: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl Running {
+    fn metric(&self, name: &str) -> u64 {
+        self.registry.snapshot().scalar(name).unwrap_or(0)
+    }
+}
+
+impl Drop for Running {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.waker.wake();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn start<H, F>(cfg: ReactorConfig, make: F) -> Running
+where
+    H: Handler + Send + 'static,
+    F: FnOnce(CompletionSender) -> H,
+{
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let registry = Arc::new(Registry::new());
+    let metrics = NetMetrics::register(&registry);
+    let reactor = Reactor::with_handler(listener, make, cfg, metrics).unwrap();
+    let addr = reactor.local_addr();
+    let stop = reactor.stop_flag();
+    let waker = reactor.waker();
+    let thread = std::thread::spawn(move || reactor.run());
+    Running { addr, registry, stop, waker, thread: Some(thread) }
+}
+
+fn write_frame(s: &mut TcpStream, payload: &[u8]) {
+    s.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
+    s.write_all(payload).unwrap();
+}
+
+fn read_frame(s: &mut TcpStream) -> Vec<u8> {
+    let mut len = [0u8; 4];
+    s.read_exact(&mut len).unwrap();
+    let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
+    s.read_exact(&mut buf).unwrap();
+    buf
+}
+
+fn wait_until(deadline: Duration, mut ok: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if ok() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    ok()
+}
+
+#[test]
+fn pipelined_requests_echo_back_in_order() {
+    let r = start(ReactorConfig::default(), |_| Echo);
+    let mut c = TcpStream::connect(r.addr).unwrap();
+    // Write all requests before reading a single reply: the reactor must
+    // frame, queue, and answer them in order.
+    let payloads: Vec<Vec<u8>> =
+        (0..32u32).map(|i| i.to_le_bytes().repeat(i as usize + 1)).collect();
+    for p in &payloads {
+        write_frame(&mut c, p);
+    }
+    for p in &payloads {
+        assert_eq!(&read_frame(&mut c), p);
+    }
+}
+
+/// Completes frames through the completion queue from a worker thread, in
+/// deliberately *reversed* batches — the reactor must still deliver
+/// replies in sequence order.
+struct ReverseBatch {
+    sender: CompletionSender,
+    batch: Vec<(Token, u64, Vec<u8>)>,
+    batch_size: usize,
+}
+
+impl Handler for ReverseBatch {
+    fn on_frame(&mut self, token: Token, seq: u64, frame: Vec<u8>) -> Action {
+        self.batch.push((token, seq, frame));
+        if self.batch.len() == self.batch_size {
+            let batch: Vec<_> = self.batch.drain(..).rev().collect();
+            let sender = self.sender.clone();
+            std::thread::spawn(move || {
+                for (token, seq, mut payload) in batch {
+                    payload.push(b'!');
+                    sender.send(token, seq, payload);
+                }
+            });
+        }
+        Action::Pending
+    }
+}
+
+#[test]
+fn out_of_order_completions_are_delivered_in_order() {
+    let r = start(ReactorConfig::default(), |sender| ReverseBatch {
+        sender,
+        batch: Vec::new(),
+        batch_size: 5,
+    });
+    let mut c = TcpStream::connect(r.addr).unwrap();
+    for i in 0..5u8 {
+        write_frame(&mut c, &[i; 3]);
+    }
+    for i in 0..5u8 {
+        let mut want = vec![i; 3];
+        want.push(b'!');
+        assert_eq!(read_frame(&mut c), want, "reply {i} out of order");
+    }
+}
+
+#[test]
+fn idle_and_slow_loris_peers_expire_but_active_ones_survive() {
+    let cfg = ReactorConfig { idle_timeout_ms: 150, ..ReactorConfig::default() };
+    let r = start(cfg, |_| Echo);
+
+    // A silent peer expires.
+    let mut idle = TcpStream::connect(r.addr).unwrap();
+    // A slow-loris peer trickling *partial frame* bytes expires too:
+    // partial frames are not liveness (crate invariant 2).
+    let mut loris = TcpStream::connect(r.addr).unwrap();
+    // An active peer completing frames inside the window survives.
+    let mut active = TcpStream::connect(r.addr).unwrap();
+
+    let start_t = Instant::now();
+    let mut loris_alive = true;
+    while start_t.elapsed() < Duration::from_millis(700) {
+        write_frame(&mut active, b"ping");
+        assert_eq!(read_frame(&mut active), b"ping");
+        if loris_alive {
+            // One byte of a never-completed length prefix per tick.
+            loris_alive = loris.write_all(&[0]).is_ok();
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(r.metric("net.idle_timeouts") >= 2, "idle + loris should have expired");
+
+    // Expired sockets are closed: reads see EOF/reset promptly.
+    idle.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+    let mut buf = [0u8; 1];
+    assert!(matches!(idle.read(&mut buf), Ok(0) | Err(_)), "idle conn should be closed");
+
+    // The active peer still works after the others expired.
+    write_frame(&mut active, b"still here");
+    assert_eq!(read_frame(&mut active), b"still here");
+}
+
+#[test]
+fn connections_over_the_cap_are_shed_at_the_door() {
+    let cfg = ReactorConfig { max_conns: 4, idle_timeout_ms: 0, ..ReactorConfig::default() };
+    let r = start(cfg, |_| Echo);
+    let mut keep: Vec<TcpStream> = Vec::new();
+    for _ in 0..4 {
+        let mut c = TcpStream::connect(r.addr).unwrap();
+        write_frame(&mut c, b"hi");
+        assert_eq!(read_frame(&mut c), b"hi");
+        keep.push(c);
+    }
+    let extra: Vec<TcpStream> = (0..4).map(|_| TcpStream::connect(r.addr).unwrap()).collect();
+    assert!(
+        wait_until(Duration::from_secs(2), || r.metric("net.shed_conns") >= 4),
+        "extras should be shed, shed={}",
+        r.metric("net.shed_conns")
+    );
+    assert_eq!(r.metric("net.conns"), 4);
+    // Shed sockets are closed by the reactor; held ones still echo.
+    drop(extra);
+    for c in &mut keep {
+        write_frame(c, b"again");
+        assert_eq!(read_frame(c), b"again");
+    }
+}
+
+#[test]
+fn half_written_frames_resume_on_writability() {
+    // An 8 MiB echo cannot fit any socket buffer: the reactor must park
+    // the half-written frame, drop write interest when drained, and resume
+    // exactly where it stopped — the reply must come back bit-identical.
+    let cfg = ReactorConfig { max_frame: 16 << 20, ..ReactorConfig::default() };
+    let r = start(cfg, |_| Echo);
+    let mut c = TcpStream::connect(r.addr).unwrap();
+    let big: Vec<u8> = (0..8 << 20).map(|i| ((i * 2654435761u64) >> 24) as u8).collect();
+
+    // Writer thread: the echo starts coming back while we are still
+    // sending, so a single-threaded write-then-read would deadlock both
+    // sides' buffers at this size.
+    let mut w = c.try_clone().unwrap();
+    let big_w = big.clone();
+    let writer = std::thread::spawn(move || write_frame(&mut w, &big_w));
+    let reply = read_frame(&mut c);
+    writer.join().unwrap();
+    assert_eq!(reply.len(), big.len());
+    assert_eq!(reply, big, "resumed write corrupted the frame");
+}
+
+#[test]
+fn write_backpressure_pauses_reads_without_losing_replies() {
+    // Tiny write buffer cap + a client that floods requests and only then
+    // reads: the reactor must pause read interest (invariant 5) rather
+    // than buffer unboundedly, and every reply must still arrive in order.
+    let cfg =
+        ReactorConfig { max_write_buffer: 8 * 1024, max_inflight: 4, ..ReactorConfig::default() };
+    let r = start(cfg, |_| Echo);
+    let mut c = TcpStream::connect(r.addr).unwrap();
+    let payloads: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; 4096]).collect();
+    let mut w = c.try_clone().unwrap();
+    let to_send = payloads.clone();
+    let writer = std::thread::spawn(move || {
+        for p in &to_send {
+            write_frame(&mut w, p);
+        }
+    });
+    for (i, p) in payloads.iter().enumerate() {
+        assert_eq!(&read_frame(&mut c), p, "reply {i} wrong under backpressure");
+    }
+    writer.join().unwrap();
+}
+
+/// Reads this process's open-files rlimit so the C10K test self-caps in
+/// containers with small fd budgets (each connection costs two fds here:
+/// client end + server end, same process).
+fn fd_limit() -> usize {
+    let text = std::fs::read_to_string("/proc/self/limits").unwrap_or_default();
+    for line in text.lines() {
+        if line.starts_with("Max open files") {
+            if let Some(soft) = line.split_whitespace().nth(3) {
+                if let Ok(v) = soft.parse::<usize>() {
+                    return v;
+                }
+            }
+        }
+    }
+    1024
+}
+
+#[test]
+fn ten_thousand_idle_connections_on_one_reactor_thread() {
+    let target = 10_000usize.min((fd_limit().saturating_sub(128)) / 2);
+    assert!(target >= 1_000, "fd limit too small to say anything: {target}");
+    let cfg =
+        ReactorConfig { max_conns: target + 16, idle_timeout_ms: 0, ..ReactorConfig::default() };
+    let r = start(cfg, |_| Echo);
+
+    let mut conns: Vec<TcpStream> = Vec::with_capacity(target);
+    for i in 0..target {
+        match TcpStream::connect(r.addr) {
+            Ok(c) => conns.push(c),
+            Err(e) => panic!("connect {i}/{target} failed: {e}"),
+        }
+    }
+    assert!(
+        wait_until(Duration::from_secs(10), || r.metric("net.conns") == target as u64),
+        "reactor accepted {}/{target}",
+        r.metric("net.conns")
+    );
+
+    // The slab is full of idle peers; a request through the middle of it
+    // still round-trips promptly on the single reactor thread.
+    let mid = conns.len() / 2;
+    write_frame(&mut conns[mid], b"needle");
+    assert_eq!(read_frame(&mut conns[mid]), b"needle");
+
+    // Drain: closing every client returns the gauge to zero.
+    drop(conns);
+    assert!(
+        wait_until(Duration::from_secs(10), || r.metric("net.conns") == 0),
+        "gauge stuck at {}",
+        r.metric("net.conns")
+    );
+}
+
+#[test]
+fn oversize_frames_close_the_connection_before_buffering() {
+    let cfg = ReactorConfig { max_frame: 1024, ..ReactorConfig::default() };
+    let r = start(cfg, |_| Echo);
+    let mut c = TcpStream::connect(r.addr).unwrap();
+    c.write_all(&2048u32.to_le_bytes()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 1];
+    assert!(matches!(c.read(&mut buf), Ok(0) | Err(_)), "oversize prefix must close the conn");
+    assert!(wait_until(Duration::from_secs(2), || r.metric("net.conns") == 0));
+}

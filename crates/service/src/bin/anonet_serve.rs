@@ -3,13 +3,17 @@
 //! ```sh
 //! anonet-serve --addr 127.0.0.1:7411 --workers 4 --queue-cap 64 \
 //!              --cache-cap 1024 --cache-bytes 67108864 --threads-per-job 1 \
-//!              --max-conns 256 --idle-timeout-ms 60000
+//!              --max-conns 256 --idle-timeout-ms 60000 --conn-model reactor
 //! ```
 //!
 //! `--threads-per-job 0` means **auto**: each worker fans a request's
 //! instances across the machine's available parallelism (the per-worker
 //! round pools persist across requests; counts beyond the hardware are
 //! capped).
+//!
+//! `--conn-model` picks how connections are multiplexed: `threads` (one OS
+//! thread per connection, the default) or `reactor` (one epoll event-loop
+//! thread for every connection — the C10K model).
 
 use anonet_service::{Server, ServiceConfig};
 
@@ -18,9 +22,27 @@ fn usage() -> ! {
         "usage: anonet-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
          \x20                 [--cache-cap N] [--cache-bytes N] [--threads-per-job N|0=auto]\n\
          \x20                 [--max-conns N] [--idle-timeout-ms N] [--flight-cap N]\n\
-         \x20                 [--dump-on-exit]"
+         \x20                 [--conn-model threads|reactor] [--dump-on-exit]"
     );
     std::process::exit(2)
+}
+
+/// Takes the flag's value argument, naming the flag if it is missing.
+fn val(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("missing value for {flag}");
+        usage()
+    })
+}
+
+/// Parses a flag value, naming the flag and the offending value on failure
+/// (`invalid value for --max-conns: 'abc'`) instead of dumping bare usage.
+fn parse<T: std::str::FromStr>(flag: &str, args: &mut impl Iterator<Item = String>) -> T {
+    let raw = val(flag, args);
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: '{raw}'");
+        usage()
+    })
 }
 
 fn main() {
@@ -29,19 +51,23 @@ fn main() {
     let mut dump_on_exit = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut val = || args.next().unwrap_or_else(|| usage());
-        match flag.as_str() {
-            "--addr" => addr = val(),
-            "--workers" => cfg.workers = val().parse().unwrap_or_else(|_| usage()),
-            "--queue-cap" => cfg.queue_cap = val().parse().unwrap_or_else(|_| usage()),
-            "--cache-cap" => cfg.cache_cap = val().parse().unwrap_or_else(|_| usage()),
-            "--cache-bytes" => cfg.cache_bytes = val().parse().unwrap_or_else(|_| usage()),
-            "--threads-per-job" => cfg.threads_per_job = val().parse().unwrap_or_else(|_| usage()),
-            "--max-conns" => cfg.max_conns = val().parse().unwrap_or_else(|_| usage()),
-            "--idle-timeout-ms" => cfg.idle_timeout_ms = val().parse().unwrap_or_else(|_| usage()),
-            "--flight-cap" => cfg.flight_cap = val().parse().unwrap_or_else(|_| usage()),
+        let f = flag.as_str();
+        match f {
+            "--addr" => addr = val(f, &mut args),
+            "--workers" => cfg.workers = parse(f, &mut args),
+            "--queue-cap" => cfg.queue_cap = parse(f, &mut args),
+            "--cache-cap" => cfg.cache_cap = parse(f, &mut args),
+            "--cache-bytes" => cfg.cache_bytes = parse(f, &mut args),
+            "--threads-per-job" => cfg.threads_per_job = parse(f, &mut args),
+            "--max-conns" => cfg.max_conns = parse(f, &mut args),
+            "--idle-timeout-ms" => cfg.idle_timeout_ms = parse(f, &mut args),
+            "--flight-cap" => cfg.flight_cap = parse(f, &mut args),
+            "--conn-model" => cfg.conn_model = parse(f, &mut args),
             "--dump-on-exit" => dump_on_exit = true,
-            _ => usage(),
+            _ => {
+                eprintln!("unknown flag {f}");
+                usage()
+            }
         }
     }
     let mut server = Server::start(&addr, cfg).unwrap_or_else(|e| {
@@ -49,11 +75,12 @@ fn main() {
         std::process::exit(1);
     });
     println!(
-        "anonet-service listening on {} (workers {}, queue {}, cache {})",
+        "anonet-service listening on {} (workers {}, queue {}, cache {}, conn model {:?})",
         server.local_addr(),
         cfg.workers,
         cfg.queue_cap,
-        cfg.cache_cap
+        cfg.cache_cap,
+        cfg.conn_model,
     );
     server.join();
     if dump_on_exit {

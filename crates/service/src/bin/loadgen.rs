@@ -21,19 +21,41 @@ fn usage() -> ! {
         "usage: loadgen --addr HOST:PORT [--problem vc-pn|vc-bcast|set-cover]\n\
          \x20             [--family cycle|regular|gnp|tree] [--n N] [--degree D]\n\
          \x20             [--instances K] [--requests N] [--batch B] [--concurrency C]\n\
-         \x20             [--open RATE] [--weights unit|uniform:W|loguniform:W] [--seed S]\n\
-         \x20             [--no-cache] [--assert-certified] [--once] [--stats]\n\
+         \x20             [--conns N] [--open RATE] [--weights unit|uniform:W|loguniform:W]\n\
+         \x20             [--seed S] [--no-cache] [--assert-certified] [--once] [--stats]\n\
          \x20             [--metrics-json] [--server-metrics] [--debug-dump]"
     );
     std::process::exit(2)
 }
 
-fn parse_weights(s: &str) -> WeightSpec {
+/// Takes the flag's value argument, naming the flag if it is missing.
+fn val(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("missing value for {flag}");
+        usage()
+    })
+}
+
+/// Parses a flag value, naming the flag and the offending value on failure
+/// (`invalid value for --requests: 'abc'`) instead of dumping bare usage.
+fn parse<T: std::str::FromStr>(flag: &str, args: &mut impl Iterator<Item = String>) -> T {
+    let raw = val(flag, args);
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: '{raw}'");
+        usage()
+    })
+}
+
+fn parse_weights(flag: &str, s: &str) -> WeightSpec {
+    let bad = || -> ! {
+        eprintln!("invalid value for {flag}: '{s}'");
+        usage()
+    };
     match s.split_once(':') {
         None if s == "unit" => WeightSpec::Unit,
-        Some(("uniform", w)) => WeightSpec::Uniform(w.parse().unwrap_or_else(|_| usage())),
-        Some(("loguniform", w)) => WeightSpec::LogUniform(w.parse().unwrap_or_else(|_| usage())),
-        _ => usage(),
+        Some(("uniform", w)) => WeightSpec::Uniform(w.parse().unwrap_or_else(|_| bad())),
+        Some(("loguniform", w)) => WeightSpec::LogUniform(w.parse().unwrap_or_else(|_| bad())),
+        _ => bad(),
     }
 }
 
@@ -52,37 +74,42 @@ fn main() {
     let (mut metrics_json, mut server_metrics, mut debug_dump) = (false, false, false);
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut val = || args.next().unwrap_or_else(|| usage());
-        match flag.as_str() {
-            "--addr" => cfg.addr = val(),
+        let f = flag.as_str();
+        match f {
+            "--addr" => cfg.addr = val(f, &mut args),
             "--problem" => {
-                spec.problem = match val().as_str() {
+                spec.problem = match val(f, &mut args).as_str() {
                     "vc-pn" => Problem::VcPn,
                     "vc-bcast" => Problem::VcBcast,
                     "set-cover" => Problem::SetCover,
-                    _ => usage(),
+                    other => {
+                        eprintln!("invalid value for {f}: '{other}'");
+                        usage()
+                    }
                 }
             }
             "--family" => {
-                spec.family = match val().as_str() {
+                spec.family = match val(f, &mut args).as_str() {
                     "cycle" => FamilyKind::Cycle,
                     "regular" => FamilyKind::Regular,
                     "gnp" => FamilyKind::Gnp,
                     "tree" => FamilyKind::Tree,
-                    _ => usage(),
+                    other => {
+                        eprintln!("invalid value for {f}: '{other}'");
+                        usage()
+                    }
                 }
             }
-            "--n" => spec.n = val().parse().unwrap_or_else(|_| usage()),
-            "--degree" => spec.degree = val().parse().unwrap_or_else(|_| usage()),
-            "--instances" => spec.instances = val().parse().unwrap_or_else(|_| usage()),
-            "--weights" => spec.weights = parse_weights(&val()),
-            "--seed" => spec.seed = val().parse().unwrap_or_else(|_| usage()),
-            "--requests" => cfg.requests = val().parse().unwrap_or_else(|_| usage()),
-            "--batch" => cfg.batch = val().parse().unwrap_or_else(|_| usage()),
-            "--concurrency" => cfg.concurrency = val().parse().unwrap_or_else(|_| usage()),
-            "--open" => {
-                cfg.mode = LoopMode::Open { rate: val().parse().unwrap_or_else(|_| usage()) }
-            }
+            "--n" => spec.n = parse(f, &mut args),
+            "--degree" => spec.degree = parse(f, &mut args),
+            "--instances" => spec.instances = parse(f, &mut args),
+            "--weights" => spec.weights = parse_weights(f, &val(f, &mut args)),
+            "--seed" => spec.seed = parse(f, &mut args),
+            "--requests" => cfg.requests = parse(f, &mut args),
+            "--batch" => cfg.batch = parse(f, &mut args),
+            "--concurrency" => cfg.concurrency = parse(f, &mut args),
+            "--conns" => cfg.conns = parse(f, &mut args),
+            "--open" => cfg.mode = LoopMode::Open { rate: parse(f, &mut args) },
             "--no-cache" => cfg.no_cache = true,
             "--assert-certified" => assert_certified = true,
             "--once" => once = true,
@@ -90,7 +117,10 @@ fn main() {
             "--metrics-json" => metrics_json = true,
             "--server-metrics" => server_metrics = true,
             "--debug-dump" => debug_dump = true,
-            _ => usage(),
+            _ => {
+                eprintln!("unknown flag {f}");
+                usage()
+            }
         }
     }
 

@@ -62,12 +62,13 @@
 pub mod cache;
 pub mod client;
 pub mod loadgen;
+mod reactor;
 pub mod server;
 pub mod telemetry;
 pub mod wire;
 
 pub use client::Client;
-pub use server::{Server, ServiceConfig};
+pub use server::{ConnModel, Server, ServiceConfig};
 pub use wire::{
     ExecMode, InstanceResult, Problem, Scenario, SolveRequest, SolveResponse, Solved,
     StatsSnapshot, WireTrace,

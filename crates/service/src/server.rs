@@ -48,8 +48,33 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+
+/// How client connections are multiplexed onto the service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnModel {
+    /// One OS thread per connection (the original model). Simple, and the
+    /// differential-testing oracle for the reactor: both models must produce
+    /// byte-identical responses to identical request streams.
+    Threads,
+    /// One nonblocking reactor thread multiplexing every connection over
+    /// `anonet-net`'s epoll loop — O(1) threads for C10K+ idle peers, with
+    /// pipelined requests answered in order.
+    Reactor,
+}
+
+impl std::str::FromStr for ConnModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ConnModel, String> {
+        match s {
+            "threads" => Ok(ConnModel::Threads),
+            "reactor" => Ok(ConnModel::Reactor),
+            other => Err(format!("unknown connection model '{other}' (threads|reactor)")),
+        }
+    }
+}
 
 /// Service configuration.
 #[derive(Clone, Copy, Debug)]
@@ -81,6 +106,9 @@ pub struct ServiceConfig {
     /// Flight-recorder capacity: the last N request records kept for debug
     /// dumps (`0` disables recording; phase histograms still run).
     pub flight_cap: usize,
+    /// Connection multiplexing model: classic thread-per-connection or the
+    /// `anonet-net` epoll reactor.
+    pub conn_model: ConnModel,
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +123,7 @@ impl Default for ServiceConfig {
             max_conns: 256,
             idle_timeout_ms: 60_000,
             flight_cap: 256,
+            conn_model: ConnModel::Threads,
         }
     }
 }
@@ -102,39 +131,55 @@ impl Default for ServiceConfig {
 /// Phase measurements the worker hands back alongside the response payload,
 /// so the connection thread can commit one complete flight record.
 #[derive(Clone, Copy, Debug, Default)]
-struct ExecPhases {
-    queue_us: u64,
-    solve_us: u64,
-    encode_us: u64,
-    cache_hits: u32,
-    cache_misses: u32,
-    outcome: &'static str,
+pub(crate) struct ExecPhases {
+    pub(crate) queue_us: u64,
+    pub(crate) solve_us: u64,
+    pub(crate) encode_us: u64,
+    pub(crate) cache_hits: u32,
+    pub(crate) cache_misses: u32,
+    pub(crate) outcome: &'static str,
+}
+
+/// Where a finished job's payload goes: back to the blocking connection
+/// thread (threads model) or into the reactor's completion queue with the
+/// flight record the worker finishes off (reactor model).
+pub(crate) enum Reply {
+    Thread(mpsc::Sender<(Vec<u8>, ExecPhases)>),
+    Reactor(crate::reactor::ReactorReply),
 }
 
 struct Job {
     req: SolveRequest,
-    reply: mpsc::Sender<(Vec<u8>, ExecPhases)>,
+    reply: Reply,
     queued: Stopwatch,
 }
 
 #[derive(Default)]
-struct Counters {
-    served_ok: AtomicU64,
-    rejected_busy: AtomicU64,
-    malformed: AtomicU64,
-    exec_errors: AtomicU64,
-    shed_conns: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) served_ok: AtomicU64,
+    pub(crate) rejected_busy: AtomicU64,
+    pub(crate) malformed: AtomicU64,
+    pub(crate) exec_errors: AtomicU64,
+    pub(crate) shed_conns: AtomicU64,
 }
 
-struct Shared {
-    cfg: ServiceConfig,
+/// Reactor-owned metrics the stats endpoint folds into its legacy counters
+/// (the reactor sheds at its own accept path, not through `Counters`).
+pub(crate) struct NetHandles {
+    pub(crate) shed: Arc<anonet_obs::Counter>,
+}
+
+pub(crate) struct Shared {
+    pub(crate) cfg: ServiceConfig,
     queue: Mutex<VecDeque<Job>>,
     cv: Condvar,
     cache: Mutex<LruCache>,
-    counters: Counters,
+    pub(crate) counters: Counters,
     conns: AtomicUsize,
     stop: AtomicBool,
-    telemetry: Telemetry,
+    pub(crate) telemetry: Telemetry,
+    /// Set once by the reactor spawn path; `None` under the threads model.
+    pub(crate) net: OnceLock<NetHandles>,
 }
 
 impl Shared {
@@ -172,29 +217,52 @@ impl Shared {
         }
     }
 
-    /// Enqueues a request or returns the encoded `Busy` payload.
-    fn submit(&self, req: SolveRequest) -> Result<mpsc::Receiver<(Vec<u8>, ExecPhases)>, Vec<u8>> {
+    /// Enqueues a request or — when the queue is full or the service is
+    /// stopping — hands back the encoded `Busy` payload *and* the reply
+    /// handle, so a reactor caller can recover the flight record it parked
+    /// inside the handle and commit the busy outcome itself.
+    // The fat Err is the point: handing the payload and handle back by value
+    // is what lets the reactor recover its flight record without a clone, and
+    // the rejection path is already off the hot path (clippy::result_large_err).
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn submit_reply(
+        &self,
+        req: SolveRequest,
+        reply: Reply,
+    ) -> Result<(), (Vec<u8>, Reply)> {
         let mut q = self.lock_queue();
         if self.stop.load(Ordering::Relaxed) || q.len() >= self.cfg.queue_cap {
             self.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
-            return Err(wire::encode_solve_response(&SolveResponse::Busy {
+            let busy = wire::encode_solve_response(&SolveResponse::Busy {
                 retry_after_ms: self.cfg.retry_after_ms,
                 queue_len: q.len() as u32,
-            }));
+            });
+            return Err((busy, reply));
         }
-        let (tx, rx) = mpsc::channel();
-        q.push_back(Job { req, reply: tx, queued: Stopwatch::start() });
+        q.push_back(Job { req, reply, queued: Stopwatch::start() });
         drop(q);
         self.cv.notify_one();
-        Ok(rx)
+        Ok(())
     }
 
-    fn snapshot(&self) -> StatsSnapshot {
+    /// Enqueues a request or returns the encoded `Busy` payload.
+    fn submit(&self, req: SolveRequest) -> Result<mpsc::Receiver<(Vec<u8>, ExecPhases)>, Vec<u8>> {
+        let (tx, rx) = mpsc::channel();
+        match self.submit_reply(req, Reply::Thread(tx)) {
+            Ok(()) => Ok(rx),
+            Err((busy, _)) => Err(busy),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
         let (cache_hits, cache_misses, cache_evictions, cache_len) = {
             let cache = self.lock_cache();
             let (h, m, e) = cache.counters();
             (h, m, e, cache.len() as u64)
         };
+        // The reactor sheds at its own accept path; fold its count into the
+        // legacy counter so the stats frame reads the same in either model.
+        let net_shed = self.net.get().map_or(0, |n| n.shed.get());
         StatsSnapshot {
             served_ok: self.counters.served_ok.load(Ordering::Relaxed),
             rejected_busy: self.counters.rejected_busy.load(Ordering::Relaxed),
@@ -206,7 +274,7 @@ impl Shared {
             cache_len,
             queue_len: self.lock_queue().len() as u64,
             workers: self.cfg.workers as u64,
-            shed_conns: self.counters.shed_conns.load(Ordering::Relaxed),
+            shed_conns: self.counters.shed_conns.load(Ordering::Relaxed) + net_shed,
         }
     }
 
@@ -214,7 +282,7 @@ impl Shared {
     /// from the telemetry registry, merged with the legacy stats counters
     /// (whose sources — cache, queue — live outside the registry), in one
     /// name-sorted snapshot.
-    fn metrics_snapshot(&self) -> anonet_obs::Snapshot {
+    pub(crate) fn metrics_snapshot(&self) -> anonet_obs::Snapshot {
         let stats = self.snapshot();
         let mut snap = self.telemetry.registry.snapshot();
         let legacy = [
@@ -239,7 +307,7 @@ impl Shared {
 }
 
 /// Flight-recorder label for a problem kind.
-fn problem_label(p: Problem) -> &'static str {
+pub(crate) fn problem_label(p: Problem) -> &'static str {
     match p {
         Problem::VcPn => "vc_pn",
         Problem::VcBcast => "vc_bcast",
@@ -564,8 +632,15 @@ fn worker_loop(shared: Arc<Shared>) {
                 (wire::encode_solve_response_raw(&errs), ph)
             }
         };
-        // The client may have gone away; that is its problem, not ours.
-        let _ = job.reply.send((payload, phases));
+        match job.reply {
+            // The client may have gone away; that is its problem, not ours.
+            Reply::Thread(tx) => {
+                let _ = tx.send((payload, phases));
+            }
+            // The reactor path owns the flight record: finish it here (the
+            // reactor thread only moves bytes) and wake the event loop.
+            Reply::Reactor(r) => r.finish(payload, phases, &shared.telemetry),
+        }
     }
 }
 
@@ -689,6 +764,10 @@ pub struct Server {
     local_addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Present under [`ConnModel::Reactor`]: the handles `stop_impl` uses to
+    /// stop the event loop (flag + eventfd wake) instead of the throwaway
+    /// connection that unblocks a blocking accept loop.
+    reactor: Option<crate::reactor::ReactorControl>,
 }
 
 impl Server {
@@ -705,6 +784,7 @@ impl Server {
             conns: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             telemetry: Telemetry::new(cfg.flight_cap),
+            net: OnceLock::new(),
         });
         let workers = (0..cfg.workers)
             .map(|_| {
@@ -712,29 +792,36 @@ impl Server {
                 std::thread::spawn(move || worker_loop(shared))
             })
             .collect();
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || {
-                for conn in listener.incoming() {
-                    if shared.stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    if let Ok(stream) = conn {
-                        // Only this thread increments, so load-then-add is
-                        // race-free: handlers can only *lower* the count.
-                        if shared.conns.load(Ordering::Relaxed) >= shared.cfg.max_conns {
-                            // Over the cap: shed the connection (visibly).
-                            shared.counters.shed_conns.fetch_add(1, Ordering::Relaxed);
-                            continue;
+        let (accept, reactor) = match cfg.conn_model {
+            ConnModel::Threads => {
+                let shared = Arc::clone(&shared);
+                let accept = std::thread::spawn(move || {
+                    for conn in listener.incoming() {
+                        if shared.stop.load(Ordering::Relaxed) {
+                            break;
                         }
-                        shared.conns.fetch_add(1, Ordering::Relaxed);
-                        let slot = ConnSlot(Arc::clone(&shared));
-                        std::thread::spawn(move || handle_conn(stream, &slot.0));
+                        if let Ok(stream) = conn {
+                            // Only this thread increments, so load-then-add is
+                            // race-free: handlers can only *lower* the count.
+                            if shared.conns.load(Ordering::Relaxed) >= shared.cfg.max_conns {
+                                // Over the cap: shed the connection (visibly).
+                                shared.counters.shed_conns.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            shared.conns.fetch_add(1, Ordering::Relaxed);
+                            let slot = ConnSlot(Arc::clone(&shared));
+                            std::thread::spawn(move || handle_conn(stream, &slot.0));
+                        }
                     }
-                }
-            })
+                });
+                (accept, None)
+            }
+            ConnModel::Reactor => {
+                let (accept, ctl) = crate::reactor::spawn(listener, &shared)?;
+                (accept, Some(ctl))
+            }
         };
-        Ok(Server { shared, local_addr, accept: Some(accept), workers })
+        Ok(Server { shared, local_addr, accept: Some(accept), workers, reactor })
     }
 
     /// The bound address (resolves `:0` ephemeral binds).
@@ -775,8 +862,14 @@ impl Server {
     fn stop_impl(&mut self) {
         self.shared.stop.store(true, Ordering::Relaxed);
         self.shared.cv.notify_all();
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
+        match &self.reactor {
+            // The reactor polls: flip its stop flag and kick the eventfd.
+            Some(ctl) => ctl.stop(),
+            // Unblock the blocking accept loop with a throwaway connection.
+            None => {
+                let _ = TcpStream::connect(self.local_addr);
+            }
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -807,6 +900,7 @@ mod tests {
             conns: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             telemetry: Telemetry::new(8),
+            net: OnceLock::new(),
         };
         shared.lock_cache().insert(vec![1], vec![2]);
         // Poison the mutex: panic while holding the guard. The accessor is
