@@ -9,8 +9,14 @@
 //! | [`ps3`] | Polishchuk–Suomela \[30\] | port numbering | no | 3 | O(Δ) |
 //! | [`id_forest`] | Panconesi–Rizzi-style \[28\] | **unique ids** | yes | 2 | O(Δ + log\*N) |
 //! | [`kvy_eps`] | KVY / PY primal–dual \[16\], \[21\]+\[14\] | port numbering | yes | 2+ε | data-dependent (grows with W, 1/ε) |
+//! | [`bchs`] | Bar-Yehuda–Censor-Hillel–Schwartzman-style bulk primal–dual | port numbering | yes | 2+ε | data-dependent, weight-scale-free |
 //! | [`rand_matching`] | randomized matching \[12\]/\[17\]-style | **randomized** | no | 2 | O(log n) w.h.p. |
 //! | [`central`] | Bar-Yehuda–Even \[6\] | centralized | yes | 2 | — |
+//!
+//! The PN-model rows ([`ps3`], [`kvy_eps`], [`bchs`]) are not just reference
+//! code: the service's solver-portfolio registry serves them over the wire
+//! next to the paper's own algorithms, each reply carrying a re-checkable
+//! Bar-Yehuda–Even certificate (`anonet_core::certify`).
 //!
 //! Rows *not* implemented (documented in DESIGN.md §2): the randomized
 //! weighted LP algorithms \[12, 17\] (represented here by the randomized
@@ -21,14 +27,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bchs;
 pub mod central;
 pub mod id_forest;
 pub mod kvy_eps;
 pub mod ps3;
 pub mod rand_matching;
 
+pub use bchs::run_bchs;
 pub use central::{bar_yehuda_even, greedy_edge_packing, greedy_maximal_matching};
 pub use id_forest::run_id_edge_packing;
 pub use kvy_eps::run_kvy;
-pub use ps3::{run_ps3, run_ps3_scratch, run_ps3_with};
+pub use ps3::{half_matching_packing, run_ps3, run_ps3_scratch, run_ps3_with};
 pub use rand_matching::run_rand_matching;

@@ -8,6 +8,8 @@
 //! accepts the first proposal it sees (minimum port on ties). A node joins
 //! the cover iff either of its roles is matched.
 
+use anonet_bigmath::PackingValue;
+use anonet_core::packing::EdgePacking;
 use anonet_sim::{
     run_engine_scratch, EngineOptions, EngineScratch, Graph, MessageSize, PnAlgorithm,
     PortNumbering, SimError, Trace,
@@ -60,10 +62,23 @@ impl PsConfig {
     }
 }
 
+/// Final output of one node: cover membership plus which of its two
+/// double-cover roles got matched — the witness from which the half-matching
+/// dual packing (and with it a machine-checkable 4·Σy certificate) is built.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PsOutput {
+    /// Whether the node joined the cover (either role matched).
+    pub in_cover: bool,
+    /// Port on which white(v) was accepted, if any.
+    pub white_matched: Option<usize>,
+    /// Port whose proposal black(v) accepted, if any.
+    pub black_matched: Option<usize>,
+}
+
 impl PnAlgorithm for PsNode {
     type Msg = PsMsg;
     type Input = ();
-    type Output = bool; // cover membership
+    type Output = PsOutput;
     type Config = PsConfig;
 
     fn init(cfg: &PsConfig, degree: usize, _input: &()) -> Self {
@@ -89,7 +104,7 @@ impl PnAlgorithm for PsNode {
         }
     }
 
-    fn receive(&mut self, cfg: &PsConfig, round: u64, incoming: &[&PsMsg]) -> Option<bool> {
+    fn receive(&mut self, cfg: &PsConfig, round: u64, incoming: &[&PsMsg]) -> Option<PsOutput> {
         if round % 2 == 1 {
             // Black role: accept the minimum-port proposal if unmatched.
             if self.black_matched.is_none() {
@@ -110,8 +125,11 @@ impl PnAlgorithm for PsNode {
             }
             self.pending_accept = None;
         }
-        (round == cfg.total_rounds())
-            .then(|| self.white_matched.is_some() || self.black_matched.is_some())
+        (round == cfg.total_rounds()).then(|| PsOutput {
+            in_cover: self.white_matched.is_some() || self.black_matched.is_some(),
+            white_matched: self.white_matched,
+            black_matched: self.black_matched,
+        })
     }
 }
 
@@ -120,8 +138,30 @@ impl PnAlgorithm for PsNode {
 pub struct PsRun {
     /// Cover membership by node id.
     pub cover: Vec<bool>,
+    /// Per-node role outcomes (feeds [`half_matching_packing`]).
+    pub roles: Vec<PsOutput>,
     /// Engine instrumentation (always 2Δ rounds).
     pub trace: Trace,
+}
+
+/// Folds the matched double-cover roles into an edge packing over G: each
+/// matched white(u)↔black(v) pair puts `1/2` on edge `{u,v}`. A node's two
+/// roles are each matched at most once, so its load is at most `2·(1/2) = 1`
+/// — dual-feasible for **unit** weights — while every covered node accounts
+/// for at least one of the `2·Σy` matched role slots, giving the checkable
+/// bound `|C| ≤ 4·Σy` (the true guarantee, `|C| ≤ 3·OPT`, is combinatorial
+/// and cross-checked against the exact solver in tests instead).
+pub fn half_matching_packing<V: PackingValue>(g: &Graph, roles: &[PsOutput]) -> EdgePacking<V> {
+    let half = V::one().div(&V::from_u64(2));
+    let mut y = vec![V::zero(); g.m()];
+    for (v, out) in roles.iter().enumerate() {
+        // Count each pair once, from its white side.
+        if let Some(p) = out.white_matched {
+            let e = g.edge_of(g.arc(v, p));
+            y[e] = y[e].add(&half);
+        }
+    }
+    EdgePacking { y }
 }
 
 /// Runs the Polishchuk–Suomela 3-approximation (unweighted).
@@ -150,7 +190,8 @@ pub fn run_ps3_scratch(
         EngineOptions::default(),
         scratch,
     )?;
-    Ok(PsRun { cover: res.outputs, trace: res.trace })
+    let cover = res.outputs.iter().map(|o| o.in_cover).collect();
+    Ok(PsRun { cover, roles: res.outputs, trace: res.trace })
 }
 
 #[cfg(test)]
@@ -167,6 +208,14 @@ mod tests {
         let size = run.cover.iter().filter(|&&b| b).count() as u64;
         assert!(size <= 3 * opt, "|C| = {size} > 3·OPT = {}", 3 * opt);
         assert_eq!(run.trace.rounds, 2 * g.max_degree().max(1) as u64);
+        // The half-matching dual certifies |C| ≤ 4·Σy machine-checkably.
+        let packing = half_matching_packing::<anonet_bigmath::BigRat>(g, &run.roles);
+        let unit = vec![1u64; g.n()];
+        let cert = anonet_core::certify::certify_vertex_cover_rational(
+            g, &unit, &packing, &run.cover, 4, 1,
+        )
+        .expect("half-matching certificate must verify");
+        assert_eq!(cert.cover_weight, size);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use anonet_bench::{halting_inputs, HaltingBcastGossip, HaltingGossip};
 use anonet_gen::{family, WeightSpec};
 use anonet_runtime::{run_async_pn, DelayModel, NetworkConfig};
 use anonet_service::loadgen::{drive, synthesize, DriveConfig, FamilyKind, LoopMode, WorkloadSpec};
-use anonet_service::{Client, ConnModel, Problem, Server, ServiceConfig};
+use anonet_service::{Client, ConnModel, Server, ServiceConfig, SolverId};
 use anonet_sim::{
     run_engine_observed, run_pn, BatchRunner, BcastEngine, EngineOptions, EngineScratch, Graph,
     Job, NoopObserver, PnEngine, PortNumbering, RoundObserver, RoundStats,
@@ -333,7 +333,7 @@ fn main() {
         )
         .expect("bind loopback");
         let spec = WorkloadSpec {
-            problem: Problem::VcPn,
+            solver: SolverId::VC_PN,
             family: FamilyKind::Regular,
             n: 48,
             degree: 4,
@@ -356,7 +356,7 @@ fn main() {
         for (name, requests, no_cache) in
             [("svc_vc_pn_x32_cold", 32usize, true), ("svc_vc_pn_x32_r4_hot", 128, false)]
         {
-            let report = drive(Problem::VcPn, &blobs, &mk(requests, no_cache)).expect("drive");
+            let report = drive(SolverId::VC_PN, &blobs, &mk(requests, no_cache)).expect("drive");
             assert_eq!(report.ok, requests as u64, "every request must succeed");
             assert_eq!(report.certified_instances, report.solved_instances);
             svc_samples.push(SvcSample {
@@ -428,7 +428,7 @@ fn main() {
                 .map_or(usize::MAX, |soft| soft.saturating_sub(256) / 2)
         };
         let spec = WorkloadSpec {
-            problem: Problem::VcPn,
+            solver: SolverId::VC_PN,
             family: FamilyKind::Regular,
             n: 48,
             degree: 4,
@@ -465,7 +465,7 @@ fn main() {
                 connect_timeout: Duration::from_secs(10),
                 conns,
             };
-            let report = drive(Problem::VcPn, &blobs, &cfg).expect("conns drive");
+            let report = drive(SolverId::VC_PN, &blobs, &cfg).expect("conns drive");
             assert_eq!(report.errors, 0, "{name}: {} errored requests", report.errors);
             assert_eq!(report.ok, conns as u64, "{name}: every request must be solved");
             assert_eq!(

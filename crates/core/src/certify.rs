@@ -96,6 +96,46 @@ pub fn certify_vertex_cover<V: PackingValue>(
     Ok(Certificate { cover_weight, dual_value: dual, factor: 2 })
 }
 
+/// Verifies a vertex-cover run against an arbitrary **rational** factor
+/// `num/den` and issues the certificate with the factor pre-scaled to an
+/// integer: the returned certificate carries `factor = num` and
+/// `dual_value = Σy/den`, so the standard integer-factor bound
+/// `w(C) ≤ factor·dual` re-checked by clients is *exactly* the rational
+/// bound `w(C) ≤ (num/den)·Σy` — no wire change needed. Since
+/// `Σy/den ≤ Σy ≤ OPT`, the scaled dual is still a valid lower bound.
+///
+/// Unlike [`certify_vertex_cover`], neither maximality nor
+/// cover-equals-saturated-set is required: portfolio solvers such as the
+/// (2+ε) primal–dual family stop at (1−ε)-saturation and cover the frozen
+/// set, which is sound but fails both §3-specific checks. What *is*
+/// verified — dual feasibility, cover validity, and the exact ratio
+/// inequality `den·w(C) ≤ num·Σy` — is everything the Bar-Yehuda–Even
+/// argument needs.
+pub fn certify_vertex_cover_rational<V: PackingValue>(
+    g: &Graph,
+    weights: &[u64],
+    packing: &EdgePacking<V>,
+    cover: &[bool],
+    factor_num: u64,
+    factor_den: u64,
+) -> Result<Certificate<V>, CertifyError> {
+    assert!(factor_den >= 1, "factor denominator must be positive");
+    if !packing.is_feasible(g, weights) {
+        return Err(CertifyError::Infeasible);
+    }
+    if cover.len() != g.n() || !g.edge_iter().all(|(_, u, v)| cover[u] || cover[v]) {
+        return Err(CertifyError::NotACover);
+    }
+    let cover_weight: u64 = (0..g.n()).filter(|&v| cover[v]).map(|v| weights[v]).sum();
+    let dual = packing.dual_value();
+    let lhs = V::from_u64(cover_weight).mul(&V::from_u64(factor_den));
+    if lhs > dual.mul(&V::from_u64(factor_num)) {
+        return Err(CertifyError::RatioViolated);
+    }
+    let scaled = dual.div(&V::from_u64(factor_den));
+    Ok(Certificate { cover_weight, dual_value: scaled, factor: factor_num })
+}
+
 /// Verifies every §4 guarantee of a set-cover run and issues the
 /// f-approximation certificate.
 pub fn certify_set_cover<V: PackingValue>(
@@ -172,6 +212,50 @@ mod tests {
         assert_eq!(
             certify_vertex_cover(&g, &w, &packing, &[true, true]).unwrap_err(),
             CertifyError::CoverMismatch
+        );
+    }
+
+    #[test]
+    fn rational_factor_certificate_scales_the_dual() {
+        // Path 0-1-2, y = (1/3, 1/3): feasible, NOT maximal, cover = {1}.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let w = [1u64, 1, 1];
+        let third = BigRat::from_frac(1, 3);
+        let packing = EdgePacking { y: vec![third.clone(), third] };
+        let cover = vec![false, true, false];
+        // The §3 certifier rejects this run outright (not maximal) …
+        assert_eq!(
+            certify_vertex_cover(&g, &w, &packing, &cover).unwrap_err(),
+            CertifyError::NotMaximal
+        );
+        // … but the rational certifier accepts it at factor 3/2:
+        // w(C) = 1 ≤ (3/2)·(2/3) = 1, tight.
+        let cert = certify_vertex_cover_rational(&g, &w, &packing, &cover, 3, 2).unwrap();
+        assert_eq!(cert.cover_weight, 1);
+        assert_eq!(cert.factor, 3);
+        assert_eq!(cert.dual_value, BigRat::from_frac(1, 3)); // Σy/den = (2/3)/2
+                                                              // The re-checked bound w ≤ factor·dual holds with equality.
+        assert!(BigRat::from_u64(1) <= cert.dual_value.mul(&BigRat::from_u64(3)));
+        // Factor 4/3 is violated exactly: (4/3)·(2/3) = 8/9 < 1.
+        assert_eq!(
+            certify_vertex_cover_rational(&g, &w, &packing, &cover, 4, 3).unwrap_err(),
+            CertifyError::RatioViolated
+        );
+    }
+
+    #[test]
+    fn rational_factor_still_rejects_bad_runs() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let w = [1u64, 5];
+        let over = EdgePacking { y: vec![BigRat::from_u64(2)] };
+        assert_eq!(
+            certify_vertex_cover_rational(&g, &w, &over, &[true, false], 2, 1).unwrap_err(),
+            CertifyError::Infeasible
+        );
+        let ok = EdgePacking { y: vec![BigRat::one()] };
+        assert_eq!(
+            certify_vertex_cover_rational(&g, &w, &ok, &[false, false], 2, 1).unwrap_err(),
+            CertifyError::NotACover
         );
     }
 

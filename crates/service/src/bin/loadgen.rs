@@ -4,26 +4,37 @@
 //! single verified round-trip with `--once`.
 //!
 //! ```sh
-//! loadgen --addr 127.0.0.1:7411 --problem vc-pn --family regular \
+//! loadgen --addr 127.0.0.1:7411 --solver vc-pn --family regular \
 //!         --n 64 --degree 4 --instances 16 --requests 128 \
 //!         --concurrency 4 --assert-certified
+//! loadgen --addr 127.0.0.1:7411 --portfolio --requests 60 --assert-certified
 //! loadgen --addr 127.0.0.1:7411 --once --assert-certified
 //! loadgen --addr 127.0.0.1:7411 --stats
 //! ```
 
 use anonet_gen::WeightSpec;
-use anonet_service::loadgen::{drive, synthesize, DriveConfig, FamilyKind, LoopMode, WorkloadSpec};
-use anonet_service::{Client, InstanceResult, Problem, SolveRequest, SolveResponse};
+use anonet_service::loadgen::{
+    drive, drive_mixed, synthesize, DriveConfig, FamilyKind, LoopMode, WorkloadSpec,
+};
+use anonet_service::portfolio;
+use anonet_service::{Client, InstanceResult, SolveRequest, SolveResponse, SolverId};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen --addr HOST:PORT [--problem vc-pn|vc-bcast|set-cover]\n\
+        "usage: loadgen --addr HOST:PORT [--solver ID|NAME] [--portfolio]\n\
          \x20             [--family cycle|regular|gnp|tree] [--n N] [--degree D]\n\
          \x20             [--instances K] [--requests N] [--batch B] [--concurrency C]\n\
          \x20             [--conns N] [--open RATE] [--weights unit|uniform:W|loguniform:W]\n\
          \x20             [--seed S] [--no-cache] [--assert-certified] [--once] [--stats]\n\
-         \x20             [--metrics-json] [--server-metrics] [--debug-dump]"
+         \x20             [--metrics-json] [--server-metrics] [--debug-dump]\n\
+         \n\
+         solvers: {}",
+        portfolio::solvers()
+            .iter()
+            .map(|d| format!("{} ({})", d.name, d.id.to_u8()))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     std::process::exit(2)
 }
@@ -46,6 +57,16 @@ fn parse<T: std::str::FromStr>(flag: &str, args: &mut impl Iterator<Item = Strin
     })
 }
 
+/// Resolves a solver by wire id (`"3"`) or registry name (`"vc-ps3"`,
+/// `"vc_ps3"`).
+fn parse_solver(flag: &str, s: &str) -> SolverId {
+    let by_id = s.parse::<u8>().ok().and_then(SolverId::from_u8);
+    by_id.or_else(|| portfolio::by_name(s).map(|d| d.id)).unwrap_or_else(|| {
+        eprintln!("invalid value for {flag}: '{s}' (unknown solver)");
+        usage()
+    })
+}
+
 fn parse_weights(flag: &str, s: &str) -> WeightSpec {
     let bad = || -> ! {
         eprintln!("invalid value for {flag}: '{s}'");
@@ -61,7 +82,7 @@ fn parse_weights(flag: &str, s: &str) -> WeightSpec {
 
 fn main() {
     let mut spec = WorkloadSpec {
-        problem: Problem::VcPn,
+        solver: SolverId::VC_PN,
         family: FamilyKind::Regular,
         n: 64,
         degree: 4,
@@ -72,22 +93,15 @@ fn main() {
     let mut cfg = DriveConfig::default();
     let (mut once, mut stats_only, mut assert_certified) = (false, false, false);
     let (mut metrics_json, mut server_metrics, mut debug_dump) = (false, false, false);
+    let mut mixed_portfolio = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let f = flag.as_str();
         match f {
             "--addr" => cfg.addr = val(f, &mut args),
-            "--problem" => {
-                spec.problem = match val(f, &mut args).as_str() {
-                    "vc-pn" => Problem::VcPn,
-                    "vc-bcast" => Problem::VcBcast,
-                    "set-cover" => Problem::SetCover,
-                    other => {
-                        eprintln!("invalid value for {f}: '{other}'");
-                        usage()
-                    }
-                }
-            }
+            // `--problem` is the pre-portfolio spelling; kept as an alias.
+            "--solver" | "--problem" => spec.solver = parse_solver(f, &val(f, &mut args)),
+            "--portfolio" => mixed_portfolio = true,
             "--family" => {
                 spec.family = match val(f, &mut args).as_str() {
                     "cycle" => FamilyKind::Cycle,
@@ -151,14 +165,26 @@ fn main() {
         return;
     }
 
-    let blobs = synthesize(&spec);
-    if once {
-        run_once(&cfg, spec.problem, &blobs[0], assert_certified);
-        return;
-    }
-
-    let report =
-        drive(spec.problem, &blobs, &cfg).unwrap_or_else(|e| fail(&format!("loadgen drive: {e}")));
+    let report = if mixed_portfolio {
+        // Mixed-portfolio preset: one synthesized pool per registered
+        // solver, requests round-robining over the whole registry so cache
+        // keys and per-solver telemetry all get exercised in one run.
+        let pools: Vec<(SolverId, Vec<Vec<u8>>)> = portfolio::solvers()
+            .iter()
+            .map(|d| {
+                let per = WorkloadSpec { solver: d.id, ..spec };
+                (d.id, synthesize(&per))
+            })
+            .collect();
+        drive_mixed(&pools, &cfg).unwrap_or_else(|e| fail(&format!("loadgen drive: {e}")))
+    } else {
+        let blobs = synthesize(&spec);
+        if once {
+            run_once(&cfg, spec.solver, &blobs[0], assert_certified);
+            return;
+        }
+        drive(spec.solver, &blobs, &cfg).unwrap_or_else(|e| fail(&format!("loadgen drive: {e}")))
+    };
     if metrics_json {
         println!("{}", report.metrics_snapshot().to_json());
     } else {
@@ -178,10 +204,10 @@ fn main() {
     }
 }
 
-fn run_once(cfg: &DriveConfig, problem: Problem, blob: &[u8], assert_certified: bool) {
+fn run_once(cfg: &DriveConfig, solver: SolverId, blob: &[u8], assert_certified: bool) {
     let mut c = Client::connect_retry(cfg.addr.as_str(), Duration::from_secs(5))
         .unwrap_or_else(|e| fail(&format!("connect {}: {e}", cfg.addr)));
-    let mut req = SolveRequest::new(problem, vec![blob.to_vec()]);
+    let mut req = SolveRequest::new(solver, vec![blob.to_vec()]);
     if cfg.no_cache {
         req = req.no_cache();
     }

@@ -1,8 +1,9 @@
 //! Client library: a blocking TCP connection speaking the service's wire
 //! protocol, plus request-building conveniences over `anonet_core::canon`.
 
+use crate::portfolio::{InstanceKind, SolverId};
 use crate::wire::{
-    self, Problem, SolveRequest, SolveResponse, StatsSnapshot, MSG_DEBUG_DUMP_RESPONSE,
+    self, SolveRequest, SolveResponse, StatsSnapshot, MSG_DEBUG_DUMP_RESPONSE,
     MSG_METRICS_RESPONSE, MSG_SOLVE_RESPONSE, MSG_STATS_RESPONSE,
 };
 use anonet_core::canon::{self, ByteReader};
@@ -92,15 +93,16 @@ impl Client {
     }
 }
 
-/// Builds a VC request (for [`Problem::VcPn`] or [`Problem::VcBcast`]) from
-/// borrowed instances, canonically encoding each.
-pub fn vc_request(problem: Problem, instances: &[VcInstance<'_>]) -> SolveRequest {
-    assert!(matches!(problem, Problem::VcPn | Problem::VcBcast), "use sc_request for set cover");
+/// Builds a VC request for any registered vertex-cover solver
+/// (e.g. [`SolverId::VC_PN`], [`SolverId::VC_PS3`]) from borrowed
+/// instances, canonically encoding each.
+pub fn vc_request(solver: SolverId, instances: &[VcInstance<'_>]) -> SolveRequest {
+    assert!(solver.descriptor().input == InstanceKind::VertexCover, "use sc_request for set cover");
     let blobs = instances
         .iter()
         .map(|i| canon::encode_vc(i.graph, i.weights, i.delta, i.max_weight))
         .collect();
-    SolveRequest::new(problem, blobs)
+    SolveRequest::new(solver, blobs)
 }
 
 /// Builds a set-cover request from borrowed instances (bounds derived from
@@ -112,5 +114,5 @@ pub fn sc_request(instances: &[&SetCoverInstance]) -> SolveRequest {
             canon::encode_sc(inst, inst.f().max(1), inst.k().max(1), inst.max_weight().max(1))
         })
         .collect();
-    SolveRequest::new(Problem::SetCover, blobs)
+    SolveRequest::new(SolverId::SET_COVER, blobs)
 }

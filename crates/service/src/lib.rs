@@ -8,17 +8,23 @@
 //! The pieces:
 //!
 //! * [`wire`] — the length-prefixed, versioned binary protocol (full byte
-//!   layout in the module docs). Requests name a problem
-//!   (VC-PN §3 / VC-broadcast §5 / set cover §4), an execution mode (sync
-//!   engine or an `anonet-runtime` scenario), and carry one or more
-//!   canonical instance blobs from `anonet_core::canon`; responses carry
-//!   the cover assignment, the exact Bar-Yehuda–Even [`Certificate`]
-//!   (re-checkable at the edge: `w(C) ≤ factor · Σy`), and engine/runtime
-//!   trace statistics — or a structured error;
+//!   layout in the module docs). Requests name a solver from the portfolio
+//!   registry by stable id, an execution mode (sync engine or an
+//!   `anonet-runtime` scenario), and carry one or more canonical instance
+//!   blobs from `anonet_core::canon`; responses carry the cover assignment,
+//!   the exact Bar-Yehuda–Even [`Certificate`] (re-checkable at the edge:
+//!   `w(C) ≤ factor · Σy`), and engine/runtime trace statistics — or a
+//!   structured error;
+//! * [`portfolio`] — the solver registry: one [`SolverDescriptor`] per
+//!   servable algorithm (the paper's §3/§4/§5 solvers plus the related-work
+//!   baselines PS3, KVY-(2+ε) and BCHS-(2+ε)), consumed by wire decode,
+//!   server dispatch, telemetry registration, the load generator, and the
+//!   bench bins — registering a solver is a one-row change;
 //! * [`server`] — accept loop, bounded job queue with backpressure (a full
 //!   queue answers `Busy` + retry-after instead of blocking), and a worker
-//!   pool that funnels each request's instances through the
-//!   `anonet_sim::batch::BatchRunner`-backed `_many` entry points, so
+//!   pool that dispatches each request to its solver's registry entry point
+//!   (the legacy solvers funnel through the
+//!   `anonet_sim::batch::BatchRunner`-backed `_many` entry points), so
 //!   responses are bit-identical to direct batch runs;
 //! * [`cache`] — an LRU result cache keyed by the canonical instance + mode
 //!   bytes, with hit/miss/eviction counters surfaced through the stats
@@ -45,7 +51,7 @@
 //! let srv = server::Server::start("127.0.0.1:0", server::ServiceConfig::default()).unwrap();
 //! let g = family::petersen();
 //! let w = vec![3u64; 10];
-//! let req = client::vc_request(wire::Problem::VcPn, &[VcInstance::new(&g, &w)]);
+//! let req = client::vc_request(anonet_service::SolverId::VC_PN, &[VcInstance::new(&g, &w)]);
 //! let mut c = client::Client::connect(srv.local_addr()).unwrap();
 //! match c.solve(&req).unwrap() {
 //!     wire::SolveResponse::Ok(results) => println!("{results:?}"),
@@ -62,14 +68,16 @@
 pub mod cache;
 pub mod client;
 pub mod loadgen;
+pub mod portfolio;
 mod reactor;
 pub mod server;
 pub mod telemetry;
 pub mod wire;
 
 pub use client::Client;
+pub use portfolio::{solvers, InstanceKind, SolverDescriptor, SolverId, SolverModel};
 pub use server::{ConnModel, Server, ServiceConfig};
 pub use wire::{
-    ExecMode, InstanceResult, Problem, Scenario, SolveRequest, SolveResponse, Solved,
-    StatsSnapshot, WireTrace,
+    ExecMode, InstanceResult, Scenario, SolveRequest, SolveResponse, Solved, StatsSnapshot,
+    WireTrace,
 };

@@ -14,7 +14,8 @@
 //! choosing `requests > instances` exercises the server's result cache.
 
 use crate::client::Client;
-use crate::wire::{InstanceResult, Problem, Scenario, SolveRequest, SolveResponse};
+use crate::portfolio::{InstanceKind, SolverId};
+use crate::wire::{InstanceResult, Scenario, SolveRequest, SolveResponse};
 use anonet_core::canon;
 use anonet_gen::{family, setcover, WeightSpec};
 use anonet_obs::{Histo, HistoSnapshot, MetricValue, Snapshot};
@@ -39,8 +40,11 @@ pub enum FamilyKind {
 /// What instances to synthesize.
 #[derive(Clone, Copy, Debug)]
 pub struct WorkloadSpec {
-    /// Problem kind for every request.
-    pub problem: Problem,
+    /// Registered solver every request goes to. Its descriptor's
+    /// [`InstanceKind`] picks the encoding, and an unweighted solver forces
+    /// unit weights regardless of [`WorkloadSpec::weights`] — the generator
+    /// must synthesize instances the solver's capability flags accept.
+    pub solver: SolverId,
     /// Graph family (ignored for set cover, which uses `random_bounded`).
     pub family: FamilyKind,
     /// Nodes per instance (elements, for set cover).
@@ -57,11 +61,12 @@ pub struct WorkloadSpec {
 
 /// Synthesizes the pool of canonical instance blobs for `spec`.
 pub fn synthesize(spec: &WorkloadSpec) -> Vec<Vec<u8>> {
+    let desc = spec.solver.descriptor();
     (0..spec.instances)
         .map(|i| {
             let seed = spec.seed.wrapping_add(i as u64);
-            match spec.problem {
-                Problem::VcPn | Problem::VcBcast => {
+            match desc.input {
+                InstanceKind::VertexCover => {
                     let n = spec.n.max(2);
                     let g = match spec.family {
                         FamilyKind::Cycle => family::cycle(n.max(3)),
@@ -80,12 +85,14 @@ pub fn synthesize(spec: &WorkloadSpec) -> Vec<Vec<u8>> {
                         }
                         FamilyKind::Tree => family::random_tree(n, spec.degree.max(2), seed),
                     };
-                    let w = spec.weights.draw_many(g.n(), seed ^ 0xC0DE);
+                    let weights =
+                        if desc.weighted { spec.weights } else { anonet_gen::WeightSpec::Unit };
+                    let w = weights.draw_many(g.n(), seed ^ 0xC0DE);
                     let delta = g.max_degree().max(1);
-                    let max_w = spec.weights.max_weight().max(1);
+                    let max_w = weights.max_weight().max(1);
                     canon::encode_vc(&g, &w, delta, max_w)
                 }
-                Problem::SetCover => {
+                InstanceKind::SetCover => {
                     let f = 2;
                     let k = spec.degree.max(2);
                     let n_subsets = spec.n.div_ceil(k).max(1) * 2;
@@ -275,13 +282,23 @@ impl Report {
 
 /// Drives `cfg.requests` requests built from the blob pool against the
 /// server, returning the aggregate report.
-pub fn drive(problem: Problem, blobs: &[Vec<u8>], cfg: &DriveConfig) -> io::Result<Report> {
-    assert!(!blobs.is_empty(), "empty instance pool");
+pub fn drive(solver: SolverId, blobs: &[Vec<u8>], cfg: &DriveConfig) -> io::Result<Report> {
+    drive_mixed(&[(solver, blobs.to_vec())], cfg)
+}
+
+/// Drives a **mixed-portfolio** workload: request `i` round-robins the
+/// per-solver pools (solver `pools[i % pools.len()]`, instances batched
+/// from that solver's own blob pool), so one run exercises several
+/// registered solvers' dispatch paths, per-solver telemetry counters, and
+/// the solver byte in the result-cache key.
+pub fn drive_mixed(pools: &[(SolverId, Vec<Vec<u8>>)], cfg: &DriveConfig) -> io::Result<Report> {
+    assert!(!pools.is_empty(), "empty solver pool list");
+    assert!(pools.iter().all(|(_, blobs)| !blobs.is_empty()), "empty instance pool");
     if let LoopMode::Open { rate } = cfg.mode {
         assert!(rate.is_finite() && rate > 0.0, "open-loop rate must be positive");
     }
     if cfg.conns > 0 {
-        return drive_conns(problem, blobs, cfg);
+        return drive_conns(pools, cfg);
     }
     let next = AtomicUsize::new(0);
     let agg: Mutex<Report> = Mutex::new(Report::default());
@@ -302,11 +319,14 @@ pub fn drive(problem: Problem, blobs: &[Vec<u8>], cfg: &DriveConfig) -> io::Resu
                         if i >= cfg.requests {
                             break;
                         }
-                        // Batch `cfg.batch` consecutive pool entries.
+                        // Round-robin the solver pools, then batch
+                        // `cfg.batch` consecutive entries of that solver's
+                        // own pool (a request carries exactly one solver).
+                        let (solver, blobs) = &pools[i % pools.len()];
                         let instances: Vec<Vec<u8>> = (0..cfg.batch)
                             .map(|j| blobs[(i * cfg.batch + j) % blobs.len()].clone())
                             .collect();
-                        let mut req = SolveRequest::new(problem, instances);
+                        let mut req = SolveRequest::new(*solver, instances);
                         if let Some((sc, seed)) = cfg.scenario {
                             req = req.with_scenario(sc, seed);
                         }
@@ -428,7 +448,7 @@ fn connect_raw(addr: &str, timeout: Duration) -> io::Result<std::net::TcpStream>
 /// request (no coordinated omission on the client's own queue). Every
 /// connection issues at least one request: asking for 10k conns but fewer
 /// requests silently means one request per connection.
-fn drive_conns(problem: Problem, blobs: &[Vec<u8>], cfg: &DriveConfig) -> io::Result<Report> {
+fn drive_conns(pools: &[(SolverId, Vec<Vec<u8>>)], cfg: &DriveConfig) -> io::Result<Report> {
     use anonet_net::epoll::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
     use anonet_net::{FrameFsm, WriteQueue};
     use std::collections::VecDeque;
@@ -438,12 +458,16 @@ fn drive_conns(problem: Problem, blobs: &[Vec<u8>], cfg: &DriveConfig) -> io::Re
     let requests = cfg.requests.max(conns);
 
     // Pre-encode the request payloads the pool cycles through — encoding is
-    // identical to the threaded driver's per-request construction.
-    let payloads: Vec<Vec<u8>> = (0..blobs.len())
+    // identical to the threaded driver's per-request construction: request
+    // `i` round-robins the solver pools and batches within its own pool.
+    // Cycle length covers every (solver, pool offset) combination.
+    let longest = pools.iter().map(|(_, blobs)| blobs.len()).max().unwrap_or(1);
+    let payloads: Vec<Vec<u8>> = (0..longest * pools.len())
         .map(|i| {
+            let (solver, blobs) = &pools[i % pools.len()];
             let instances: Vec<Vec<u8>> =
                 (0..cfg.batch).map(|j| blobs[(i * cfg.batch + j) % blobs.len()].clone()).collect();
-            let mut req = SolveRequest::new(problem, instances);
+            let mut req = SolveRequest::new(*solver, instances);
             if let Some((sc, seed)) = cfg.scenario {
                 req = req.with_scenario(sc, seed);
             }
@@ -642,7 +666,7 @@ mod tests {
         // combination decodable instead.
         for (n, degree) in [(3, 1), (1, 1), (2, 5), (5, 3), (4, 0)] {
             let spec = WorkloadSpec {
-                problem: Problem::VcPn,
+                solver: SolverId::VC_PN,
                 family: FamilyKind::Regular,
                 n,
                 degree,
@@ -660,7 +684,7 @@ mod tests {
     fn synthesize_covers_every_family_and_problem() {
         for family in [FamilyKind::Cycle, FamilyKind::Regular, FamilyKind::Gnp, FamilyKind::Tree] {
             let spec = WorkloadSpec {
-                problem: Problem::VcPn,
+                solver: SolverId::VC_PN,
                 family,
                 n: 12,
                 degree: 3,
@@ -673,7 +697,7 @@ mod tests {
             }
         }
         let spec = WorkloadSpec {
-            problem: Problem::SetCover,
+            solver: SolverId::SET_COVER,
             family: FamilyKind::Cycle,
             n: 10,
             degree: 3,

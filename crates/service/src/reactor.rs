@@ -22,10 +22,10 @@
 //! `read_us`/`write_us` are not attributable and stay 0; queue/solve/encode
 //! timings are measured by the worker exactly as before.
 
-use crate::server::{problem_label, NetHandles, Reply, Shared};
+use crate::server::{NetHandles, Reply, Shared};
 use crate::telemetry::{outcome, RequestRecord, Telemetry};
 use crate::wire::{
-    self, SolveResponse, MSG_DEBUG_DUMP_REQUEST, MSG_METRICS_REQUEST, MSG_SOLVE_REQUEST,
+    self, SolveResponse, WireError, MSG_DEBUG_DUMP_REQUEST, MSG_METRICS_REQUEST, MSG_SOLVE_REQUEST,
     MSG_STATS_REQUEST,
 };
 use anonet_net::{Action, CompletionSender, Handler, NetMetrics, Reactor, ReactorConfig, Token};
@@ -91,7 +91,7 @@ impl Handler for ServiceHandler {
                 match wire::decode_solve_request(&mut r) {
                     Ok(req) => {
                         rec.decode_us = sw.lap_us();
-                        rec.problem = problem_label(req.problem);
+                        rec.problem = req.solver.name();
                         rec.instances = req.instances.len() as u32;
                         let rr =
                             ReactorReply { token, seq, rec, started: sw, done: self.done.clone() };
@@ -111,6 +111,16 @@ impl Handler for ServiceHandler {
                                 busy
                             }
                         }
+                    }
+                    // Mirrors `handle_conn`: unknown solver id is a
+                    // capability gap, not a protocol violation — structured
+                    // `Unsupported`, no malformed strike, identical string.
+                    Err(WireError::UnknownSolver(id)) => {
+                        rec.decode_us = sw.lap_us();
+                        rec.outcome = outcome::UNSUPPORTED;
+                        wire::encode_solve_response(&SolveResponse::Unsupported(format!(
+                            "unknown solver id {id}"
+                        )))
                     }
                     Err(e) => {
                         rec.decode_us = sw.lap_us();

@@ -8,9 +8,10 @@
 //! the job. If the queue is at capacity the client immediately receives a
 //! `Busy` response with a retry-after hint — the server never blocks a
 //! client on a full queue. Otherwise the job waits for a worker, which
-//! probes the result cache per instance (key = problem + mode + canonical
-//! blob), batch-executes the misses through the `_many` entry points of
-//! `anonet-core` (which funnel through `anonet_sim::batch::BatchRunner`),
+//! probes the result cache per instance (key = solver + mode + canonical
+//! blob), dispatches the misses to the requested solver's registry entry
+//! point ([`crate::portfolio`] — the legacy solvers funnel through the
+//! `_many` entry points of `anonet-core` and `anonet_sim::batch::BatchRunner`),
 //! certifies every result, caches the encoded bodies, and replies. Responses
 //! are therefore **bit-identical to direct batch-runner runs** of the same
 //! instances — the loopback integration test asserts it.
@@ -24,25 +25,15 @@
 //! carries the `AsyncTrace` summary instead of the engine `Trace`.
 
 use crate::cache::LruCache;
+use crate::portfolio::{self, InstanceOutcome};
 use crate::telemetry::{outcome, RequestRecord, Telemetry};
 use crate::wire::{
-    self, ExecMode, Problem, Scenario, SolveRequest, SolveResponse, StatsSnapshot, WireTrace,
-    FLAG_NO_CACHE, MSG_DEBUG_DUMP_REQUEST, MSG_METRICS_REQUEST, MSG_SOLVE_REQUEST,
-    MSG_STATS_REQUEST,
+    self, SolveRequest, SolveResponse, StatsSnapshot, WireError, FLAG_NO_CACHE,
+    MSG_DEBUG_DUMP_REQUEST, MSG_METRICS_REQUEST, MSG_SOLVE_REQUEST, MSG_STATS_REQUEST,
 };
-use anonet_bigmath::{AutoRat, BigRat};
-use anonet_core::canon::{self, ByteReader};
-use anonet_core::certify::{certify_set_cover, certify_vertex_cover, Certificate};
-use anonet_core::sc_bcast::{run_fractional_packing_many_with, ScInstance};
-use anonet_core::vc_bcast::run_vc_broadcast_many;
-use anonet_core::vc_pn::{
-    fold_vc_outputs, run_edge_packing_many, EdgePackingNode, VcConfig, VcInstance,
-};
+use anonet_core::canon::ByteReader;
 use anonet_obs::clock::{unix_millis, Stopwatch};
 use anonet_obs::MetricValue;
-use anonet_runtime::{run_async_pn, scenario, AsyncTrace, NetworkConfig};
-use anonet_sim::pool as sim_pool;
-use anonet_sim::Trace;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -306,54 +297,6 @@ impl Shared {
     }
 }
 
-/// Flight-recorder label for a problem kind.
-pub(crate) fn problem_label(p: Problem) -> &'static str {
-    match p {
-        Problem::VcPn => "vc_pn",
-        Problem::VcBcast => "vc_bcast",
-        Problem::SetCover => "set_cover",
-    }
-}
-
-fn sync_trace(t: &Trace) -> WireTrace {
-    WireTrace {
-        is_async: false,
-        rounds: t.rounds,
-        messages: t.messages,
-        bits: t.total_bits,
-        max_message_bits: t.max_message_bits,
-        ..WireTrace::default()
-    }
-}
-
-fn async_trace(t: &AsyncTrace) -> WireTrace {
-    WireTrace {
-        is_async: true,
-        rounds: t.rounds,
-        messages: t.messages,
-        bits: t.payload_bits,
-        max_message_bits: t.max_message_bits,
-        events: t.events,
-        virtual_time: t.virtual_time,
-        retransmissions: t.retransmissions,
-        dropped_data: t.dropped_data,
-    }
-}
-
-fn scenario_config(s: Scenario, seed: u64) -> NetworkConfig {
-    match s {
-        Scenario::Ideal => scenario::ideal(),
-        Scenario::Datacenter => scenario::datacenter(seed),
-        Scenario::Wan => scenario::wan(seed),
-        Scenario::LossyRadio => scenario::lossy_radio(seed),
-        Scenario::ChurnyRadio => scenario::churny_radio(seed),
-    }
-}
-
-/// Per-instance outcome on the server side: `(from_cache, body)` or an
-/// error message. `body` is `wire::encode_solved_body` output.
-type InstanceOutcome = Result<(bool, Vec<u8>), String>;
-
 /// Executes one request end to end, returning the response payload and
 /// filling in the worker-side phase measurements.
 fn execute(shared: &Shared, req: &SolveRequest, phases: &mut ExecPhases) -> Vec<u8> {
@@ -361,17 +304,13 @@ fn execute(shared: &Shared, req: &SolveRequest, phases: &mut ExecPhases) -> Vec<
         // lint: allow(panic-path) — deliberate test instrumentation, debug builds only, and the worker_loop catch_unwind is exactly what it exercises
         panic!("FLAG_TEST_PANIC set: deliberate worker panic (test instrumentation)");
     }
-    // Async execution is wired up for the §3 PN algorithm (whose certified
-    // ≤2·OPT guarantee survives every scenario); the broadcast-model
-    // problems stay sync-only for now.
-    if matches!(req.mode, ExecMode::Async(..)) && req.problem != Problem::VcPn {
-        return wire::encode_solve_response(&SolveResponse::Unsupported(format!(
-            "async execution supports VC-PN only, not {:?}",
-            req.problem
-        )));
+    // Modes a solver does not support (per its registry capability flags)
+    // are answered with a structured `Unsupported` before any counting.
+    if let Err(unsupported) = portfolio::mode_supported(req) {
+        return unsupported;
     }
 
-    shared.telemetry.kind_counter(req.problem).inc();
+    shared.telemetry.kind_counter(req.solver).inc();
     let mut sw = Stopwatch::start();
     let k = req.instances.len();
     let mut outcomes: Vec<Option<InstanceOutcome>> = (0..k).map(|_| None).collect();
@@ -391,7 +330,7 @@ fn execute(shared: &Shared, req: &SolveRequest, phases: &mut ExecPhases) -> Vec<
 
     let missing: Vec<usize> = (0..k).filter(|&i| outcomes[i].is_none()).collect();
     if !missing.is_empty() {
-        let computed = compute(shared, req, &missing);
+        let computed = (req.solver.descriptor().run)(shared, req, &missing);
         if use_cache {
             let mut cache = shared.lock_cache();
             for (&i, outcome) in missing.iter().zip(computed.iter()) {
@@ -420,169 +359,6 @@ fn execute(shared: &Shared, req: &SolveRequest, phases: &mut ExecPhases) -> Vec<
     let payload = wire::encode_solve_response_raw(&results);
     phases.encode_us = sw.lap_us();
     payload
-}
-
-/// Widens a fast-path certificate to the `BigRat` wire representation. The
-/// solvers run on [`AutoRat`] (fixed-width with checked promotion); the wire
-/// format and result cache stay on exact arbitrary precision.
-fn widen_cert(c: Certificate<AutoRat>) -> Certificate<BigRat> {
-    Certificate {
-        cover_weight: c.cover_weight,
-        dual_value: c.dual_value.to_bigrat(),
-        factor: c.factor,
-    }
-}
-
-/// Runs the not-cached instances `missing` (indices into `req.instances`),
-/// returning one outcome per index in order.
-fn compute(shared: &Shared, req: &SolveRequest, missing: &[usize]) -> Vec<InstanceOutcome> {
-    // `0` = auto; the `_many` entry points resolve it through the sim
-    // thread-count policy (capped at available parallelism, logged once).
-    let threads = shared.cfg.threads_per_job;
-    match req.problem {
-        Problem::VcPn => {
-            let decoded: Vec<Result<canon::OwnedVcInstance, String>> = missing
-                .iter()
-                .map(|&i| canon::decode_vc(&req.instances[i]).map_err(|e| e.to_string()))
-                .collect();
-            match req.mode {
-                ExecMode::Sync => {
-                    let good: Vec<&canon::OwnedVcInstance> =
-                        decoded.iter().filter_map(|d| d.as_ref().ok()).collect();
-                    let insts: Vec<VcInstance<'_>> = good
-                        .iter()
-                        .map(|d| {
-                            VcInstance::with_bounds(&d.graph, &d.weights, d.delta, d.max_weight)
-                        })
-                        .collect();
-                    let mut runs = run_edge_packing_many::<AutoRat>(&insts, threads).into_iter();
-                    decoded
-                        .iter()
-                        .map(|dec| {
-                            let d = dec.as_ref().map_err(|e| e.clone())?;
-                            // lint: allow(panic-path) — `runs` holds exactly one entry per Ok-decoded instance, zipped back in order
-                            let run = runs.next().expect("one run per good instance");
-                            let vc = run.map_err(|e| format!("execution failed: {e}"))?;
-                            let cert = widen_cert(
-                                certify_vertex_cover(&d.graph, &d.weights, &vc.packing, &vc.cover)
-                                    .map_err(|e| format!("certification failed: {e}"))?,
-                            );
-                            let t = sync_trace(&vc.trace);
-                            shared.telemetry.record_solve_trace(t.rounds, t.bits);
-                            Ok((false, wire::encode_solved_body(&vc.cover, &cert, &t)))
-                        })
-                        .collect()
-                }
-                ExecMode::Async(s, seed) => {
-                    let run_one = |dec: &Result<canon::OwnedVcInstance, String>| {
-                        let d = dec.as_ref().map_err(|e| e.clone())?;
-                        let cfg = VcConfig::new(d.delta, d.max_weight);
-                        let net = scenario_config(s, seed);
-                        let res = run_async_pn::<EdgePackingNode<AutoRat>>(
-                            &d.graph,
-                            &cfg,
-                            &d.weights,
-                            cfg.total_rounds(),
-                            &net,
-                        )
-                        .map_err(|e| format!("async execution failed: {e}"))?;
-                        let (cover, packing) = fold_vc_outputs(&d.graph, &res.outputs);
-                        let cert = widen_cert(
-                            certify_vertex_cover(&d.graph, &d.weights, &packing, &cover)
-                                .map_err(|e| format!("certification failed: {e}"))?,
-                        );
-                        let t = async_trace(&res.trace);
-                        shared.telemetry.record_solve_trace(t.rounds, t.bits);
-                        Ok((false, wire::encode_solved_body(&cover, &cert, &t)))
-                    };
-                    // Each instance is an independent, per-seed-deterministic
-                    // run, so fan the batch across the job's pool width like
-                    // the sync arm (which goes through the batch runner)
-                    // instead of monopolising the worker sequentially. The
-                    // pool threads persist per service worker (thread-local
-                    // `RoundPool` cached at the machine-derived width, so
-                    // varying batch sizes don't respawn it), and repeated
-                    // async requests stop paying per-request thread spawns.
-                    let width = sim_pool::clamp_width(sim_pool::resolve_threads(threads));
-                    if width <= 1 || decoded.len() <= 1 {
-                        decoded.iter().map(run_one).collect()
-                    } else {
-                        sim_pool::with_local_pool(width, |p| {
-                            p.map(decoded.iter().collect(), |_, d| run_one(d))
-                        })
-                    }
-                }
-            }
-        }
-        Problem::VcBcast => {
-            let decoded: Vec<Result<canon::OwnedVcInstance, String>> = missing
-                .iter()
-                .map(|&i| canon::decode_vc(&req.instances[i]).map_err(|e| e.to_string()))
-                .collect();
-            let good: Vec<&canon::OwnedVcInstance> =
-                decoded.iter().filter_map(|d| d.as_ref().ok()).collect();
-            let insts: Vec<VcInstance<'_>> = good
-                .iter()
-                .map(|d| VcInstance::with_bounds(&d.graph, &d.weights, d.delta, d.max_weight))
-                .collect();
-            let mut runs = run_vc_broadcast_many::<AutoRat>(&insts, threads).into_iter();
-            decoded
-                .iter()
-                .map(|dec| {
-                    let d = dec.as_ref().map_err(|e| e.clone())?;
-                    // lint: allow(panic-path) — `runs` holds exactly one entry per Ok-decoded instance, zipped back in order
-                    let run = runs.next().expect("one run per good instance");
-                    let vc = run.map_err(|e| format!("execution failed: {e}"))?;
-                    // §5 outputs do not carry the full packing; the maximality
-                    // witness is `all_saturated` (Theorem 2) and the cover +
-                    // ratio bound are checked directly.
-                    let cover_weight: u64 =
-                        (0..d.graph.n()).filter(|&v| vc.cover[v]).map(|v| d.weights[v]).sum();
-                    let covers = d.graph.edge_iter().all(|(_, u, v)| vc.cover[u] || vc.cover[v]);
-                    let cert = Certificate {
-                        cover_weight,
-                        dual_value: vc.dual_value.to_bigrat(),
-                        factor: 2,
-                    };
-                    if !vc.all_saturated || !covers || !canon::certificate_bound_holds(&cert) {
-                        return Err("certification failed: §5 invariants violated".into());
-                    }
-                    let t = sync_trace(&vc.trace);
-                    shared.telemetry.record_solve_trace(t.rounds, t.bits);
-                    Ok((false, wire::encode_solved_body(&vc.cover, &cert, &t)))
-                })
-                .collect()
-        }
-        Problem::SetCover => {
-            let decoded: Vec<Result<canon::OwnedScInstance, String>> = missing
-                .iter()
-                .map(|&i| canon::decode_sc(&req.instances[i]).map_err(|e| e.to_string()))
-                .collect();
-            let good: Vec<&canon::OwnedScInstance> =
-                decoded.iter().filter_map(|d| d.as_ref().ok()).collect();
-            let insts: Vec<ScInstance<'_>> = good
-                .iter()
-                .map(|d| ScInstance::with_bounds(&d.inst, d.f, d.k, d.max_weight))
-                .collect();
-            let mut runs = run_fractional_packing_many_with::<AutoRat>(&insts, threads).into_iter();
-            decoded
-                .iter()
-                .map(|dec| {
-                    let d = dec.as_ref().map_err(|e| e.clone())?;
-                    // lint: allow(panic-path) — `runs` holds exactly one entry per Ok-decoded instance, zipped back in order
-                    let run = runs.next().expect("one run per good instance");
-                    let sc = run.map_err(|e| format!("execution failed: {e}"))?;
-                    let cert = widen_cert(
-                        certify_set_cover(&d.inst, &sc.packing, &sc.cover)
-                            .map_err(|e| format!("certification failed: {e}"))?,
-                    );
-                    let t = sync_trace(&sc.trace);
-                    shared.telemetry.record_solve_trace(t.rounds, t.bits);
-                    Ok((false, wire::encode_solved_body(&sc.cover, &cert, &t)))
-                })
-                .collect()
-        }
-    }
 }
 
 fn worker_loop(shared: Arc<Shared>) {
@@ -688,7 +464,7 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
                 match wire::decode_solve_request(&mut r) {
                     Ok(req) => {
                         rec.decode_us = sw.lap_us();
-                        rec.problem = problem_label(req.problem);
+                        rec.problem = req.solver.name();
                         rec.instances = req.instances.len() as u32;
                         match shared.submit(req) {
                             Ok(rx) => match rx.recv() {
@@ -708,6 +484,16 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
                                 busy
                             }
                         }
+                    }
+                    // A well-formed frame naming a solver this build does not
+                    // register is a capability gap, not a protocol violation:
+                    // structured `Unsupported`, no malformed strike.
+                    Err(WireError::UnknownSolver(id)) => {
+                        rec.decode_us = sw.lap_us();
+                        rec.outcome = outcome::UNSUPPORTED;
+                        wire::encode_solve_response(&SolveResponse::Unsupported(format!(
+                            "unknown solver id {id}"
+                        )))
                     }
                     Err(e) => {
                         rec.decode_us = sw.lap_us();

@@ -34,7 +34,7 @@
 //! panic (stderr), on a wire `MSG_DEBUG_DUMP` request, and at exit via
 //! `anonet-serve --dump-on-exit`.
 
-use crate::wire::Problem;
+use crate::portfolio::{self, SolverId};
 use anonet_obs::clock;
 use anonet_obs::{Counter, Histo, Registry};
 use std::collections::VecDeque;
@@ -50,6 +50,9 @@ pub mod outcome {
     pub const MALFORMED: &str = "malformed";
     /// Worker panicked; per-instance errors were returned.
     pub const PANIC: &str = "panic";
+    /// Well-formed request for a capability this build does not serve
+    /// (unknown solver id, or a mode the solver's registry entry rejects).
+    pub const UNSUPPORTED: &str = "unsupported";
     /// Stats / metrics / debug-dump request.
     pub const INFO: &str = "info";
 }
@@ -182,12 +185,10 @@ pub struct Telemetry {
     pub solve_rounds: Arc<Histo>,
     /// Per-solve communication bits (from the trace).
     pub solve_bits: Arc<Histo>,
-    /// Solve requests by problem kind.
-    kind_vc_pn: Arc<Counter>,
-    /// VC-broadcast solve requests.
-    kind_vc_bcast: Arc<Counter>,
-    /// Set-cover solve requests.
-    kind_set_cover: Arc<Counter>,
+    /// Solve requests by solver, indexed by wire id — one counter per
+    /// portfolio registry entry, named `solve.kind.<name>`. Registering a
+    /// solver automatically registers its counter.
+    kinds: Vec<Arc<Counter>>,
     /// Worker panics caught and answered with per-instance errors.
     pub worker_panics: Arc<Counter>,
     flight: FlightRecorder,
@@ -210,22 +211,21 @@ impl Telemetry {
             bytes_out: registry.histo("request.bytes_out"),
             solve_rounds: registry.histo("solve.rounds"),
             solve_bits: registry.histo("solve.bits"),
-            kind_vc_pn: registry.counter("solve.kind.vc_pn"),
-            kind_vc_bcast: registry.counter("solve.kind.vc_bcast"),
-            kind_set_cover: registry.counter("solve.kind.set_cover"),
+            kinds: portfolio::solvers()
+                .iter()
+                .map(|d| registry.counter(&format!("solve.kind.{}", d.name)))
+                .collect(),
             worker_panics: registry.counter("worker.panics"),
             flight: FlightRecorder::new(flight_cap),
             registry,
         }
     }
 
-    /// The per-problem-kind solve counter.
-    pub fn kind_counter(&self, p: Problem) -> &Counter {
-        match p {
-            Problem::VcPn => &self.kind_vc_pn,
-            Problem::VcBcast => &self.kind_vc_bcast,
-            Problem::SetCover => &self.kind_set_cover,
-        }
+    /// The per-solver solve counter.
+    pub fn kind_counter(&self, s: SolverId) -> &Counter {
+        // In-bounds by construction: `kinds` is built from the same registry
+        // table that makes every SolverId constructible, one entry per id.
+        &self.kinds[s.to_u8() as usize]
     }
 
     /// Records one computed (non-cached) solve's logical-cost trace.

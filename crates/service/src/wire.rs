@@ -19,9 +19,15 @@
 //!             | 5 metrics request | 6 metrics response
 //!             | 7 debug dump request | 8 debug dump response
 //!
-//! solve req  := header | problem: u8 | mode: u8 | seed: u64 | flags: u8
+//! solve req  := header | solver: u8 | mode: u8 | seed: u64 | flags: u8
 //!             | count: u32 | count × instance blob
-//! problem    := 0 VC-PN (§3) | 1 VC-broadcast (§5) | 2 set cover (§4)
+//! solver     := stable id from the solver-portfolio registry
+//!               (`crate::portfolio::solvers()`): 0 vc_pn (§3),
+//!               1 vc_bcast (§5), 2 set_cover (§4), 3 vc_ps3, 4 vc_kvy,
+//!               5 vc_bchs. Ids 0–2 predate the registry and are pinned
+//!               byte-for-byte by regression tests; an id outside the
+//!               registry decodes to [`WireError::UnknownSolver`], which
+//!               the server answers with a structured `Unsupported`.
 //! mode       := 0 synchronous engine
 //!             | 1..=5 asynchronous runtime scenario
 //!               (1 ideal, 2 datacenter, 3 wan, 4 lossy_radio, 5 churny_radio)
@@ -75,6 +81,7 @@
 //! The per-instance `result` bytes after the `from_cache` flag are exactly
 //! what the server's result cache stores, so a cache hit is a byte copy.
 
+use crate::portfolio::SolverId;
 use anonet_bigmath::BigRat;
 use anonet_core::canon::{ByteReader, ByteWriter, CanonError};
 use anonet_core::certify::Certificate;
@@ -120,38 +127,6 @@ pub const METRICS_SCHEMA_VERSION: u16 = 1;
 /// Maximum metric entries accepted when decoding a metrics frame —
 /// hostile-peer allocation bound, far above any honest registry size.
 pub const MAX_METRICS: usize = 4096;
-
-/// Which covering problem a request asks for.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Problem {
-    /// §3 maximal edge packing / 2-approximate vertex cover (PN model).
-    VcPn,
-    /// §5 vertex cover through the broadcast-model simulation.
-    VcBcast,
-    /// §4 f-approximate set cover (broadcast model).
-    SetCover,
-}
-
-impl Problem {
-    /// Wire byte.
-    pub fn to_u8(self) -> u8 {
-        match self {
-            Problem::VcPn => 0,
-            Problem::VcBcast => 1,
-            Problem::SetCover => 2,
-        }
-    }
-
-    /// Parses the wire byte.
-    pub fn from_u8(v: u8) -> Option<Problem> {
-        match v {
-            0 => Some(Problem::VcPn),
-            1 => Some(Problem::VcBcast),
-            2 => Some(Problem::SetCover),
-            _ => None,
-        }
-    }
-}
 
 /// How the server should execute the request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -216,8 +191,8 @@ pub const FLAG_TEST_PANIC: u8 = 1 << 7;
 /// A decoded solve request.
 #[derive(Clone, Debug)]
 pub struct SolveRequest {
-    /// The problem kind all instances in this request share.
-    pub problem: Problem,
+    /// The registered solver all instances in this request go to.
+    pub solver: SolverId,
     /// Execution mode (sync engine or async scenario).
     pub mode: ExecMode,
     /// Request flags ([`FLAG_NO_CACHE`]).
@@ -228,8 +203,8 @@ pub struct SolveRequest {
 
 impl SolveRequest {
     /// A synchronous request over canonical instance blobs.
-    pub fn new(problem: Problem, instances: Vec<Vec<u8>>) -> SolveRequest {
-        SolveRequest { problem, mode: ExecMode::Sync, flags: 0, instances }
+    pub fn new(solver: SolverId, instances: Vec<Vec<u8>>) -> SolveRequest {
+        SolveRequest { solver, mode: ExecMode::Sync, flags: 0, instances }
     }
 
     /// Switches to asynchronous execution under `scenario` with `seed`.
@@ -244,15 +219,17 @@ impl SolveRequest {
         self
     }
 
-    /// The cache key of instance `i`: problem byte, mode byte, seed and the
-    /// canonical blob — everything that determines the response bytes.
+    /// The cache key of instance `i`: solver byte, mode byte, seed and the
+    /// canonical blob — everything that determines the response bytes. The
+    /// solver byte keeps every registered solver's results disjoint in the
+    /// shared LRU (ids are stable, so keys survive registry growth).
     pub fn cache_key(&self, i: usize) -> Vec<u8> {
         let (mode, seed) = match self.mode {
             ExecMode::Sync => (0u8, 0u64),
             ExecMode::Async(s, seed) => (s.to_u8(), seed),
         };
         let mut w = ByteWriter::new();
-        w.put_u8(self.problem.to_u8());
+        w.put_u8(self.solver.to_u8());
         w.put_u8(mode);
         w.put_u64(seed);
         // lint: allow(panic-path) — `i` is the caller's loop index over `self.instances`, not a wire-read length
@@ -363,6 +340,11 @@ pub enum WireError {
     BadVersion(u16),
     /// Unknown or unexpected message type.
     BadMessageType(u8),
+    /// A solver id outside the portfolio registry. Distinct from
+    /// [`WireError::Invalid`] so the server can answer with a structured
+    /// `Unsupported` (a capability gap) instead of `Malformed` (a protocol
+    /// violation).
+    UnknownSolver(u8),
     /// A field held an invalid value.
     Invalid(String),
 }
@@ -374,6 +356,7 @@ impl fmt::Display for WireError {
             WireError::BadMagic => write!(f, "bad magic (expected \"ANSV\")"),
             WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             WireError::BadMessageType(t) => write!(f, "unexpected message type {t}"),
+            WireError::UnknownSolver(id) => write!(f, "unknown solver id {id}"),
             WireError::Invalid(m) => write!(f, "invalid payload: {m}"),
         }
     }
@@ -476,7 +459,7 @@ pub fn read_header(r: &mut ByteReader<'_>) -> Result<u8, WireError> {
 /// Encodes a solve request payload.
 pub fn encode_solve_request(req: &SolveRequest) -> Vec<u8> {
     let mut w = header(MSG_SOLVE_REQUEST);
-    w.put_u8(req.problem.to_u8());
+    w.put_u8(req.solver.to_u8());
     let (mode, seed) = match req.mode {
         ExecMode::Sync => (0u8, 0u64),
         ExecMode::Async(s, seed) => (s.to_u8(), seed),
@@ -493,8 +476,8 @@ pub fn encode_solve_request(req: &SolveRequest) -> Vec<u8> {
 
 /// Decodes a solve request body (header already consumed).
 pub fn decode_solve_request(r: &mut ByteReader<'_>) -> Result<SolveRequest, WireError> {
-    let problem = Problem::from_u8(r.get_u8()?)
-        .ok_or_else(|| WireError::Invalid("unknown problem kind".into()))?;
+    let solver_byte = r.get_u8()?;
+    let solver = SolverId::from_u8(solver_byte).ok_or(WireError::UnknownSolver(solver_byte))?;
     let mode_byte = r.get_u8()?;
     let seed = r.get_u64()?;
     let mode = if mode_byte == 0 {
@@ -518,7 +501,7 @@ pub fn decode_solve_request(r: &mut ByteReader<'_>) -> Result<SolveRequest, Wire
     if instances.is_empty() {
         return Err(WireError::Invalid("request carries no instances".into()));
     }
-    Ok(SolveRequest { problem, mode, flags, instances })
+    Ok(SolveRequest { solver, mode, flags, instances })
 }
 
 /// Encodes the body of one solved instance **after** the `from_cache` flag —
@@ -882,7 +865,7 @@ mod tests {
         // Tiny blobs amplify ~5× into per-instance response records; an
         // uncapped count would let a legal request force an unframeable
         // (> MAX_FRAME) response.
-        let req = SolveRequest::new(Problem::VcPn, vec![Vec::new(); MAX_INSTANCES + 1]);
+        let req = SolveRequest::new(SolverId::VC_PN, vec![Vec::new(); MAX_INSTANCES + 1]);
         let payload = encode_solve_request(&req);
         let mut r = ByteReader::new(&payload);
         read_header(&mut r).unwrap();
@@ -902,14 +885,14 @@ mod tests {
 
     #[test]
     fn solve_request_roundtrip() {
-        let req = SolveRequest::new(Problem::SetCover, vec![vec![1, 2, 3], vec![4]])
+        let req = SolveRequest::new(SolverId::SET_COVER, vec![vec![1, 2, 3], vec![4]])
             .with_scenario(Scenario::Wan, 99)
             .no_cache();
         let payload = encode_solve_request(&req);
         let mut r = ByteReader::new(&payload);
         assert_eq!(read_header(&mut r).unwrap(), MSG_SOLVE_REQUEST);
         let dec = decode_solve_request(&mut r).unwrap();
-        assert_eq!(dec.problem, Problem::SetCover);
+        assert_eq!(dec.solver, SolverId::SET_COVER);
         assert_eq!(dec.mode, ExecMode::Async(Scenario::Wan, 99));
         assert_eq!(dec.flags, FLAG_NO_CACHE);
         assert_eq!(dec.instances, req.instances);
@@ -918,12 +901,12 @@ mod tests {
     #[test]
     fn cache_key_separates_mode_and_blob() {
         let blob = vec![7u8; 16];
-        let sync = SolveRequest::new(Problem::VcPn, vec![blob.clone()]);
-        let asy =
-            SolveRequest::new(Problem::VcPn, vec![blob.clone()]).with_scenario(Scenario::Ideal, 1);
-        let asy2 =
-            SolveRequest::new(Problem::VcPn, vec![blob.clone()]).with_scenario(Scenario::Ideal, 2);
-        let other = SolveRequest::new(Problem::VcBcast, vec![blob]);
+        let sync = SolveRequest::new(SolverId::VC_PN, vec![blob.clone()]);
+        let asy = SolveRequest::new(SolverId::VC_PN, vec![blob.clone()])
+            .with_scenario(Scenario::Ideal, 1);
+        let asy2 = SolveRequest::new(SolverId::VC_PN, vec![blob.clone()])
+            .with_scenario(Scenario::Ideal, 2);
+        let other = SolveRequest::new(SolverId::VC_BCAST, vec![blob]);
         assert_ne!(sync.cache_key(0), asy.cache_key(0));
         assert_ne!(asy.cache_key(0), asy2.cache_key(0));
         assert_ne!(sync.cache_key(0), other.cache_key(0));

@@ -16,8 +16,8 @@ use anonet_core::vc_pn::{run_edge_packing_many, VcInstance};
 use anonet_exact::min_weight_vertex_cover;
 use anonet_gen::{family, setcover, WeightSpec};
 use anonet_service::{
-    client, wire, Client, InstanceResult, Problem, Scenario, Server, ServiceConfig, SolveRequest,
-    SolveResponse, Solved,
+    client, wire, Client, InstanceResult, Scenario, Server, ServiceConfig, SolveRequest,
+    SolveResponse, Solved, SolverId,
 };
 use std::time::Duration;
 
@@ -51,7 +51,7 @@ fn vc_pn_bit_identical_certified_and_cached() {
         (family::star(5), vec![7, 1, 1, 1, 1, 1]),
     ];
     let instances: Vec<VcInstance<'_>> = cases.iter().map(|(g, w)| VcInstance::new(g, w)).collect();
-    let req = client::vc_request(Problem::VcPn, &instances);
+    let req = client::vc_request(SolverId::VC_PN, &instances);
     let resp = c.solve(&req).unwrap();
     let got = solved(&resp);
     assert_eq!(got.len(), cases.len());
@@ -123,7 +123,7 @@ fn vc_bcast_and_set_cover_loopback() {
     let g = family::cycle(9);
     let w = WeightSpec::Uniform(6).draw_many(9, 11);
     let instances = [VcInstance::new(&g, &w)];
-    let resp = c.solve(&client::vc_request(Problem::VcBcast, &instances)).unwrap();
+    let resp = c.solve(&client::vc_request(SolverId::VC_BCAST, &instances)).unwrap();
     let got = solved(&resp);
     let direct = run_vc_broadcast_many::<BigRat>(&instances, 1);
     let run = direct[0].as_ref().unwrap();
@@ -158,11 +158,11 @@ fn async_scenarios_match_sync_assignment() {
     let g = family::random_regular(16, 3, 13);
     let w = WeightSpec::Uniform(12).draw_many(16, 13);
     let instances = [VcInstance::new(&g, &w)];
-    let sync = c.solve(&client::vc_request(Problem::VcPn, &instances)).unwrap();
+    let sync = c.solve(&client::vc_request(SolverId::VC_PN, &instances)).unwrap();
     let sync = solved(&sync)[0].clone();
 
     for scenario in [Scenario::Ideal, Scenario::LossyRadio] {
-        let req = client::vc_request(Problem::VcPn, &instances).with_scenario(scenario, 42);
+        let req = client::vc_request(SolverId::VC_PN, &instances).with_scenario(scenario, 42);
         let resp = c.solve(&req).unwrap();
         let s = solved(&resp)[0].clone();
         // The synchronizer guarantee: same assignment and certificate as the
@@ -178,7 +178,7 @@ fn async_scenarios_match_sync_assignment() {
     }
 
     // Async broadcast problems are rejected with a structured error.
-    let req = client::vc_request(Problem::VcBcast, &instances).with_scenario(Scenario::Ideal, 1);
+    let req = client::vc_request(SolverId::VC_BCAST, &instances).with_scenario(Scenario::Ideal, 1);
     assert!(matches!(c.solve(&req).unwrap(), SolveResponse::Unsupported(_)));
 
     server.shutdown();
@@ -195,7 +195,7 @@ fn threads_per_job_auto_matches_explicit() {
     let g2 = family::star(9);
     let w2 = WeightSpec::LogUniform(1 << 8).draw_many(10, 13);
     let instances = [VcInstance::new(&g1, &w1), VcInstance::new(&g2, &w2)];
-    let req = client::vc_request(Problem::VcPn, &instances);
+    let req = client::vc_request(SolverId::VC_PN, &instances);
     let mut answers: Vec<Vec<Solved>> = Vec::new();
     for threads_per_job in [0usize, 1, 2] {
         let server =
@@ -226,9 +226,9 @@ fn async_batches_fan_out_across_the_job_pool() {
     let g2 = family::cycle(7);
     let w2 = vec![3u64; 7];
     let instances = [VcInstance::new(&g1, &w1), VcInstance::new(&g2, &w2)];
-    let sync = c.solve(&client::vc_request(Problem::VcPn, &instances)).unwrap();
+    let sync = c.solve(&client::vc_request(SolverId::VC_PN, &instances)).unwrap();
     let sync: Vec<Solved> = solved(&sync).into_iter().cloned().collect();
-    let req = client::vc_request(Problem::VcPn, &instances).with_scenario(Scenario::Ideal, 9);
+    let req = client::vc_request(SolverId::VC_PN, &instances).with_scenario(Scenario::Ideal, 9);
     let resp = c.solve(&req).unwrap();
     for (i, (s, sy)) in solved(&resp).iter().zip(&sync).enumerate() {
         assert_eq!(s.cover, sy.cover, "instance {i}");
@@ -247,7 +247,7 @@ fn full_queue_returns_backpressure_error() {
     let g = family::cycle(4);
     let w = vec![1u64; 4];
     let blob = canon::encode_vc(&g, &w, 2, 1);
-    let req = SolveRequest::new(Problem::VcPn, vec![blob]);
+    let req = SolveRequest::new(SolverId::VC_PN, vec![blob]);
 
     // Fill the queue from connections that never read their responses.
     let mut parked: Vec<std::net::TcpStream> = Vec::new();
@@ -302,7 +302,7 @@ fn malformed_and_per_instance_errors_are_structured() {
     let w = vec![2u64; 10];
     let good = canon::encode_vc(&g, &w, 3, 2);
     let bad = vec![0xFFu8; 3];
-    let resp = c.solve(&SolveRequest::new(Problem::VcPn, vec![good, bad])).unwrap();
+    let resp = c.solve(&SolveRequest::new(SolverId::VC_PN, vec![good, bad])).unwrap();
     match resp {
         SolveResponse::Ok(results) => {
             assert!(matches!(results[0], InstanceResult::Solved(_)));
@@ -318,7 +318,7 @@ fn malformed_and_per_instance_errors_are_structured() {
     // the next request.
     let inst = setcover::random_bounded(6, 4, 2, 3, WeightSpec::Unit, 2);
     let hostile = canon::encode_sc(&inst, 0, 3, 1);
-    let resp = c.solve(&SolveRequest::new(Problem::SetCover, vec![hostile])).unwrap();
+    let resp = c.solve(&SolveRequest::new(SolverId::SET_COVER, vec![hostile])).unwrap();
     match resp {
         SolveResponse::Ok(results) => assert!(matches!(results[0], InstanceResult::Error(_))),
         other => panic!("expected Ok with per-instance error, got {other:?}"),
@@ -341,7 +341,7 @@ fn worker_pool_survives_panicking_jobs() {
     let g = family::cycle(4);
     let w = vec![1u64; 4];
     let blob = canon::encode_vc(&g, &w, 2, 1);
-    let mut req = SolveRequest::new(Problem::VcPn, vec![blob.clone(), blob.clone()]);
+    let mut req = SolveRequest::new(SolverId::VC_PN, vec![blob.clone(), blob.clone()]);
     req.flags |= wire::FLAG_TEST_PANIC; // deliberate mid-execute panic
     match c.solve(&req).unwrap() {
         SolveResponse::Ok(results) => {
@@ -354,7 +354,7 @@ fn worker_pool_survives_panicking_jobs() {
     }
     assert_eq!(c.stats().unwrap().exec_errors, 2);
     // The sole worker is still alive and still solves.
-    let resp = c.solve(&SolveRequest::new(Problem::VcPn, vec![blob])).unwrap();
+    let resp = c.solve(&SolveRequest::new(SolverId::VC_PN, vec![blob])).unwrap();
     assert!(!solved(&resp)[0].cover.is_empty(), "worker survived the panic");
     server.shutdown();
 }
@@ -427,7 +427,7 @@ fn metrics_frame_and_flight_recorder_over_the_wire() {
     let g = family::petersen();
     let w = vec![2u64; 10];
     let instances = [VcInstance::new(&g, &w), VcInstance::new(&g, &w)];
-    let resp = c.solve(&client::vc_request(Problem::VcPn, &instances)).unwrap();
+    let resp = c.solve(&client::vc_request(SolverId::VC_PN, &instances)).unwrap();
     assert_eq!(solved(&resp).len(), 2);
 
     // One served request moves *every* phase histogram by exactly one
@@ -489,7 +489,7 @@ fn flight_recorder_captures_panicking_requests() {
     let g = family::cycle(4);
     let w = vec![1u64; 4];
     let blob = canon::encode_vc(&g, &w, 2, 1);
-    let mut req = SolveRequest::new(Problem::VcPn, vec![blob]);
+    let mut req = SolveRequest::new(SolverId::VC_PN, vec![blob]);
     req.flags |= wire::FLAG_TEST_PANIC;
     assert!(matches!(c.solve(&req).unwrap(), SolveResponse::Ok(_)));
     // The panicking request's record lands in the ring with its outcome,
@@ -507,7 +507,7 @@ fn flight_cap_zero_disables_the_ring_but_not_metrics() {
     let g = family::cycle(5);
     let w = vec![1u64; 5];
     let blob = canon::encode_vc(&g, &w, 2, 1);
-    c.solve(&SolveRequest::new(Problem::VcPn, vec![blob])).unwrap();
+    c.solve(&SolveRequest::new(SolverId::VC_PN, vec![blob])).unwrap();
     let dump = c.debug_dump().unwrap();
     assert!(dump.contains("\"records\":[]"), "{dump}");
     assert_eq!(c.metrics().unwrap().histo("request.total_us").map(|h| h.count), Some(2));
@@ -527,13 +527,13 @@ fn lru_eviction_over_the_wire() {
         })
         .collect();
     for blob in &blobs {
-        c.solve(&SolveRequest::new(Problem::VcPn, vec![blob.clone()])).unwrap();
+        c.solve(&SolveRequest::new(SolverId::VC_PN, vec![blob.clone()])).unwrap();
     }
     let stats = c.stats().unwrap();
     assert_eq!(stats.cache_len, 2);
     assert_eq!(stats.cache_evictions, 1);
     // Instance 0 was evicted: requesting it again misses and recomputes.
-    let resp = c.solve(&SolveRequest::new(Problem::VcPn, vec![blobs[0].clone()])).unwrap();
+    let resp = c.solve(&SolveRequest::new(SolverId::VC_PN, vec![blobs[0].clone()])).unwrap();
     assert!(!solved(&resp)[0].from_cache);
     server.shutdown();
 }

@@ -10,8 +10,8 @@ use anonet_core::canon;
 use anonet_core::vc_pn::{run_edge_packing_many, VcInstance};
 use anonet_gen::{family, setcover, WeightSpec};
 use anonet_service::{
-    client, wire, Client, ConnModel, InstanceResult, Problem, Scenario, Server, ServiceConfig,
-    SolveRequest, SolveResponse,
+    client, wire, Client, ConnModel, InstanceResult, Scenario, Server, ServiceConfig, SolveRequest,
+    SolveResponse, SolverId,
 };
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -47,10 +47,21 @@ fn differential_stream() -> Vec<Vec<u8>> {
         canon::encode_vc(&g2, &w2, g2.max_degree().max(1), 1 << 10),
         vec![0xFF; 3], // hostile: per-instance decode error
     ];
-    let vc = SolveRequest::new(Problem::VcPn, vc_blobs);
+    let vc = SolveRequest::new(SolverId::VC_PN, vc_blobs);
     let sc_inst = setcover::random_bounded(14, 10, 2, 3, WeightSpec::Uniform(8), 21);
     let sc = client::sc_request(&[&sc_inst]);
-    let bcast = SolveRequest::new(Problem::VcBcast, vec![canon::encode_vc(&g1, &w1, 3, 9)]);
+    let bcast = SolveRequest::new(SolverId::VC_BCAST, vec![canon::encode_vc(&g1, &w1, 3, 9)]);
+    // Portfolio solvers: PS3 on a unit-weight instance, the (2+ε) family on
+    // a weighted one, and PS3 handed weights — the per-instance error path.
+    let unit = canon::encode_vc(&g1, &[1u64; 10], g1.max_degree().max(1), 1);
+    let ps3 = SolveRequest::new(SolverId::VC_PS3, vec![unit.clone()]);
+    let kvy = SolveRequest::new(SolverId::VC_KVY, vec![canon::encode_vc(&g1, &w1, 3, 9)]);
+    let bchs = SolveRequest::new(SolverId::VC_BCHS, vec![canon::encode_vc(&g1, &w1, 3, 9)]);
+    let ps3_weighted = SolveRequest::new(SolverId::VC_PS3, vec![canon::encode_vc(&g1, &w1, 3, 9)]);
+    // A well-formed frame naming an out-of-registry solver id: the
+    // structured Unsupported arm, not Malformed.
+    let mut unknown_solver = wire::encode_solve_request(&ps3);
+    unknown_solver[7] = 0xEE;
     vec![
         wire::encode_solve_request(&vc),
         // Identical request again: cache hits, `from_cache` bits included.
@@ -58,9 +69,16 @@ fn differential_stream() -> Vec<Vec<u8>> {
         wire::encode_solve_request(&vc.clone().no_cache()),
         wire::encode_solve_request(&sc),
         wire::encode_solve_request(&bcast),
+        wire::encode_solve_request(&ps3),
+        wire::encode_solve_request(&kvy),
+        wire::encode_solve_request(&bchs),
+        wire::encode_solve_request(&ps3_weighted),
+        unknown_solver,
         // Async §3 run (deterministic per seed) and the structured
-        // Unsupported rejection for async broadcast.
+        // Unsupported rejections: async on a sync-only portfolio solver,
+        // async broadcast.
         wire::encode_solve_request(&vc.clone().with_scenario(Scenario::LossyRadio, 42)),
+        wire::encode_solve_request(&kvy.clone().with_scenario(Scenario::Ideal, 7)),
         wire::encode_solve_request(&bcast.clone().with_scenario(Scenario::Ideal, 1)),
         // Garbage after the magic: the Malformed arm.
         b"ANSVxxxxxx".to_vec(),
@@ -96,7 +114,7 @@ fn busy_rejections_are_byte_identical_across_models() {
     };
     let g = family::cycle(4);
     let blob = canon::encode_vc(&g, &[1, 1, 1, 1], 2, 1);
-    let req = wire::encode_solve_request(&SolveRequest::new(Problem::VcPn, vec![blob]));
+    let req = wire::encode_solve_request(&SolveRequest::new(SolverId::VC_PN, vec![blob]));
 
     let mut replies: Vec<Vec<u8>> = Vec::new();
     for model in [ConnModel::Threads, ConnModel::Reactor] {
@@ -142,7 +160,7 @@ fn pipelined_solves_on_one_connection_answer_in_order() {
     let graphs: Vec<_> = sizes.iter().map(|&n| (family::cycle(n), vec![1u64; n])).collect();
     for (g, w) in &graphs {
         let blob = canon::encode_vc(g, w, 2, 1);
-        let req = SolveRequest::new(Problem::VcPn, vec![blob]);
+        let req = SolveRequest::new(SolverId::VC_PN, vec![blob]);
         wire::write_frame(&mut s, &wire::encode_solve_request(&req)).unwrap();
     }
     for (i, (g, w)) in graphs.iter().enumerate() {
@@ -172,7 +190,7 @@ fn reactor_metrics_ride_the_wire_frame() {
     let mut c = Client::connect(server.local_addr()).unwrap();
     let g = family::petersen();
     let blob = canon::encode_vc(&g, &[2u64; 10], 3, 2);
-    c.solve(&SolveRequest::new(Problem::VcPn, vec![blob])).unwrap();
+    c.solve(&SolveRequest::new(SolverId::VC_PN, vec![blob])).unwrap();
     let snap = c.metrics().unwrap();
     assert_eq!(snap.scalar("net.conns"), Some(1), "this very connection is the gauge");
     assert_eq!(snap.scalar("net.shed_conns"), Some(0));
@@ -243,7 +261,7 @@ fn worker_panics_still_answer_over_the_reactor() {
     let mut c = Client::connect(server.local_addr()).unwrap();
     let g = family::cycle(4);
     let blob = canon::encode_vc(&g, &[1, 1, 1, 1], 2, 1);
-    let mut req = SolveRequest::new(Problem::VcPn, vec![blob.clone()]);
+    let mut req = SolveRequest::new(SolverId::VC_PN, vec![blob.clone()]);
     req.flags |= wire::FLAG_TEST_PANIC;
     match c.solve(&req).unwrap() {
         SolveResponse::Ok(results) => {
@@ -252,7 +270,7 @@ fn worker_panics_still_answer_over_the_reactor() {
         other => panic!("expected Ok with per-instance errors, got {other:?}"),
     }
     // The worker survived and the connection still serves.
-    let resp = c.solve(&SolveRequest::new(Problem::VcPn, vec![blob])).unwrap();
+    let resp = c.solve(&SolveRequest::new(SolverId::VC_PN, vec![blob])).unwrap();
     assert!(matches!(resp, SolveResponse::Ok(_)));
     server.shutdown();
 }
@@ -268,7 +286,7 @@ fn loadgen_conns_mode_drives_the_reactor() {
         ServiceConfig { workers: 2, max_conns: 64, queue_cap: 256, ..Default::default() },
     );
     let spec = WorkloadSpec {
-        problem: Problem::VcPn,
+        solver: SolverId::VC_PN,
         family: FamilyKind::Regular,
         n: 24,
         degree: 3,
@@ -283,7 +301,7 @@ fn loadgen_conns_mode_drives_the_reactor() {
         conns: 32,
         ..DriveConfig::default()
     };
-    let report = drive(Problem::VcPn, &blobs, &cfg).expect("conns drive");
+    let report = drive(SolverId::VC_PN, &blobs, &cfg).expect("conns drive");
     assert_eq!(report.errors, 0);
     assert_eq!(report.busy, 0);
     assert_eq!(report.ok, 96);

@@ -11,7 +11,7 @@ use anonet::core::canon;
 use anonet::core::vc_pn::VcInstance;
 use anonet::gen::{family, WeightSpec};
 use anonet::service::{
-    client, Client, InstanceResult, Problem, Server, ServiceConfig, SolveResponse,
+    client, Client, InstanceResult, Server, ServiceConfig, SolveResponse, SolverId,
 };
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
         (0..6).map(|i| WeightSpec::LogUniform(1 << 10).draw_many(64, 200 + i)).collect();
     let instances: Vec<VcInstance<'_>> =
         graphs.iter().zip(&weight_sets).map(|(g, w)| VcInstance::new(g, w)).collect();
-    let req = client::vc_request(Problem::VcPn, &instances);
+    let req = client::vc_request(SolverId::VC_PN, &instances);
 
     let mut c = Client::connect(server.local_addr()).expect("connect");
     for round in ["first (computed)", "second (cached)"] {
